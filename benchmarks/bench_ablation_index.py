@@ -1,0 +1,51 @@
+"""Ablation — index-based (IndexAll/ICP) vs index-free online search.
+
+The paper's Introduction motivates index-free search: IndexAll answers
+queries fast but must materialise all communities for all γ up front and
+is locked to one weight vector.  This benchmark quantifies the trade-off
+on the email stand-in.  Series printer: ``--eval index``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import ICPIndex
+from repro.core.progressive import LocalSearchP
+
+
+@pytest.mark.benchmark(group="ablation-index")
+def bench_index_build(benchmark, email):
+    """The up-front cost the online approach avoids."""
+    index = benchmark.pedantic(
+        lambda: ICPIndex(email).build(), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(
+        gamma_max=index.gamma_max, entries=index.index_entries()
+    )
+    assert index.is_built
+
+
+@pytest.mark.benchmark(group="ablation-index")
+def bench_index_query(benchmark, email):
+    index = ICPIndex(email).build(gammas=[10])
+    communities = benchmark(lambda: index.query(10, 10))
+    assert len(communities) == 10
+
+
+@pytest.mark.benchmark(group="ablation-index")
+def bench_online_query(benchmark, email):
+    result = benchmark(lambda: LocalSearchP(email, gamma=10).run(k=10))
+    assert len(result.communities) == 10
+
+
+@pytest.mark.benchmark(group="ablation-index")
+def bench_index_and_online_agree(benchmark, email):
+    def run():
+        index = ICPIndex(email).build(gammas=[10])
+        a = [c.influence for c in index.query(10, 10)]
+        b = LocalSearchP(email, gamma=10).run(k=10).influences
+        return a, b
+
+    a, b = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert a == b

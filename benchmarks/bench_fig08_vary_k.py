@@ -1,0 +1,61 @@
+"""Figure 8 — OnlineAll vs Forward vs LocalSearch-P (γ=10, vary k).
+
+Paper shape: OnlineAll and Forward are flat in k (global algorithms);
+LocalSearch-P grows mildly with k and wins by orders of magnitude (up to
+5 on Orkut).  OnlineAll is benchmarked only on the smallest stand-in (the
+paper itself omits it on its three largest graphs).
+Series printer: ``python -m repro.bench.experiments --eval fig8``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import forward, online_all
+from repro.core.progressive import LocalSearchP
+
+K_SWEEP = (5, 10, 50, 100)
+GAMMA = 10
+
+
+@pytest.mark.benchmark(group="fig8-localsearch-p")
+@pytest.mark.parametrize("k", K_SWEEP)
+@pytest.mark.parametrize("name", ("email", "youtube", "wiki", "arabic"))
+def bench_local_search_p(benchmark, k, name, request):
+    graph = request.getfixturevalue(name)
+    result = benchmark(lambda: LocalSearchP(graph, gamma=GAMMA).run(k=k))
+    assert len(result.communities) == k
+
+
+@pytest.mark.benchmark(group="fig8-forward")
+@pytest.mark.parametrize("k", (10, 100))
+@pytest.mark.parametrize("name", ("email", "youtube", "wiki", "arabic"))
+def bench_forward(benchmark, k, name, request):
+    graph = request.getfixturevalue(name)
+    result = benchmark.pedantic(
+        forward, args=(graph, k, GAMMA), rounds=2, iterations=1
+    )
+    assert len(result.communities) == k
+
+
+@pytest.mark.benchmark(group="fig8-onlineall")
+@pytest.mark.parametrize("k", (10, 100))
+def bench_online_all_email(benchmark, k, email):
+    result = benchmark.pedantic(
+        online_all, args=(email, k, GAMMA), rounds=1, iterations=1
+    )
+    assert len(result.communities) == k
+
+
+@pytest.mark.benchmark(group="fig8-agreement")
+def bench_agreement_check(benchmark, email):
+    """The three algorithms return identical answers (k=10)."""
+
+    def run():
+        a = LocalSearchP(email, gamma=GAMMA).run(k=10).influences
+        b = forward(email, 10, GAMMA).influences
+        c = online_all(email, 10, GAMMA).influences
+        return a, b, c
+
+    a, b, c = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert a == b == c

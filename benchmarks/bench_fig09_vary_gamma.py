@@ -1,0 +1,36 @@
+"""Figure 9 — OnlineAll/Forward vs LocalSearch-P (k=10, vary γ).
+
+Paper shape: global algorithms flat in γ; LocalSearch-P grows with γ
+(larger γ → smaller influence values → deeper prefixes) yet stays well
+below Forward.  Series printer: ``--eval fig9``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import forward
+from repro.core.progressive import LocalSearchP
+
+GAMMA_SWEEP = (5, 10, 20, 50)
+K = 10
+
+
+@pytest.mark.benchmark(group="fig9-localsearch-p")
+@pytest.mark.parametrize("gamma", GAMMA_SWEEP)
+@pytest.mark.parametrize("name", ("wiki", "arabic"))
+def bench_local_search_p(benchmark, gamma, name, request):
+    graph = request.getfixturevalue(name)
+    result = benchmark(lambda: LocalSearchP(graph, gamma=gamma).run(k=K))
+    assert len(result.communities) == K
+
+
+@pytest.mark.benchmark(group="fig9-forward")
+@pytest.mark.parametrize("gamma", (5, 50))
+@pytest.mark.parametrize("name", ("wiki", "arabic"))
+def bench_forward(benchmark, gamma, name, request):
+    graph = request.getfixturevalue(name)
+    result = benchmark.pedantic(
+        forward, args=(graph, K, gamma), rounds=2, iterations=1
+    )
+    assert len(result.communities) == K

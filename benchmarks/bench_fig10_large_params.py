@@ -1,0 +1,45 @@
+"""Figure 10 — Forward vs LocalSearch-P at large k and γ.
+
+The paper sweeps k, γ ∈ {250, 500, 1000, 2000} on Arabic/Twitter (γmax
+2,488-3,247); the stand-ins (γmax 80-97) use proportionally scaled
+parameters.  Paper shape: LocalSearch-P cost grows with both parameters
+but stays below Forward throughout.  Series printer: ``--eval fig10``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import forward
+from repro.core.progressive import LocalSearchP
+
+LARGE_K = (25, 100, 200)
+LARGE_GAMMA = (20, 40, 80)
+
+
+@pytest.mark.benchmark(group="fig10-vary-k")
+@pytest.mark.parametrize("k", LARGE_K)
+@pytest.mark.parametrize("name", ("arabic", "twitter"))
+def bench_local_search_large_k(benchmark, k, name, request):
+    graph = request.getfixturevalue(name)
+    result = benchmark(lambda: LocalSearchP(graph, gamma=40).run(k=k))
+    assert result.communities
+
+
+@pytest.mark.benchmark(group="fig10-vary-gamma")
+@pytest.mark.parametrize("gamma", LARGE_GAMMA)
+@pytest.mark.parametrize("name", ("arabic", "twitter"))
+def bench_local_search_large_gamma(benchmark, gamma, name, request):
+    graph = request.getfixturevalue(name)
+    result = benchmark(lambda: LocalSearchP(graph, gamma=gamma).run(k=100))
+    assert result.communities
+
+
+@pytest.mark.benchmark(group="fig10-forward")
+@pytest.mark.parametrize("name", ("arabic", "twitter"))
+def bench_forward_large(benchmark, name, request):
+    graph = request.getfixturevalue(name)
+    result = benchmark.pedantic(
+        forward, args=(graph, 200, 40), rounds=1, iterations=1
+    )
+    assert result.communities

@@ -1,0 +1,44 @@
+"""Figure 11 — Backward vs LocalSearch-P (vary k, γ ∈ {10, 50}).
+
+Paper shape: both grow with k; Backward's quadratic re-peeling loses
+everywhere and the gap widens with γ (at γ=50 Backward even falls behind
+the global Forward).  Series printer: ``--eval fig11``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import backward
+from repro.core.progressive import LocalSearchP
+
+K_SWEEP = (10, 50, 100)
+
+
+@pytest.mark.benchmark(group="fig11-backward")
+@pytest.mark.parametrize("gamma", (10, 50))
+@pytest.mark.parametrize("k", K_SWEEP)
+def bench_backward(benchmark, gamma, k, arabic):
+    result = benchmark.pedantic(
+        backward, args=(arabic, k, gamma), rounds=2, iterations=1
+    )
+    assert len(result.communities) == k
+
+
+@pytest.mark.benchmark(group="fig11-localsearch-p")
+@pytest.mark.parametrize("gamma", (10, 50))
+@pytest.mark.parametrize("k", K_SWEEP)
+def bench_local_search_p(benchmark, gamma, k, arabic):
+    result = benchmark(lambda: LocalSearchP(arabic, gamma=gamma).run(k=k))
+    assert len(result.communities) == k
+
+
+@pytest.mark.benchmark(group="fig11-agreement")
+def bench_agreement(benchmark, arabic):
+    def run():
+        a = backward(arabic, 20, 10).influences
+        b = LocalSearchP(arabic, gamma=10).run(k=20).influences
+        return a, b
+
+    a, b = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert a == b

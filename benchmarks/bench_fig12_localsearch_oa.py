@@ -1,0 +1,37 @@
+"""Figure 12 — LocalSearch-OA vs LocalSearch-P (γ=10, vary k).
+
+Both variants walk the same doubling prefixes; the only difference is the
+counting subroutine (OnlineAll's sweep with per-keynode component BFS vs
+CountIC's linear peel).  Paper shape: LocalSearch-P wins, justifying
+CountIC.  Series printer: ``--eval fig12``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.local_search import LocalSearch
+from repro.core.progressive import LocalSearchP
+
+K_SWEEP = (10, 50, 100)
+
+
+@pytest.mark.benchmark(group="fig12-localsearch-oa")
+@pytest.mark.parametrize("k", K_SWEEP)
+@pytest.mark.parametrize("name", ("wiki", "livejournal"))
+def bench_local_search_oa(benchmark, k, name, request):
+    graph = request.getfixturevalue(name)
+    searcher = LocalSearch(graph, gamma=10, counting="onlineall")
+    result = benchmark.pedantic(
+        searcher.search, args=(k,), rounds=2, iterations=1
+    )
+    assert len(result.communities) == k
+
+
+@pytest.mark.benchmark(group="fig12-localsearch-p")
+@pytest.mark.parametrize("k", K_SWEEP)
+@pytest.mark.parametrize("name", ("wiki", "livejournal"))
+def bench_local_search_p(benchmark, k, name, request):
+    graph = request.getfixturevalue(name)
+    result = benchmark(lambda: LocalSearchP(graph, gamma=10).run(k=k))
+    assert len(result.communities) == k

@@ -1,0 +1,39 @@
+"""Figure 13 — the exponential growth ratio δ (k=10, γ=10).
+
+Paper shape: running time is similar for nearby δ, generally increases
+for large δ (prefix overshoot), and δ ≈ 2 performs best — matching the
+2δ²/(δ−1) analysis of Section 3.3.  Series printer: ``--eval fig13``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.progressive import LocalSearchP
+
+DELTAS = (1.5, 2.0, 4.0, 16.0, 64.0, 128.0)
+
+
+@pytest.mark.benchmark(group="fig13-delta")
+@pytest.mark.parametrize("delta", DELTAS)
+@pytest.mark.parametrize("name", ("wiki", "arabic"))
+def bench_delta(benchmark, delta, name, request):
+    graph = request.getfixturevalue(name)
+    result = benchmark(
+        lambda: LocalSearchP(graph, gamma=10, delta=delta).run(k=10)
+    )
+    assert len(result.communities) == 10
+
+
+@pytest.mark.benchmark(group="fig13-delta")
+def bench_delta_answers_invariant(benchmark, wiki):
+    """All δ values return the same communities (only speed differs)."""
+
+    def run():
+        return [
+            tuple(LocalSearchP(wiki, gamma=10, delta=d).run(k=10).influences)
+            for d in DELTAS
+        ]
+
+    answers = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(set(answers)) == 1

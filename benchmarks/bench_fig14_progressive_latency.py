@@ -1,0 +1,65 @@
+"""Figure 14 — progressive enumeration latency (k=128).
+
+Paper shape: LocalSearch reports everything only at termination (flat
+enumeration-time line); LocalSearch-P reports the top communities far
+earlier (rising line that meets LocalSearch's at i=128).
+Series printer: ``--eval fig14``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.local_search import LocalSearch
+from repro.core.progressive import LocalSearchP
+
+
+@pytest.mark.benchmark(group="fig14-latency-top1")
+@pytest.mark.parametrize("gamma", (10, 50))
+def bench_time_to_first_community(benchmark, gamma, arabic):
+    """Latency until the top-1 community is available (progressive)."""
+
+    def first():
+        stream = LocalSearchP(arabic, gamma=gamma).stream()
+        return next(stream)
+
+    community = benchmark(first)
+    assert community.influence > 0
+
+
+@pytest.mark.benchmark(group="fig14-latency-top128")
+@pytest.mark.parametrize("gamma", (10, 50))
+def bench_time_to_128_progressive(benchmark, gamma, arabic):
+    result = benchmark(lambda: LocalSearchP(arabic, gamma=gamma).run(k=128))
+    assert len(result.communities) == 128
+
+
+@pytest.mark.benchmark(group="fig14-latency-top128")
+@pytest.mark.parametrize("gamma", (10, 50))
+def bench_time_to_128_nonprogressive(benchmark, gamma, arabic):
+    """LocalSearch's flat line: nothing arrives before this completes."""
+    searcher = LocalSearch(arabic, gamma=gamma)
+    result = benchmark(lambda: searcher.search(128))
+    assert len(result.communities) == 128
+
+
+@pytest.mark.benchmark(group="fig14-latency-shape")
+def bench_latency_monotonicity(benchmark, arabic):
+    """Top-1 must arrive much earlier than top-128 under LocalSearch-P."""
+
+    def measure():
+        import time
+
+        searcher = LocalSearchP(arabic, gamma=10)
+        t_first = t_last = None
+        start = time.perf_counter()
+        for i, _ in enumerate(searcher.stream(), start=1):
+            if i == 1:
+                t_first = time.perf_counter() - start
+            if i == 128:
+                t_last = time.perf_counter() - start
+                break
+        return t_first, t_last
+
+    t_first, t_last = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert t_first < t_last

@@ -1,0 +1,32 @@
+"""Figure 15 — LocalSearch vs LocalSearch-P, total processing time.
+
+Paper shape: nearly identical, with LocalSearch-P slightly ahead despite
+its early reporting, because it shares peel work across rounds.
+Series printer: ``--eval fig15``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.local_search import LocalSearch
+from repro.core.progressive import LocalSearchP
+
+K_SWEEP = (10, 50, 100)
+
+
+@pytest.mark.benchmark(group="fig15-localsearch")
+@pytest.mark.parametrize("gamma", (10, 50))
+@pytest.mark.parametrize("k", K_SWEEP)
+def bench_local_search(benchmark, gamma, k, arabic):
+    searcher = LocalSearch(arabic, gamma=gamma)
+    result = benchmark(lambda: searcher.search(k))
+    assert len(result.communities) == k
+
+
+@pytest.mark.benchmark(group="fig15-localsearch-p")
+@pytest.mark.parametrize("gamma", (10, 50))
+@pytest.mark.parametrize("k", K_SWEEP)
+def bench_local_search_p(benchmark, gamma, k, arabic):
+    result = benchmark(lambda: LocalSearchP(arabic, gamma=gamma).run(k=k))
+    assert len(result.communities) == k

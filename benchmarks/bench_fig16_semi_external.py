@@ -1,0 +1,55 @@
+"""Figure 16 — OnlineAll-SE vs LocalSearch-SE total time (disk-resident).
+
+Both algorithms run against the same file-backed, weight-ordered edge
+store.  Paper shape: LocalSearch-SE wins decisively — it reads only the
+weight prefix it needs, while OnlineAll-SE streams the entire edge file
+before its global sweep.  Series printer: ``--eval fig16``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import local_search_se, online_all_se
+
+from conftest import fresh_store
+
+K_SWEEP = (10, 50, 100)
+
+
+@pytest.mark.benchmark(group="fig16-localsearch-se")
+@pytest.mark.parametrize("gamma", (10, 15))
+@pytest.mark.parametrize("k", K_SWEEP)
+def bench_local_search_se(benchmark, gamma, k, youtube, youtube_store_path):
+    def run():
+        store = fresh_store(youtube_store_path)
+        return local_search_se(youtube, store, k, gamma)
+
+    result = benchmark(run)
+    assert len(result.communities) == k
+
+
+@pytest.mark.benchmark(group="fig16-onlineall-se")
+@pytest.mark.parametrize("gamma", (10, 15))
+def bench_online_all_se(benchmark, gamma, youtube, youtube_store_path):
+    def run():
+        store = fresh_store(youtube_store_path)
+        return online_all_se(youtube, store, 10, gamma)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(result.communities) == 10
+
+
+@pytest.mark.benchmark(group="fig16-agreement")
+def bench_se_agreement(benchmark, youtube, youtube_store_path):
+    def run():
+        a = local_search_se(
+            youtube, fresh_store(youtube_store_path), 10, 10
+        ).influences
+        b = online_all_se(
+            youtube, fresh_store(youtube_store_path), 10, 10
+        ).influences
+        return a, b
+
+    a, b = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert a == b

@@ -1,0 +1,64 @@
+"""Figure 17 — semi-external memory usage (size of the visited graph).
+
+Paper shape: OnlineAll-SE's resident set is (capped at) the whole graph;
+LocalSearch-SE holds only its final weight prefix — a small fraction.
+The measured resident-edge counts are attached as ``extra_info``.
+Series printer: ``--eval fig17``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import local_search_se, online_all_se
+
+from conftest import fresh_store
+
+K_SWEEP = (10, 100)
+
+
+@pytest.mark.benchmark(group="fig17-memory")
+@pytest.mark.parametrize("k", K_SWEEP)
+def bench_localsearch_se_resident(benchmark, k, youtube, youtube_store_path):
+    def run():
+        return local_search_se(
+            youtube, fresh_store(youtube_store_path), k, 10
+        )
+
+    result = benchmark(run)
+    fraction = result.visited_edges / youtube.num_edges
+    benchmark.extra_info.update(
+        resident_edges=result.visited_edges,
+        total_edges=youtube.num_edges,
+        fraction=round(fraction, 6),
+    )
+    assert fraction < 0.5  # locality: a small part of the file
+
+
+@pytest.mark.benchmark(group="fig17-memory")
+def bench_onlineall_se_resident(benchmark, youtube, youtube_store_path):
+    def run():
+        return online_all_se(
+            youtube, fresh_store(youtube_store_path), 10, 10
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        resident_edges=result.visited_edges,
+        total_edges=youtube.num_edges,
+    )
+    assert result.visited_edges == youtube.num_edges
+
+
+@pytest.mark.benchmark(group="fig17-memory")
+def bench_memory_gap(benchmark, youtube, youtube_store_path):
+    """The resident-set gap between the two algorithms."""
+
+    def run():
+        ls = local_search_se(youtube, fresh_store(youtube_store_path), 10, 10)
+        oa = online_all_se(youtube, fresh_store(youtube_store_path), 10, 10)
+        return ls.visited_edges, oa.visited_edges
+
+    ls_edges, oa_edges = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(gap=oa_edges / max(ls_edges, 1))
+    assert oa_edges > 10 * ls_edges

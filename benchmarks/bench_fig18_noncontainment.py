@@ -1,0 +1,55 @@
+"""Figure 18 — non-containment queries: Forward vs LocalSearch-P.
+
+Paper shape: LocalSearch-P clearly outperforms the non-containment
+variant of Forward; NC queries cost somewhat more than containment
+queries (the target subgraph is never smaller, Section 5.1).
+Series printer: ``--eval fig18``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import forward_noncontainment
+from repro.core.progressive import LocalSearchP
+
+K_SWEEP = (10, 50, 100)
+GAMMA = 10
+
+
+@pytest.mark.benchmark(group="fig18-localsearch-p-nc")
+@pytest.mark.parametrize("k", K_SWEEP)
+@pytest.mark.parametrize("name", ("arabic", "uk"))
+def bench_local_search_nc(benchmark, k, name, request):
+    graph = request.getfixturevalue(name)
+    result = benchmark(
+        lambda: LocalSearchP(graph, gamma=GAMMA, noncontainment=True)
+        .run(k=k)
+    )
+    assert result.communities
+
+
+@pytest.mark.benchmark(group="fig18-forward-nc")
+@pytest.mark.parametrize("name", ("arabic", "uk"))
+def bench_forward_nc(benchmark, name, request):
+    graph = request.getfixturevalue(name)
+    result = benchmark.pedantic(
+        forward_noncontainment, args=(graph, 10, GAMMA),
+        rounds=1, iterations=1,
+    )
+    assert result.communities
+
+
+@pytest.mark.benchmark(group="fig18-agreement")
+def bench_nc_agreement(benchmark, arabic):
+    def run():
+        a = [
+            c.influence
+            for c in LocalSearchP(arabic, gamma=GAMMA, noncontainment=True)
+            .run(k=10).communities
+        ]
+        b = forward_noncontainment(arabic, 10, GAMMA).influences
+        return a, b
+
+    a, b = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert a == b

@@ -1,0 +1,49 @@
+"""Figure 19 — GlobalSearch-Truss vs LocalSearch-Truss (γ=10, vary k).
+
+Paper shape: LocalSearch-Truss wins by orders of magnitude, showing the
+local-search framework generalises beyond the k-core measure; truss
+queries cost more than core queries overall (triangle bookkeeping,
+larger target subgraphs).  Series printer: ``--eval fig19``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.truss_search import (
+    global_search_truss,
+    top_k_truss_communities,
+)
+
+K_SWEEP = (10, 50, 100)
+GAMMA = 10
+
+
+@pytest.mark.benchmark(group="fig19-localsearch-truss")
+@pytest.mark.parametrize("k", K_SWEEP)
+@pytest.mark.parametrize("name", ("wiki", "livejournal"))
+def bench_local_search_truss(benchmark, k, name, request):
+    graph = request.getfixturevalue(name)
+    result = benchmark(lambda: top_k_truss_communities(graph, k, GAMMA))
+    assert result.communities
+
+
+@pytest.mark.benchmark(group="fig19-globalsearch-truss")
+@pytest.mark.parametrize("name", ("wiki", "livejournal"))
+def bench_global_search_truss(benchmark, name, request):
+    graph = request.getfixturevalue(name)
+    result = benchmark.pedantic(
+        global_search_truss, args=(graph, 10, GAMMA), rounds=1, iterations=1
+    )
+    assert result.communities
+
+
+@pytest.mark.benchmark(group="fig19-agreement")
+def bench_truss_agreement(benchmark, wiki):
+    def run():
+        a = top_k_truss_communities(wiki, 10, GAMMA).influences
+        b = global_search_truss(wiki, 10, GAMMA).influences
+        return a, b
+
+    a, b = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert a == b

@@ -1,0 +1,51 @@
+"""Table 1 — dataset statistics of the synthetic stand-ins.
+
+Regenerates the Table-1 columns (n, m, dmax, davg, γmax) for each
+stand-in; the benchmarked operation is the γmax computation (a full core
+decomposition), the costliest statistic.  The series printer equivalent:
+``python -m repro.bench.experiments --eval table1``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.metrics import graph_statistics
+from repro.workloads.datasets import PAPER_STATS, load_dataset
+
+SMALL = ("email", "youtube", "wiki")
+
+
+@pytest.mark.benchmark(group="table1")
+@pytest.mark.parametrize("name", SMALL)
+def bench_statistics(benchmark, name):
+    graph = load_dataset(name)
+    stats = benchmark.pedantic(
+        graph_statistics, args=(graph, name), rounds=2, iterations=1
+    )
+    paper_n, paper_m, _, _, paper_gamma = PAPER_STATS[name]
+    benchmark.extra_info.update(
+        n=stats.num_vertices,
+        m=stats.num_edges,
+        dmax=stats.max_degree,
+        davg=round(stats.avg_degree, 2),
+        gamma_max=stats.gamma_max,
+        paper_n=paper_n,
+        paper_m=paper_m,
+        paper_gamma_max=paper_gamma,
+    )
+    assert stats.gamma_max >= 10  # all figures query gamma=10
+
+
+@pytest.mark.benchmark(group="table1")
+def bench_all_eight_standins_loadable(benchmark):
+    """All 8 stand-ins build and expose Table-1 statistics."""
+
+    def check():
+        names = list(PAPER_STATS)
+        sizes = [load_dataset(name).num_edges for name in names]
+        return sizes
+
+    sizes = benchmark.pedantic(check, rounds=1, iterations=1)
+    assert len(sizes) == 8
+    assert sizes[0] == min(sizes)  # email is the smallest, as in Table 1

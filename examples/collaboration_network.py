@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Scenario: influential research collaborations (the DBLP case study).
+
+Reproduces Eval-IX (Figures 20 and 21): on a co-author network weighted
+by PageRank, find the top-1 influential 5-community and the top-1
+influential 6-truss community, and contrast them with the plain 5-core
+community, which ignores influence and blows up to over a thousand
+researchers.
+
+Run:  python examples/collaboration_network.py
+"""
+
+from __future__ import annotations
+
+from repro import LocalSearchP, top_k_truss_communities
+from repro.graph.connectivity import component_of
+from repro.graph.core_decomposition import gamma_core
+from repro.graph.subgraph import PrefixView
+from repro.workloads.dblp import synthetic_dblp
+
+
+def main() -> None:
+    graph, _planted = synthetic_dblp()
+    n = graph.num_vertices
+    print(
+        f"co-author network: {n:,} researchers, {graph.num_edges:,} "
+        "collaboration edges (weights = PageRank)"
+    )
+
+    # ------------------------------------------------------------------
+    # Figure 20(a): the top-1 influential 5-community.
+    # ------------------------------------------------------------------
+    top_core = LocalSearchP(graph, gamma=5).run(k=1).communities[0]
+    print("\n== top-1 influential 5-community (Figure 20a) ==")
+    print(f"  {top_core.num_vertices} researchers:")
+    for name in sorted(top_core.vertices):
+        print(f"    - {name}")
+    print(
+        f"  keynode: {top_core.keynode_label} "
+        f"(influence rank {top_core.keynode + 1} of {n:,}; "
+        "paper: rank 215 of 1,743)"
+    )
+
+    # ------------------------------------------------------------------
+    # Figure 20(b): the top-1 influential 6-truss community.
+    # ------------------------------------------------------------------
+    top_truss = top_k_truss_communities(graph, 1, 6).communities[0]
+    print("\n== top-1 influential 6-truss community (Figure 20b) ==")
+    print(f"  {top_truss.num_vertices} researchers:")
+    for name in sorted(top_truss.vertices):
+        print(f"    - {name}")
+    print(
+        f"  keynode: {top_truss.keynode_label} "
+        f"(influence rank {top_truss.keynode + 1} of {n:,}; "
+        "paper: rank 339 of 1,743)"
+    )
+    print(
+        "  -> smaller and denser than the 5-community, with lower "
+        "influence: the truss constraint is harder to satisfy."
+    )
+
+    # ------------------------------------------------------------------
+    # Figure 21: the 5-core community, with no influence constraint.
+    # ------------------------------------------------------------------
+    view = PrefixView.whole(graph)
+    alive, _ = gamma_core(view, 5)
+    blob = component_of(view, top_core.keynode, alive)
+    print("\n== the plain 5-core community around the same keynode ==")
+    print(
+        f"  {len(blob):,} researchers (paper: 1,148 of 1,743) - "
+        "cohesiveness alone does not isolate the influential core;"
+    )
+    print(
+        f"  the influence constraint refines it {len(blob) // max(top_core.num_vertices, 1)}x "
+        f"down to the {top_core.num_vertices} researchers above."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Scenario: finding influential communities in a social network.
+
+This is the workload the paper's introduction motivates: "detecting
+cohesive communities consisting of celebrities or influential people in
+social networks".  We build a YouTube-like synthetic social network
+(power-law degrees, dense planted interest groups), weight users by
+PageRank — their social influence — and compare every online algorithm on
+the same top-k query, reproducing the Figure-8 comparison in miniature.
+
+Run:  python examples/social_influencers.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import LocalSearchP, top_k_influential_communities
+from repro.baselines import backward, forward, online_all
+from repro.workloads.datasets import load_dataset
+
+K = 10
+GAMMA = 10
+
+
+def timed(label, fn):
+    start = time.perf_counter()
+    result = fn()
+    elapsed = (time.perf_counter() - start) * 1000
+    print(f"  {label:<22} {elapsed:>9.2f} ms")
+    return result
+
+
+def main() -> None:
+    print("loading the youtube stand-in (power-law + planted groups)...")
+    graph = load_dataset("youtube")
+    print(f"graph: {graph.num_vertices:,} users, {graph.num_edges:,} ties")
+
+    print(f"\n== query: top-{K} influential {GAMMA}-communities ==")
+    local = timed(
+        "LocalSearch-P", lambda: LocalSearchP(graph, gamma=GAMMA).run(k=K)
+    )
+    fwd = timed("Forward (global)", lambda: forward(graph, K, GAMMA))
+    bwd = timed("Backward (quadratic)", lambda: backward(graph, K, GAMMA))
+    oa = timed("OnlineAll (global)", lambda: online_all(graph, K, GAMMA))
+
+    assert local.influences == fwd.influences == oa.influences
+    assert bwd.influences == local.influences
+    print("  (all four algorithms returned identical communities)")
+
+    print("\n== the influential communities ==")
+    for i, community in enumerate(local.communities, start=1):
+        sample = ", ".join(f"u{v}" for v in sorted(community.vertices)[:6])
+        suffix = ", ..." if community.num_vertices > 6 else ""
+        print(
+            f"  top-{i}: influence {community.influence:.6f}, "
+            f"{community.num_vertices} members ({sample}{suffix})"
+        )
+
+    stats = local.stats
+    print(
+        f"\nLocalSearch-P accessed {stats.accessed_size:,} of "
+        f"{stats.graph_size:,} size units ({stats.accessed_fraction:.2%}) "
+        "- the locality that makes it instance-optimal."
+    )
+
+    # Influence-threshold exploration: stream until communities get weak.
+    print("\n== exploration: every community above half the top influence ==")
+    threshold = local.communities[0].influence / 2
+    count = 0
+    for community in LocalSearchP(graph, gamma=GAMMA).stream():
+        if community.influence < threshold:
+            break
+        count += 1
+    print(
+        f"  {count} communities have influence >= {threshold:.6f} "
+        "(found without ever specifying k)"
+    )
+
+
+if __name__ == "__main__":
+    main()

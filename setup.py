@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The execution environment has no ``wheel`` package (and no network to
+fetch one), so PEP 660 editable installs fail; this shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` (and plain
+``python setup.py develop``) work with setuptools alone.  All metadata
+lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

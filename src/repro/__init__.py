@@ -1,0 +1,89 @@
+"""repro — optimal and progressive online search of top-k influential communities.
+
+A faithful, from-scratch Python reproduction of
+
+    Fei Bi, Lijun Chang, Xuemin Lin, Wenjie Zhang.
+    "An Optimal and Progressive Approach to Online Search of Top-K
+    Influential Communities." PVLDB 11(9), 2018 (arXiv:1711.05857).
+
+Quickstart
+----------
+>>> from repro import WeightedGraph, top_k_influential_communities
+>>> g = WeightedGraph.from_edges(
+...     [("a", "b"), ("a", "c"), ("b", "c"), ("b", "d"), ("c", "d")],
+...     weights={"a": 4.0, "b": 3.0, "c": 2.0, "d": 1.0},
+... )
+>>> result = top_k_influential_communities(g, k=1, gamma=2)
+>>> sorted(result.communities[0].vertices)
+['a', 'b', 'c', 'd']
+
+Progressive search (no ``k`` needed)::
+
+    from repro import LocalSearchP
+    for community in LocalSearchP(graph, gamma=10).stream():
+        ...  # communities arrive in decreasing influence order
+
+See ``DESIGN.md`` for the full system inventory and ``EXPERIMENTS.md`` for
+the paper-versus-measured record of every table and figure.
+"""
+
+from .core import (
+    Community,
+    LocalSearch,
+    LocalSearchP,
+    LocalSearchTruss,
+    SearchStats,
+    TopKResult,
+    TrussCommunity,
+    TrussResult,
+    global_search_truss,
+    progressive_influential_communities,
+    top_k_influential_communities,
+    top_k_noncontainment_communities,
+    top_k_truss_communities,
+)
+from .errors import (
+    DatasetError,
+    DuplicateWeightError,
+    GraphConstructionError,
+    QueryParameterError,
+    ReproError,
+    SelfLoopError,
+    StorageError,
+    UnknownVertexError,
+)
+from .graph import GraphBuilder, PrefixView, WeightedGraph, graph_from_arrays
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # graph substrate
+    "WeightedGraph",
+    "GraphBuilder",
+    "graph_from_arrays",
+    "PrefixView",
+    # core search API
+    "top_k_influential_communities",
+    "progressive_influential_communities",
+    "top_k_noncontainment_communities",
+    "top_k_truss_communities",
+    "global_search_truss",
+    "LocalSearch",
+    "LocalSearchP",
+    "LocalSearchTruss",
+    "Community",
+    "TrussCommunity",
+    "TopKResult",
+    "TrussResult",
+    "SearchStats",
+    # errors
+    "ReproError",
+    "GraphConstructionError",
+    "DuplicateWeightError",
+    "SelfLoopError",
+    "UnknownVertexError",
+    "QueryParameterError",
+    "StorageError",
+    "DatasetError",
+]

@@ -1,0 +1,31 @@
+"""Baseline algorithms the paper compares against (DESIGN.md S12–S16).
+
+* :func:`~repro.baselines.online_all.online_all` — OnlineAll [26];
+* :func:`~repro.baselines.forward.forward` — Forward [8] (and its
+  non-containment variant);
+* :func:`~repro.baselines.backward.backward` — Backward [8], the quadratic
+  local search;
+* :func:`~repro.baselines.semi_external.online_all_se` /
+  :func:`~repro.baselines.semi_external.local_search_se` — the
+  semi-external (disk-resident) algorithms of Eval-VI/VII;
+* :class:`~repro.baselines.index_all.ICPIndex` — the index-based approach
+  [26], used as an oracle and in the index-vs-online ablation.
+"""
+
+from .backward import backward
+from .forward import forward, forward_noncontainment
+from .index_all import ICPIndex
+from .online_all import online_all, online_all_count
+from .semi_external import SemiExternalResult, local_search_se, online_all_se
+
+__all__ = [
+    "online_all",
+    "online_all_count",
+    "forward",
+    "forward_noncontainment",
+    "backward",
+    "ICPIndex",
+    "SemiExternalResult",
+    "local_search_se",
+    "online_all_se",
+]

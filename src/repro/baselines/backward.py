@@ -1,0 +1,75 @@
+"""Backward — the earlier local-search attempt of Chen et al. [8].
+
+Backward also avoids traversing the whole graph: it considers vertices in
+decreasing weight order and, after each extension of the prefix, tests
+whether the newly added (now minimum-weight) vertex closes a community.
+The test is a fresh γ-core computation of the *entire current prefix*, so
+over a prefix of ``p`` vertices the total work is ``Σ size(G_i) =
+O(p · size(G_p))`` — **quadratic in the accessed subgraph**, which is why
+the paper reports it losing to LocalSearch everywhere and even to the
+global Forward for large γ (Section 1, Eval-II).
+
+The membership test is exact: rank ``u`` is a keynode iff ``u`` survives
+in the γ-core of ``G>=w(u)`` (it is then automatically the minimum-weight
+vertex of its component).  Communities therefore emerge in decreasing
+influence order and the sweep stops after ``k``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from ..errors import QueryParameterError
+from ..graph.connectivity import component_of
+from ..graph.core_decomposition import gamma_core
+from ..graph.subgraph import PrefixView
+from ..graph.weighted_graph import WeightedGraph
+from ..core.community import Community
+from ..core.local_search import SearchStats, TopKResult
+
+__all__ = ["backward"]
+
+
+def backward(
+    graph: WeightedGraph,
+    k: int,
+    gamma: int,
+    max_prefix: Optional[int] = None,
+) -> TopKResult:
+    """Run Backward until ``k`` communities are found.
+
+    ``max_prefix`` optionally caps the number of ranks examined (a safety
+    valve for benchmarking the quadratic behaviour on large graphs); when
+    the cap is hit, the communities found so far are returned and
+    ``stats.counts[-1]`` reflects the shortfall.
+    """
+    if k < 1:
+        raise QueryParameterError("k must be at least 1")
+    if gamma < 1:
+        raise QueryParameterError("gamma must be at least 1")
+    started = time.perf_counter()
+    n = graph.num_vertices
+    limit = n if max_prefix is None else min(n, max_prefix)
+    stats = SearchStats(gamma=gamma, k=k, graph_size=graph.size)
+
+    communities = []
+    p = 0
+    work = 0
+    while p < limit and len(communities) < k:
+        p += 1
+        u = p - 1  # the newly added, minimum-weight vertex of the prefix
+        view = PrefixView(graph, p)
+        work += view.size
+        # Quadratic step: a from-scratch gamma-core of the whole prefix.
+        alive, _ = gamma_core(view, gamma)
+        if alive[u]:
+            members = component_of(view, u, alive)
+            communities.append(
+                Community(graph, keynode=u, gamma=gamma, own_vertices=members)
+            )
+    stats.prefixes.append(p)
+    stats.prefix_sizes.append(work)  # total (quadratic) work performed
+    stats.counts.append(len(communities))
+    stats.elapsed_seconds = time.perf_counter() - started
+    return TopKResult(communities=communities, stats=stats)

@@ -1,0 +1,97 @@
+"""IndexAll — the ICP-style index-based approach of Li et al. [26].
+
+IndexAll pre-materialises *all* influential γ-communities of the graph,
+for *every* γ, in a compact tree form, so a query ``(k, γ)`` reads the
+answer off the index in output time.  The paper's Introduction recounts
+its two deficiencies — the index is expensive to build and maintain, and
+it is locked to one built-in vertex-weight vector — which motivate the
+index-free LocalSearch.  We include it
+
+* as an independent correctness oracle (its answers come from a whole
+  different code path than LocalSearch's doubling loop), and
+* for the index-vs-online ablation benchmark (build cost vs. query cost).
+
+The index stores, per γ, the global peel record (``keys``/``cvs`` and
+group boundaries — exactly the compact non-copying representation the
+ICP-tree achieves); a query materialises the communities of the last
+``k`` keynodes.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from ..errors import QueryParameterError
+from ..graph.core_decomposition import degeneracy
+from ..graph.subgraph import PrefixView
+from ..graph.weighted_graph import WeightedGraph
+from ..core.community import Community
+from ..core.count import CVSRecord, construct_cvs
+from ..core.enumerate import enumerate_top_k
+
+__all__ = ["ICPIndex"]
+
+
+class ICPIndex:
+    """A per-γ materialisation of all influential communities.
+
+    Build once with :meth:`build`; query any ``(k, γ)`` afterwards.  The
+    index is bound to the weight vector the graph was built with — querying
+    under a different weight vector requires a full rebuild, which is the
+    maintenance burden the paper's online approach avoids.
+    """
+
+    def __init__(self, graph: WeightedGraph) -> None:
+        self.graph = graph
+        self._records: Dict[int, CVSRecord] = {}
+        self.build_seconds: float = 0.0
+        self.gamma_max: int = 0
+
+    # ------------------------------------------------------------------
+    def build(self, gammas: Optional[List[int]] = None) -> "ICPIndex":
+        """Materialise the peel record for every γ (default: 1..γmax)."""
+        started = time.perf_counter()
+        if gammas is None:
+            self.gamma_max = degeneracy(self.graph)
+            gammas = list(range(1, self.gamma_max + 1))
+        view = PrefixView.whole(self.graph)
+        for gamma in gammas:
+            self._records[gamma] = construct_cvs(view, gamma)
+        self.build_seconds = time.perf_counter() - started
+        return self
+
+    @property
+    def is_built(self) -> bool:
+        """Whether :meth:`build` has run."""
+        return bool(self._records)
+
+    def index_entries(self) -> int:
+        """Total stored ``cvs`` entries across all γ (index footprint)."""
+        return sum(len(rec.cvs) for rec in self._records.values())
+
+    # ------------------------------------------------------------------
+    def num_communities(self, gamma: int) -> int:
+        """Number of influential γ-communities in the whole graph."""
+        return self._record_for(gamma).num_communities
+
+    def query(self, k: int, gamma: int) -> List[Community]:
+        """Top-``k`` influential γ-communities, in decreasing influence order.
+
+        Output time only (plus the forest construction for the k groups).
+        """
+        if k < 1:
+            raise QueryParameterError("k must be at least 1")
+        record = self._record_for(gamma)
+        return enumerate_top_k(self.graph, record, k)
+
+    def _record_for(self, gamma: int) -> CVSRecord:
+        if not self._records:
+            raise QueryParameterError("index not built; call build() first")
+        record = self._records.get(gamma)
+        if record is None:
+            # Not pre-built for this gamma (e.g. beyond gamma_max): an
+            # index miss — materialise on demand and cache.
+            record = construct_cvs(PrefixView.whole(self.graph), gamma)
+            self._records[gamma] = record
+        return record

@@ -1,0 +1,19 @@
+"""Benchmark harness and experiment drivers (DESIGN.md S21).
+
+* :mod:`~repro.bench.harness` — measurement protocol + report containers;
+* :mod:`~repro.bench.reporting` — plain-text figure/table rendering;
+* :mod:`~repro.bench.experiments` — one driver per paper table/figure,
+  runnable via ``python -m repro.bench.experiments --eval <id>``.
+"""
+
+from .harness import ExperimentReport, Series, measure_ms
+from .reporting import format_report, format_series_group, format_table
+
+__all__ = [
+    "ExperimentReport",
+    "Series",
+    "measure_ms",
+    "format_report",
+    "format_series_group",
+    "format_table",
+]

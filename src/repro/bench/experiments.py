@@ -1,0 +1,738 @@
+"""Experiment drivers — one function per table/figure of the paper.
+
+Each ``run_*`` function reproduces one evaluation artefact (see the
+per-experiment index in DESIGN.md) and returns an
+:class:`~repro.bench.harness.ExperimentReport`; the module's CLI prints
+them::
+
+    python -m repro.bench.experiments --eval fig8
+    python -m repro.bench.experiments --eval all --out results.txt
+    python -m repro.bench.experiments --eval all --quick   # smaller sweeps
+
+Scaling notes (full details in DESIGN.md's substitution table):
+
+* datasets are the synthetic Table-1 stand-ins, so absolute milliseconds
+  are not comparable to the paper's C++ numbers — the reproduced claims
+  are the *relative* ones (who wins, by what factor, and the trends);
+* OnlineAll is omitted on the larger stand-ins for time (the paper omits
+  it on Arabic/UK/Twitter for memory — same spirit: the global baseline
+  does not scale);
+* the large-k/γ sweep of Figure 10 uses k, γ scaled to the stand-ins'
+  degeneracy (the paper's 250–2000 target its γmax of 2,488–3,247).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+import time
+from typing import Callable, Dict, List, Optional
+
+from ..baselines import (
+    ICPIndex,
+    backward,
+    forward,
+    forward_noncontainment,
+    local_search_se,
+    online_all,
+    online_all_se,
+)
+from ..core.local_search import LocalSearch
+from ..core.progressive import LocalSearchP
+from ..core.truss_search import global_search_truss, top_k_truss_communities
+from ..graph.core_decomposition import gamma_core, core_decomposition
+from ..graph.connectivity import component_of
+from ..graph.metrics import graph_statistics
+from ..graph.storage import FileEdgeStore, IOCounter
+from ..graph.subgraph import PrefixView
+from ..workloads.datasets import PAPER_STATS, dataset_names, load_dataset
+from ..workloads.dblp import synthetic_dblp
+from .harness import ExperimentReport, Series, measure_ms
+from .reporting import format_report
+
+__all__ = ["EXPERIMENTS", "run_experiment", "main"]
+
+K_VALUES = (5, 10, 20, 50, 100)
+GAMMA_VALUES = (5, 10, 20, 50)
+FOUR_GRAPHS = ("wiki", "livejournal", "arabic", "uk")
+
+
+def _ls_p_ms(graph, k: int, gamma: int, repeat: int = 3) -> float:
+    return measure_ms(
+        lambda: LocalSearchP(graph, gamma=gamma).run(k=k), repeat=repeat
+    )
+
+
+# ----------------------------------------------------------------------
+# Table 1
+# ----------------------------------------------------------------------
+def run_table1(quick: bool = False) -> ExperimentReport:
+    """Table 1: dataset statistics, stand-in vs paper."""
+    report = ExperimentReport(
+        "table1", "Statistics of graphs (synthetic stand-ins vs paper)"
+    )
+    report.header = [
+        "Graph", "n", "m", "dmax", "davg", "gammamax",
+        "paper n", "paper m", "paper gammamax",
+    ]
+    for name in dataset_names():
+        graph = load_dataset(name)
+        stats = graph_statistics(graph, name)
+        pn, pm, _, _, pg = PAPER_STATS[name]
+        report.rows.append([
+            name,
+            f"{stats.num_vertices:,}",
+            f"{stats.num_edges:,}",
+            f"{stats.max_degree:,}",
+            f"{stats.avg_degree:.2f}",
+            f"{stats.gamma_max}",
+            f"{pn:,}",
+            f"{pm:,}",
+            f"{pg:,}",
+        ])
+    report.note(
+        "Stand-ins preserve the size ordering, heavy-tailed degrees and "
+        "deep cores of Table 1 at ~10^4-10^5 edge scale (DESIGN.md)."
+    )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Figure 8 — vs global algorithms, gamma=10, vary k
+# ----------------------------------------------------------------------
+def run_fig8(quick: bool = False) -> ExperimentReport:
+    """Figure 8: OnlineAll vs Forward vs LocalSearch-P (γ=10, vary k)."""
+    report = ExperimentReport(
+        "fig8", "Against existing global search algorithms (gamma=10, vary k)"
+    )
+    graphs = ("email", "youtube") if quick else dataset_names()
+    onlineall_ok = {"email"} if quick else {"email", "youtube"}
+    for name in graphs:
+        graph = load_dataset(name)
+        ls = Series("LocalSearch-P")
+        fw = Series("Forward")
+        oa = Series("OnlineAll")
+        for k in K_VALUES:
+            ls.add(k, _ls_p_ms(graph, k, 10))
+            fw.add(k, measure_ms(lambda: forward(graph, k, 10), repeat=1))
+            if name in onlineall_ok:
+                oa.add(k, measure_ms(lambda: online_all(graph, k, 10), repeat=1))
+            else:
+                oa.add(k, None)
+        report.add_series(name, oa)
+        report.add_series(name, fw)
+        report.add_series(name, ls)
+    report.note(
+        "OnlineAll omitted on larger stand-ins (interpreter time cap; the "
+        "paper omits it on Arabic/UK/Twitter for out-of-memory)."
+    )
+    report.note(
+        "Expected shape: OnlineAll and Forward flat in k; LocalSearch-P "
+        "grows mildly with k and wins by orders of magnitude."
+    )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Figure 9 — vary gamma
+# ----------------------------------------------------------------------
+def run_fig9(quick: bool = False) -> ExperimentReport:
+    """Figure 9: OnlineAll/Forward vs LocalSearch-P (k=10, vary γ)."""
+    report = ExperimentReport(
+        "fig9", "Against existing global search algorithms (k=10, vary gamma)",
+        x_label="gamma",
+    )
+    graphs = ("wiki",) if quick else FOUR_GRAPHS
+    for name in graphs:
+        graph = load_dataset(name)
+        ls = Series("LocalSearch-P")
+        fw = Series("Forward")
+        for gamma in GAMMA_VALUES:
+            ls.add(gamma, _ls_p_ms(graph, 10, gamma))
+            fw.add(gamma, measure_ms(lambda: forward(graph, 10, gamma), repeat=1))
+        report.add_series(name, fw)
+        report.add_series(name, ls)
+    report.note(
+        "Expected shape: Forward flat in gamma; LocalSearch-P grows with "
+        "gamma (deeper prefixes needed) but stays well below Forward."
+    )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Figure 10 — large k and gamma
+# ----------------------------------------------------------------------
+def run_fig10(quick: bool = False) -> ExperimentReport:
+    """Figure 10: Forward vs LocalSearch-P for large k and γ (scaled)."""
+    report = ExperimentReport(
+        "fig10",
+        "Against Forward for large k and gamma "
+        "(paper: 250-2000; scaled to stand-in degeneracy)",
+    )
+    large_k = (25, 50, 100) if quick else (25, 50, 100, 200)
+    large_gamma = (20, 40, 60) if quick else (20, 40, 60, 80)
+    for name in ("arabic", "twitter"):
+        graph = load_dataset(name)
+        fw_k = Series("Forward")
+        ls_k = Series("LocalSearch-P")
+        for k in large_k:
+            fw_k.add(k, measure_ms(lambda: forward(graph, k, 40), repeat=1))
+            ls_k.add(k, _ls_p_ms(graph, k, 40, repeat=2))
+        report.add_series(f"{name} (gamma=40, vary k)", fw_k)
+        report.add_series(f"{name} (gamma=40, vary k)", ls_k)
+
+        fw_g = Series("Forward")
+        ls_g = Series("LocalSearch-P")
+        for gamma in large_gamma:
+            fw_g.add(gamma, measure_ms(lambda: forward(graph, 100, gamma), repeat=1))
+            ls_g.add(gamma, _ls_p_ms(graph, 100, gamma, repeat=2))
+        group = f"{name} (k=100, vary gamma)"
+        report.groups[group] = []
+        report.add_series(group, fw_g)
+        report.add_series(group, ls_g)
+    report.note(
+        "Expected shape: LocalSearch-P cost rises with k and gamma but "
+        "remains below Forward even at the largest parameters."
+    )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Figure 11 — vs Backward
+# ----------------------------------------------------------------------
+def run_fig11(quick: bool = False) -> ExperimentReport:
+    """Figure 11: Backward vs LocalSearch-P (vary k, γ ∈ {10, 50})."""
+    report = ExperimentReport(
+        "fig11", "Against the existing local search algorithm Backward"
+    )
+    graphs = ("arabic",) if quick else ("arabic", "uk")
+    for name in graphs:
+        graph = load_dataset(name)
+        for gamma in (10, 50):
+            bw = Series("Backward")
+            ls = Series("LocalSearch-P")
+            for k in K_VALUES:
+                bw.add(k, measure_ms(lambda: backward(graph, k, gamma), repeat=2))
+                ls.add(k, _ls_p_ms(graph, k, gamma))
+            group = f"{name} (gamma={gamma})"
+            report.add_series(group, bw)
+            report.add_series(group, ls)
+    report.note(
+        "Expected shape: both grow with k; Backward's quadratic re-peeling "
+        "loses everywhere, and the gap widens with gamma."
+    )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Figure 12 — LocalSearch-OA vs LocalSearch-P
+# ----------------------------------------------------------------------
+def run_fig12(quick: bool = False) -> ExperimentReport:
+    """Figure 12: LocalSearch-OA vs LocalSearch-P (γ=10, vary k)."""
+    report = ExperimentReport(
+        "fig12", "LocalSearch with OnlineAll counting vs CountIC (gamma=10)"
+    )
+    graphs = ("wiki",) if quick else FOUR_GRAPHS
+    for name in graphs:
+        graph = load_dataset(name)
+        oa = Series("LocalSearch-OA")
+        ls = Series("LocalSearch-P")
+        for k in K_VALUES:
+            searcher = LocalSearch(graph, gamma=10, counting="onlineall")
+            oa.add(k, measure_ms(lambda: searcher.search(k), repeat=2))
+            ls.add(k, _ls_p_ms(graph, k, 10))
+        report.add_series(name, oa)
+        report.add_series(name, ls)
+    report.note(
+        "Expected shape: same prefixes accessed, but counting via the "
+        "OnlineAll sweep pays a component BFS per keynode - CountIC wins."
+    )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Figure 13 — growth ratio delta
+# ----------------------------------------------------------------------
+def run_fig13(quick: bool = False) -> ExperimentReport:
+    """Figure 13: the exponential growth ratio δ (k=10, γ=10)."""
+    report = ExperimentReport(
+        "fig13", "Exponential growth ratio delta (k=10, gamma=10)",
+        x_label="delta",
+    )
+    deltas = (1.5, 2, 3, 4, 8, 16, 32, 64, 128)
+    graphs = ("wiki",) if quick else FOUR_GRAPHS
+    for name in graphs:
+        graph = load_dataset(name)
+        series = Series("LocalSearch-P")
+        for delta in deltas:
+            series.add(
+                delta,
+                measure_ms(
+                    lambda: LocalSearchP(graph, gamma=10, delta=float(delta))
+                    .run(k=10),
+                    repeat=3,
+                    warmup=1,
+                ),
+            )
+        report.add_series(name, series)
+    report.note(
+        "Expected shape: flat-ish with a shallow minimum around delta=2 "
+        "and a drift upward for very large delta (overshooting prefixes)."
+    )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Figure 14 — progressive enumeration latency
+# ----------------------------------------------------------------------
+def run_fig14(quick: bool = False) -> ExperimentReport:
+    """Figure 14: time until the top-i community is reported (k=128)."""
+    report = ExperimentReport(
+        "fig14", "Progressive enumeration latency (k=128)", x_label="top-i"
+    )
+    tops = (1, 2, 4, 8, 16, 32, 64, 128)
+    graphs = ("arabic",) if quick else ("arabic", "uk")
+    for name in graphs:
+        graph = load_dataset(name)
+        for gamma in (10, 50):
+            # LocalSearch (non-progressive): everything arrives at the end.
+            start = time.perf_counter()
+            LocalSearch(graph, gamma=gamma).search(128)
+            flat_ms = (time.perf_counter() - start) * 1000.0
+
+            latencies: Dict[int, float] = {}
+            searcher = LocalSearchP(graph, gamma=gamma)
+            for i, (community, seconds) in enumerate(
+                searcher.stream_with_timestamps(), start=1
+            ):
+                if i in tops:
+                    latencies[i] = seconds * 1000.0
+                if i >= 128:
+                    break
+
+            ls = Series("LocalSearch")
+            lsp = Series("LocalSearch-P")
+            for i in tops:
+                ls.add(i, flat_ms)
+                lsp.add(i, latencies.get(i))
+            group = f"{name} (gamma={gamma})"
+            report.add_series(group, ls)
+            report.add_series(group, lsp)
+    report.note(
+        "Expected shape: LocalSearch flat (all communities reported at "
+        "termination); LocalSearch-P's latency grows with i and reports "
+        "the first communities far earlier."
+    )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Figure 15 — total processing time, LocalSearch vs LocalSearch-P
+# ----------------------------------------------------------------------
+def run_fig15(quick: bool = False) -> ExperimentReport:
+    """Figure 15: progressive vs non-progressive total time (vary k)."""
+    report = ExperimentReport(
+        "fig15", "Progressive vs non-progressive total processing time"
+    )
+    graphs = ("arabic",) if quick else ("arabic", "uk")
+    for name in graphs:
+        graph = load_dataset(name)
+        for gamma in (10, 50):
+            ls = Series("LocalSearch")
+            lsp = Series("LocalSearch-P")
+            for k in K_VALUES:
+                searcher = LocalSearch(graph, gamma=gamma)
+                ls.add(k, measure_ms(lambda: searcher.search(k), repeat=3,
+                                     warmup=1))
+                lsp.add(k, _ls_p_ms(graph, k, gamma))
+            group = f"{name} (gamma={gamma})"
+            report.add_series(group, ls)
+            report.add_series(group, lsp)
+    report.note(
+        "Expected shape: near-identical, LocalSearch-P slightly ahead "
+        "(shared computation across rounds) despite reporting early."
+    )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Figures 16/17 — semi-external algorithms
+# ----------------------------------------------------------------------
+def _se_graphs(quick: bool):
+    # The SE baseline embeds a full OnlineAll sweep, whose interpreted cost
+    # caps the usable graph size; youtube/wiki keep full-mode runtime sane
+    # (the paper used its two largest graphs - same comparison, smaller n).
+    return ("youtube",) if quick else ("youtube", "wiki")
+
+
+def run_fig16(quick: bool = False) -> ExperimentReport:
+    """Figure 16: OnlineAll-SE vs LocalSearch-SE total time (vary k)."""
+    report = ExperimentReport(
+        "fig16", "Semi-external algorithms: total processing time"
+    )
+    # Paper: gamma in {10, 50}; scaled to the SE stand-ins' degeneracy
+    # (youtube's gammamax is 28) so the larger-gamma sweep stays feasible.
+    gammas = (10,) if quick else (10, 15)
+    with tempfile.TemporaryDirectory() as tmp:
+        for name in _se_graphs(quick):
+            graph = load_dataset(name)
+            path = os.path.join(tmp, f"{name}.edges")
+            FileEdgeStore.create(path, graph)
+            for gamma in gammas:
+                oa = Series("OnlineAll-SE")
+                ls = Series("LocalSearch-SE")
+                # OnlineAll-SE's cost is k-independent: measure once.
+                store = FileEdgeStore(path, IOCounter())
+                oa_ms = measure_ms(
+                    lambda: online_all_se(graph, store, 10, gamma), repeat=1
+                )
+                for k in K_VALUES:
+                    oa.add(k, oa_ms)
+                    store_k = FileEdgeStore(path, IOCounter())
+                    ls.add(k, measure_ms(
+                        lambda: local_search_se(graph, store_k, k, gamma),
+                        repeat=2,
+                    ))
+                group = f"{name} (gamma={gamma})"
+                report.add_series(group, oa)
+                report.add_series(group, ls)
+    report.note(
+        "OnlineAll-SE measured once per configuration (its full-scan cost "
+        "is independent of k, matching the paper's flat line)."
+    )
+    return report
+
+
+def run_fig17(quick: bool = False) -> ExperimentReport:
+    """Figure 17: semi-external memory usage (size of visited graph)."""
+    report = ExperimentReport(
+        "fig17", "Semi-external algorithms: resident edges (fraction of m)",
+        y_label="resident edges / m",
+    )
+    gammas = (10,) if quick else (10, 15)
+    with tempfile.TemporaryDirectory() as tmp:
+        for name in _se_graphs(quick):
+            graph = load_dataset(name)
+            m = graph.num_edges
+            path = os.path.join(tmp, f"{name}.edges")
+            FileEdgeStore.create(path, graph)
+            for gamma in gammas:
+                oa = Series("OnlineAll-SE")
+                ls = Series("LocalSearch-SE")
+                store = FileEdgeStore(path, IOCounter())
+                result = online_all_se(graph, store, 10, gamma)
+                oa_frac = result.visited_edges / m
+                for k in K_VALUES:
+                    oa.add(k, oa_frac)
+                    store_k = FileEdgeStore(path, IOCounter())
+                    res = local_search_se(graph, store_k, k, gamma)
+                    ls.add(k, res.visited_edges / m)
+                group = f"{name} (gamma={gamma})"
+                report.add_series(group, oa)
+                report.add_series(group, ls)
+    report.note(
+        "Expected shape: OnlineAll-SE visits the whole edge file; "
+        "LocalSearch-SE holds only its final weight prefix."
+    )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Figure 18 — non-containment queries
+# ----------------------------------------------------------------------
+def run_fig18(quick: bool = False) -> ExperimentReport:
+    """Figure 18: non-containment queries, Forward vs LocalSearch-P."""
+    report = ExperimentReport(
+        "fig18", "Non-containment community queries (vary k)"
+    )
+    graphs = ("arabic",) if quick else ("arabic", "uk")
+    for name in graphs:
+        graph = load_dataset(name)
+        fw = Series("Forward")
+        ls = Series("LocalSearch-P")
+        for k in K_VALUES:
+            fw.add(k, measure_ms(
+                lambda: forward_noncontainment(graph, k, 10), repeat=1
+            ))
+            ls.add(k, measure_ms(
+                lambda: LocalSearchP(graph, gamma=10, noncontainment=True)
+                .run(k=k),
+                repeat=3,
+            ))
+        report.add_series(name, fw)
+        report.add_series(name, ls)
+    report.note(
+        "Expected shape: LocalSearch-P clearly ahead; NC queries need "
+        "somewhat deeper prefixes than containment queries (Section 5.1)."
+    )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Figure 19 — gamma-truss community search
+# ----------------------------------------------------------------------
+def run_fig19(quick: bool = False) -> ExperimentReport:
+    """Figure 19: GlobalSearch-Truss vs LocalSearch-Truss (γ=10)."""
+    report = ExperimentReport(
+        "fig19", "Influential gamma-truss community search (gamma=10)"
+    )
+    graphs = ("livejournal",) if quick else ("wiki", "livejournal")
+    for name in graphs:
+        graph = load_dataset(name)
+        gs = Series("GlobalSearch-Truss")
+        ls = Series("LocalSearch-Truss")
+        # GlobalSearch-Truss cost is k-independent: measure once.
+        gs_ms = measure_ms(lambda: global_search_truss(graph, 10, 10), repeat=1)
+        for k in K_VALUES:
+            gs.add(k, gs_ms)
+            ls.add(k, measure_ms(
+                lambda: top_k_truss_communities(graph, k, 10), repeat=2
+            ))
+        report.add_series(name, gs)
+        report.add_series(name, ls)
+    report.note(
+        "Expected shape: LocalSearch-Truss wins by orders of magnitude; "
+        "truss queries cost more than core queries (higher complexity, "
+        "larger prefixes) - compare with fig8."
+    )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Figures 20/21 — case study
+# ----------------------------------------------------------------------
+def run_case_study(quick: bool = False) -> ExperimentReport:
+    """Figures 20/21: DBLP-style case study (top core vs truss community)."""
+    report = ExperimentReport(
+        "case", "Case study on the synthetic DBLP co-author network"
+    )
+    graph, planted = synthetic_dblp()
+    n = graph.num_vertices
+
+    core_result = LocalSearchP(graph, gamma=5).run(k=1)
+    top_core = core_result.communities[0]
+    truss_result = top_k_truss_communities(graph, 1, 6)
+    top_truss = truss_result.communities[0]
+
+    # Figure 21: the 5-core *community* (no influence constraint)
+    # containing the top influential 5-community = the connected component
+    # of its keynode in the 5-core of the whole graph.
+    view = PrefixView.whole(graph)
+    alive, _ = gamma_core(view, 5)
+    blob = component_of(view, top_core.keynode, alive)
+
+    # Section 6 remark: a gamma-truss community with influence tau lies in
+    # a (gamma-1)-community with the same influence — check it directly.
+    truss_view = PrefixView(graph, top_truss.keynode + 1)
+    truss_alive, _ = gamma_core(truss_view, 5)
+    enclosing = set(
+        component_of(truss_view, top_truss.keynode, truss_alive)
+    )
+    contained = set(top_truss.vertex_ranks) <= enclosing
+
+    core_rank = top_core.keynode + 1  # ranks are 0-based
+    truss_rank = top_truss.keynode + 1
+    report.header = ["artefact", "value"]
+    report.rows = [
+        ["researchers (n)", f"{n:,}"],
+        ["top-1 5-community size", str(top_core.num_vertices)],
+        ["top-1 5-community keynode",
+         f"{top_core.keynode_label} (influence rank {core_rank}/{n})"],
+        ["top-1 6-truss size", str(top_truss.num_vertices)],
+        ["top-1 6-truss keynode",
+         f"{top_truss.keynode_label} (influence rank {truss_rank}/{n})"],
+        ["5-core community of same keynode", f"{len(blob):,} vertices"],
+        ["truss inside 5-community",
+         str(contained)],
+    ]
+    report.note(
+        "Paper: 14-member 5-community (keynode rank 215/1743); 6-member "
+        "6-truss (rank 339/1743); enclosing 5-core community of 1,148 "
+        "vertices. Expected relations: truss smaller & denser with lower "
+        "influence; plain 5-core community ~2 orders larger."
+    )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Access-fraction claim (Section 3.1)
+# ----------------------------------------------------------------------
+def run_access_fraction(quick: bool = False) -> ExperimentReport:
+    """Section 3.1 claim: size(G>=tau*)/size(G) is tiny for k=γ=10."""
+    report = ExperimentReport(
+        "access", "Accessed-subgraph fraction for k=10, gamma=10",
+    )
+    report.header = ["graph", "accessed size", "graph size", "fraction"]
+    worst = 0.0
+    for name in dataset_names():
+        graph = load_dataset(name)
+        searcher = LocalSearchP(graph, gamma=10)
+        searcher.run(k=10)
+        stats = searcher.stats
+        frac = stats.accessed_fraction
+        worst = max(worst, frac)
+        report.rows.append([
+            name,
+            f"{stats.accessed_size:,}",
+            f"{stats.graph_size:,}",
+            f"{frac:.4%}",
+        ])
+    report.note(
+        f"Worst-case fraction across stand-ins: {worst:.4%} (paper: "
+        "< 0.073% across its graphs; stand-ins are ~4 orders smaller, so "
+        "the same absolute prefixes are relatively larger)."
+    )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Ablation: exponential vs linear growth (Remark, Section 3.3)
+# ----------------------------------------------------------------------
+def run_growth_ablation(quick: bool = False) -> ExperimentReport:
+    """Remark §3.3: exponential vs fixed-increment (quadratic) growth."""
+    report = ExperimentReport(
+        "growth", "Growth-strategy ablation (gamma=50, vary k)",
+        y_label="time (ms) / work (sizes summed)",
+    )
+    # gamma=50 queries need several growth rounds (deep prefixes), which
+    # is where the fixed-increment strategy's quadratic re-peeling shows.
+    graph = load_dataset("arabic")
+    exp_t = Series("exponential (time ms)")
+    lin_t = Series("linear (time ms)")
+    exp_w = Series("exponential (total work)")
+    lin_w = Series("linear (total work)")
+    for k in (10, 50, 100, 200):
+        exponential = LocalSearch(graph, gamma=50, growth="exponential")
+        linear = LocalSearch(
+            graph, gamma=50, growth="linear", linear_increment=64
+        )
+        exp_t.add(k, measure_ms(lambda: exponential.search(k), repeat=3))
+        lin_t.add(k, measure_ms(lambda: linear.search(k), repeat=3))
+        exp_w.add(k, float(exponential.search(k).stats.total_work))
+        lin_w.add(k, float(linear.search(k).stats.total_work))
+    report.add_series("arabic", exp_t)
+    report.add_series("arabic", lin_t)
+    report.add_series("arabic (work)", exp_w)
+    report.add_series("arabic (work)", lin_w)
+    report.note(
+        "Expected shape: fixed increments re-peel h times for h rounds - "
+        "total work grows quadratically vs the geometric series of "
+        "exponential growth, validating the Remark of Section 3.3."
+    )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Ablation: index-based vs online (Section 1 motivation)
+# ----------------------------------------------------------------------
+def run_index_ablation(quick: bool = False) -> ExperimentReport:
+    """IndexAll build cost vs online LocalSearch query cost."""
+    report = ExperimentReport(
+        "index", "Index-based (IndexAll/ICP) vs online LocalSearch",
+    )
+    report.header = ["quantity", "value"]
+    graph = load_dataset("email" if quick else "wiki")
+    index = ICPIndex(graph)
+    build_ms = measure_ms(lambda: index.build(), repeat=1)
+    query_ms = measure_ms(lambda: index.query(10, 10), repeat=3)
+    online_ms = _ls_p_ms(graph, 10, 10)
+    agree = [c.influence for c in index.query(10, 10)] == (
+        LocalSearchP(graph, gamma=10).run(k=10).influences
+    )
+    if online_ms > query_ms:
+        amortise = f"{build_ms / (online_ms - query_ms):,.0f}"
+    else:
+        amortise = "never (online query is faster per query)"
+    report.rows = [
+        ["index build (all gammas)", f"{build_ms:,.1f} ms"],
+        ["index entries stored", f"{index.index_entries():,}"],
+        ["index query (k=10, gamma=10)", f"{query_ms:.3f} ms"],
+        ["online LocalSearch-P query", f"{online_ms:.3f} ms"],
+        ["answers agree", str(agree)],
+        ["queries to amortise build", amortise],
+    ]
+    report.note(
+        "The index costs a full multi-gamma materialisation up front and "
+        "is locked to one weight vector; at reproduction scale the online "
+        "LocalSearch-P query even beats the index lookup, so the index "
+        "never amortises - the paper's motivation for index-free search."
+    )
+    return report
+
+
+# ----------------------------------------------------------------------
+# registry / CLI
+# ----------------------------------------------------------------------
+EXPERIMENTS: Dict[str, Callable[[bool], ExperimentReport]] = {
+    "table1": run_table1,
+    "fig8": run_fig8,
+    "fig9": run_fig9,
+    "fig10": run_fig10,
+    "fig11": run_fig11,
+    "fig12": run_fig12,
+    "fig13": run_fig13,
+    "fig14": run_fig14,
+    "fig15": run_fig15,
+    "fig16": run_fig16,
+    "fig17": run_fig17,
+    "fig18": run_fig18,
+    "fig19": run_fig19,
+    "case": run_case_study,
+    "access": run_access_fraction,
+    "growth": run_growth_ablation,
+    "index": run_index_ablation,
+}
+
+
+def run_experiment(experiment_id: str, quick: bool = False) -> ExperimentReport:
+    """Run one experiment by id (see :data:`EXPERIMENTS`)."""
+    try:
+        runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise SystemExit(
+            f"unknown experiment {experiment_id!r}; "
+            f"choose from {', '.join(EXPERIMENTS)} or 'all'"
+        )
+    return runner(quick)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point: run and print experiments."""
+    parser = argparse.ArgumentParser(
+        description="Reproduce the paper's tables and figures."
+    )
+    parser.add_argument(
+        "--eval", default="all",
+        help="experiment id (table1, fig8..fig19, case, access, growth, "
+             "index) or 'all'",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smaller sweeps / fewer datasets (CI-friendly)",
+    )
+    parser.add_argument(
+        "--out", default=None, help="also append reports to this file"
+    )
+    args = parser.parse_args(argv)
+
+    ids = list(EXPERIMENTS) if args.eval == "all" else [args.eval]
+    outputs: List[str] = []
+    for experiment_id in ids:
+        started = time.perf_counter()
+        report = run_experiment(experiment_id, quick=args.quick)
+        text = format_report(report)
+        elapsed = time.perf_counter() - started
+        text += f"\n\n(completed in {elapsed:.1f}s)\n"
+        print(text)
+        sys.stdout.flush()
+        outputs.append(text)
+    if args.out:
+        with open(args.out, "a", encoding="utf-8") as fh:
+            fh.write("\n".join(outputs))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

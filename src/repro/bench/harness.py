@@ -1,0 +1,86 @@
+"""Measurement harness shared by the experiment drivers and benchmarks.
+
+Keeps the experiment code declarative: a :class:`Series` is one line of a
+paper figure (algorithm name + x/y pairs), an :class:`ExperimentReport`
+is one figure/table (id, title, the series or rows, free-form notes), and
+:func:`measure_ms` is the paper's measurement protocol — run the query a
+few times, report the average CPU time in milliseconds ("we run an
+algorithm ... three times and report the average CPU time in
+milliseconds", Section 6).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["measure_ms", "Series", "ExperimentReport"]
+
+
+def measure_ms(
+    fn: Callable[[], Any],
+    repeat: int = 3,
+    warmup: int = 0,
+) -> float:
+    """Average wall-clock milliseconds of ``fn()`` over ``repeat`` runs.
+
+    ``warmup`` extra unmeasured runs precede the measured ones (used for
+    the tiny sub-millisecond local searches where interpreter warm-up
+    noise would otherwise dominate).
+    """
+    for _ in range(warmup):
+        fn()
+    total = 0.0
+    for _ in range(max(1, repeat)):
+        start = time.perf_counter()
+        fn()
+        total += time.perf_counter() - start
+    return total * 1000.0 / max(1, repeat)
+
+
+@dataclass
+class Series:
+    """One line of a figure: ``(x, y)`` pairs for one algorithm."""
+
+    label: str
+    x_values: List[Any] = field(default_factory=list)
+    y_values: List[Optional[float]] = field(default_factory=list)
+
+    def add(self, x: Any, y: Optional[float]) -> None:
+        """Append one measured point (``None`` = omitted, like the paper's
+        out-of-memory entries)."""
+        self.x_values.append(x)
+        self.y_values.append(y)
+
+    def ratio_to(self, other: "Series") -> List[Optional[float]]:
+        """Pointwise ``other / self`` speedup ratios (None-safe)."""
+        out: List[Optional[float]] = []
+        for mine, theirs in zip(self.y_values, other.y_values):
+            if mine is None or theirs is None or mine == 0:
+                out.append(None)
+            else:
+                out.append(theirs / mine)
+        return out
+
+
+@dataclass
+class ExperimentReport:
+    """One reproduced figure or table."""
+
+    experiment_id: str
+    title: str
+    x_label: str = "k"
+    y_label: str = "time (ms)"
+    groups: Dict[str, List[Series]] = field(default_factory=dict)
+    rows: List[List[str]] = field(default_factory=list)
+    header: List[str] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_series(self, group: str, series: Series) -> None:
+        """Attach a measured series under a group (e.g. a dataset name)."""
+        self.groups.setdefault(group, []).append(series)
+
+    def note(self, text: str) -> None:
+        """Attach a free-form observation to the report."""
+        self.notes.append(text)

@@ -1,0 +1,73 @@
+"""Plain-text rendering of experiment reports (paper-style series/tables).
+
+The paper presents results as log-scale line plots; in a terminal we render
+each figure as a table of milliseconds per (x, algorithm) with per-point
+speedup ratios, which preserves exactly the information the reproduction
+cares about: who wins, by what factor, and how the trend moves.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .harness import ExperimentReport, Series
+
+__all__ = ["format_table", "format_report", "format_series_group"]
+
+
+def _fmt_cell(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value >= 1000:
+        return f"{value:,.0f}"
+    if value >= 10:
+        return f"{value:.1f}"
+    if value >= 0.01:
+        return f"{value:.3f}"
+    return f"{value:.2e}"
+
+
+def format_table(header: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Render an aligned plain-text table."""
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(str(c).rjust(widths[i]) for i, c in enumerate(cells))
+
+    sep = "  ".join("-" * w for w in widths)
+    out = [line(header), sep]
+    out.extend(line(row) for row in rows)
+    return "\n".join(out)
+
+
+def format_series_group(
+    group: str, series_list: List[Series], x_label: str
+) -> str:
+    """Render one figure panel (one dataset) as a table of milliseconds."""
+    if not series_list:
+        return f"[{group}] (no data)"
+    xs = series_list[0].x_values
+    header = [x_label] + [s.label for s in series_list]
+    rows = []
+    for i, x in enumerate(xs):
+        row = [str(x)]
+        for s in series_list:
+            y = s.y_values[i] if i < len(s.y_values) else None
+            row.append(_fmt_cell(y))
+        rows.append(row)
+    return f"[{group}]\n" + format_table(header, rows)
+
+
+def format_report(report: ExperimentReport) -> str:
+    """Render a full experiment report."""
+    parts = [f"== {report.experiment_id}: {report.title} =="]
+    if report.header and report.rows:
+        parts.append(format_table(report.header, report.rows))
+    for group, series_list in report.groups.items():
+        parts.append(format_series_group(group, series_list, report.x_label))
+    if report.notes:
+        parts.append("notes:")
+        parts.extend(f"  - {note}" for note in report.notes)
+    return "\n\n".join(parts)

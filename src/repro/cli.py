@@ -1,0 +1,198 @@
+"""Command-line interface: query graphs from the shell.
+
+Three subcommands::
+
+    python -m repro.cli query  --dataset wiki --k 10 --gamma 10
+    python -m repro.cli query  --edges g.txt --algorithm forward --k 5
+    python -m repro.cli stats  --dataset arabic
+    python -m repro.cli stream --dataset wiki --gamma 10 --min-influence 1e-3
+
+``query`` runs a top-k search with a chosen algorithm (localsearch,
+localsearch-p, forward, onlineall, backward, truss, noncontainment) on a
+registered stand-in dataset or a SNAP-style edge-list file (weights file
+optional; PageRank otherwise).  ``stats`` prints the Table-1 statistics.
+``stream`` runs the progressive search and prints communities until an
+influence floor or count cap is hit — the "no k needed" workflow of
+Section 4.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .baselines import backward, forward, online_all
+from .core.local_search import LocalSearch
+from .core.noncontainment import top_k_noncontainment_communities
+from .core.progressive import LocalSearchP
+from .core.truss_search import top_k_truss_communities
+from .graph.io import load_snap_graph
+from .graph.metrics import GraphStatistics, graph_statistics
+from .graph.weighted_graph import WeightedGraph
+from .workloads.datasets import dataset_names, load_dataset
+
+__all__ = ["main", "build_parser"]
+
+ALGORITHMS = (
+    "localsearch",
+    "localsearch-p",
+    "forward",
+    "onlineall",
+    "backward",
+    "truss",
+    "noncontainment",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Top-k influential community search (Bi et al., VLDB'18)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_graph_source(p: argparse.ArgumentParser) -> None:
+        src = p.add_mutually_exclusive_group(required=True)
+        src.add_argument(
+            "--dataset", choices=dataset_names(),
+            help="a registered synthetic stand-in dataset",
+        )
+        src.add_argument(
+            "--edges", metavar="FILE",
+            help="SNAP-style edge list file ('u v' per line)",
+        )
+        p.add_argument(
+            "--weights", metavar="FILE", default=None,
+            help="optional 'vertex weight' file (default: PageRank)",
+        )
+
+    query = sub.add_parser("query", help="run one top-k query")
+    add_graph_source(query)
+    query.add_argument("--k", type=int, default=10)
+    query.add_argument("--gamma", type=int, default=10)
+    query.add_argument(
+        "--algorithm", choices=ALGORITHMS, default="localsearch-p"
+    )
+    query.add_argument("--delta", type=float, default=2.0)
+    query.add_argument(
+        "--members", action="store_true",
+        help="print full member lists (default: sizes only)",
+    )
+
+    stats = sub.add_parser("stats", help="print Table-1 statistics")
+    add_graph_source(stats)
+
+    stream = sub.add_parser(
+        "stream", help="progressive search: no k, stop on conditions"
+    )
+    add_graph_source(stream)
+    stream.add_argument("--gamma", type=int, default=10)
+    stream.add_argument(
+        "--min-influence", type=float, default=None,
+        help="stop once influence drops below this value",
+    )
+    stream.add_argument(
+        "--limit", type=int, default=20,
+        help="maximum number of communities to print (default 20)",
+    )
+    return parser
+
+
+def _load_graph(args: argparse.Namespace) -> WeightedGraph:
+    if args.dataset:
+        return load_dataset(args.dataset)
+    return load_snap_graph(args.edges, args.weights)
+
+
+def _run_query(graph: WeightedGraph, args: argparse.Namespace):
+    algorithm = args.algorithm
+    if algorithm == "localsearch":
+        return LocalSearch(graph, gamma=args.gamma, delta=args.delta).search(
+            args.k
+        )
+    if algorithm == "localsearch-p":
+        return LocalSearchP(graph, gamma=args.gamma, delta=args.delta).run(
+            k=args.k
+        )
+    if algorithm == "forward":
+        return forward(graph, args.k, args.gamma)
+    if algorithm == "onlineall":
+        return online_all(graph, args.k, args.gamma)
+    if algorithm == "backward":
+        return backward(graph, args.k, args.gamma)
+    if algorithm == "truss":
+        return top_k_truss_communities(graph, args.k, args.gamma)
+    if algorithm == "noncontainment":
+        return top_k_noncontainment_communities(
+            graph, args.k, args.gamma, delta=args.delta
+        )
+    raise AssertionError(f"unhandled algorithm {algorithm!r}")
+
+
+def _print_community(i: int, community, show_members: bool, out) -> None:
+    line = (
+        f"top-{i}: influence={community.influence:.8g} "
+        f"keynode={community.keynode_label} "
+        f"size={community.num_vertices}"
+    )
+    print(line, file=out)
+    if show_members:
+        members = ", ".join(str(v) for v in sorted(map(str, community.vertices)))
+        print(f"       members: {members}", file=out)
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    graph = _load_graph(args)
+
+    if args.command == "stats":
+        stats = graph_statistics(
+            graph, args.dataset or args.edges or "graph"
+        )
+        for name, value in zip(GraphStatistics.header(), stats.as_row()):
+            print(f"{name:>12}: {value}", file=out)
+        return 0
+
+    if args.command == "query":
+        started = time.perf_counter()
+        result = _run_query(graph, args)
+        elapsed_ms = (time.perf_counter() - started) * 1000
+        communities = list(result.communities)
+        print(
+            f"{args.algorithm}: {len(communities)} communities "
+            f"(k={args.k}, gamma={args.gamma}) in {elapsed_ms:.2f} ms",
+            file=out,
+        )
+        for i, community in enumerate(communities, start=1):
+            _print_community(i, community, args.members, out)
+        return 0
+
+    if args.command == "stream":
+        printed = 0
+        for community in LocalSearchP(graph, gamma=args.gamma).stream():
+            if (
+                args.min_influence is not None
+                and community.influence < args.min_influence
+            ):
+                print(
+                    f"(stopped: influence fell below {args.min_influence})",
+                    file=out,
+                )
+                break
+            printed += 1
+            _print_community(printed, community, False, out)
+            if printed >= args.limit:
+                print(f"(stopped: limit {args.limit} reached)", file=out)
+                break
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,241 @@
+"""Community result objects — the linked community forest of EnumIC.
+
+Algorithm 3 is careful *not* to copy vertex sets: ``IC(u)`` is represented
+as ``gp(u)`` plus links to child communities (Line 14: "we only link IC(v)
+to IC(u) without actually copying"), because influential γ-communities
+nest and their total materialised size can exceed the graph size.
+
+:class:`Community` mirrors that representation: every instance owns its
+``cvs`` group and a list of child communities; vertex sets are materialised
+on demand (O(output) per call) and memoised sizes are maintained without
+materialisation.  :class:`TrussCommunity` is the analogue for influential
+γ-truss communities, whose groups are *edge* sequences (Section 5.2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Hashable, Optional, Sequence, Set, Tuple
+
+from ..graph.weighted_graph import WeightedGraph
+
+__all__ = ["Community", "TrussCommunity"]
+
+
+class Community:
+    """One influential γ-community, lazily materialised.
+
+    Attributes
+    ----------
+    keynode:
+        The rank of the community's keynode — its minimum-weight vertex,
+        which uniquely determines the community (Lemma 3.4).
+    influence:
+        ``f(g)``: the weight of the keynode (Definition 2.1).
+    gamma:
+        The cohesiveness parameter of the query that produced it.
+    own_vertices:
+        ``gp(keynode)``: the ranks in this community but in no child
+        community (the keynode's ``cvs`` group).
+    children:
+        Child communities (``Ch(u)`` of Algorithm 3); pairwise disjoint,
+        each entirely contained in this community, each with strictly
+        larger influence.
+    """
+
+    __slots__ = (
+        "graph",
+        "keynode",
+        "influence",
+        "gamma",
+        "own_vertices",
+        "children",
+        "_num_vertices",
+    )
+
+    def __init__(
+        self,
+        graph: WeightedGraph,
+        keynode: int,
+        gamma: int,
+        own_vertices: Sequence[int],
+        children: Optional[List["Community"]] = None,
+    ) -> None:
+        self.graph = graph
+        self.keynode = keynode
+        self.influence = graph.weight(keynode)
+        self.gamma = gamma
+        self.own_vertices: List[int] = list(own_vertices)
+        self.children: List[Community] = list(children or [])
+        # Children are pairwise disjoint and disjoint from the own group,
+        # so the total size is a plain sum — O(1) given child sizes.
+        self._num_vertices = len(self.own_vertices) + sum(
+            c.num_vertices for c in self.children
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices, without materialising the vertex set."""
+        return self._num_vertices
+
+    def __len__(self) -> int:
+        return self._num_vertices
+
+    def iter_vertex_ranks(self) -> Iterator[int]:
+        """All member ranks via a DFS over the community forest."""
+        stack: List[Community] = [self]
+        while stack:
+            node = stack.pop()
+            yield from node.own_vertices
+            stack.extend(node.children)
+
+    @property
+    def vertex_ranks(self) -> List[int]:
+        """All member ranks, materialised (O(output))."""
+        return list(self.iter_vertex_ranks())
+
+    @property
+    def vertices(self) -> List[Hashable]:
+        """All member vertices as user-facing labels."""
+        graph = self.graph
+        return [graph.label(r) for r in self.iter_vertex_ranks()]
+
+    @property
+    def keynode_label(self) -> Hashable:
+        """User-facing label of the keynode."""
+        return self.graph.label(self.keynode)
+
+    def __contains__(self, rank: int) -> bool:
+        return any(r == rank for r in self.iter_vertex_ranks())
+
+    def edges(self) -> List[Tuple[int, int]]:
+        """Induced edges of the community, as rank pairs (O(members · deg)).
+
+        The paper's maximality proof (Lemma 3.9) notes a correct algorithm
+        must be able to report all edges of each community; this reports
+        the induced edge set of the member ranks.
+        """
+        return self.graph.induced_edges(self.iter_vertex_ranks())
+
+    def num_edges(self) -> int:
+        """Number of induced edges."""
+        return self.graph.induced_edge_count(self.iter_vertex_ranks())
+
+    def min_degree(self) -> int:
+        """Minimum induced degree — always >= gamma for a valid community."""
+        members: Set[int] = set(self.iter_vertex_ranks())
+        best = None
+        for u in members:
+            d = sum(1 for w in self.graph.iter_neighbors(u) if w in members)
+            best = d if best is None else min(best, d)
+        return best if best is not None else 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Community(keynode={self.keynode_label!r}, "
+            f"influence={self.influence:.6g}, n={self.num_vertices}, "
+            f"gamma={self.gamma})"
+        )
+
+    # Ordering: by influence (communities are compared in ranking contexts).
+    def __lt__(self, other: "Community") -> bool:
+        return self.influence < other.influence
+
+
+class TrussCommunity:
+    """One influential γ-truss community (Section 5.2), edge-grouped.
+
+    The ``cvs`` of Algorithm 7 is an *edge* sequence, so the forest groups
+    are edge lists.  Unlike the vertex case, member vertex sets of parent
+    and child groups may overlap (a vertex's edges can be split across
+    groups), so the vertex count is computed on materialisation; the edge
+    count is an exact sum (edge groups partition the community's edges).
+    """
+
+    __slots__ = (
+        "graph",
+        "keynode",
+        "influence",
+        "gamma",
+        "own_edges",
+        "children",
+        "_num_edges",
+        "_vertex_cache",
+    )
+
+    def __init__(
+        self,
+        graph: WeightedGraph,
+        keynode: int,
+        gamma: int,
+        own_edges: Sequence[Tuple[int, int]],
+        children: Optional[List["TrussCommunity"]] = None,
+    ) -> None:
+        self.graph = graph
+        self.keynode = keynode
+        self.influence = graph.weight(keynode)
+        self.gamma = gamma
+        self.own_edges: List[Tuple[int, int]] = list(own_edges)
+        self.children: List[TrussCommunity] = list(children or [])
+        self._num_edges = len(self.own_edges) + sum(
+            c.num_edges for c in self.children
+        )
+        self._vertex_cache: Optional[List[int]] = None
+
+    @property
+    def num_edges(self) -> int:
+        """Number of member edges (exact, O(1) given children)."""
+        return self._num_edges
+
+    def iter_edges(self) -> Iterator[Tuple[int, int]]:
+        """All member edges via DFS over the forest."""
+        stack: List[TrussCommunity] = [self]
+        while stack:
+            node = stack.pop()
+            yield from node.own_edges
+            stack.extend(node.children)
+
+    @property
+    def edge_list(self) -> List[Tuple[int, int]]:
+        """All member edges, materialised."""
+        return list(self.iter_edges())
+
+    @property
+    def vertex_ranks(self) -> List[int]:
+        """All member ranks (deduplicated endpoints), cached."""
+        if self._vertex_cache is None:
+            seen: Set[int] = set()
+            for u, v in self.iter_edges():
+                seen.add(u)
+                seen.add(v)
+            self._vertex_cache = sorted(seen)
+        return self._vertex_cache
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of member vertices."""
+        return len(self.vertex_ranks)
+
+    @property
+    def vertices(self) -> List[Hashable]:
+        """Member vertices as labels."""
+        graph = self.graph
+        return [graph.label(r) for r in self.vertex_ranks]
+
+    @property
+    def keynode_label(self) -> Hashable:
+        """User-facing label of the keynode."""
+        return self.graph.label(self.keynode)
+
+    def __len__(self) -> int:
+        return self.num_vertices
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"TrussCommunity(keynode={self.keynode_label!r}, "
+            f"influence={self.influence:.6g}, n={self.num_vertices}, "
+            f"m={self.num_edges}, gamma={self.gamma})"
+        )
+
+    def __lt__(self, other: "TrussCommunity") -> bool:
+        return self.influence < other.influence

@@ -1,0 +1,137 @@
+"""Query-dependent vertex weights (the paper's stated future work).
+
+Footnote 1 and the Conclusion sketch an extension: "the techniques
+proposed in this paper can be extended to the case that the weights of
+vertices are computed online based on a query, e.g., the weight of a
+vertex is the reciprocal of the shortest distance to query vertices as
+studied in closest community search [23]".
+
+This module implements that extension:
+
+* :func:`closeness_weights` — the weight vector of [23]: for query vertex
+  set ``Q``, ``w(v) = 1 / (1 + dist(v, Q))`` (multi-source BFS), with
+  deterministic tie-breaking so weights stay distinct; unreachable
+  vertices get weight ~0 (they can never join a community with the
+  query).
+* :func:`reweight` — rebuild a :class:`WeightedGraph` under any new
+  weight vector.  This is exactly the operation the index-based approach
+  cannot support (its materialisation is locked to one weight vector,
+  Section 1) and the online LocalSearch handles by construction: rebuild
+  the rank order in O(n log n + m), then query as usual.
+* :func:`top_k_closest_communities` — the end-to-end query: re-weight by
+  closeness to ``Q``, then run LocalSearch-P.  Reported communities are
+  cohesive subgraphs whose *least-close* member is as close to the query
+  as possible — the closest-community semantics.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Iterable, List, Optional, Sequence
+
+from ..errors import QueryParameterError, UnknownVertexError
+from ..graph.builder import GraphBuilder
+from ..graph.weighted_graph import WeightedGraph
+from .local_search import TopKResult
+from .progressive import LocalSearchP
+
+__all__ = [
+    "closeness_weights",
+    "reweight",
+    "top_k_closest_communities",
+]
+
+
+def closeness_weights(
+    graph: WeightedGraph,
+    query_vertices: Sequence[Hashable],
+    unreachable_weight: float = 0.0,
+) -> List[float]:
+    """``w(v) = 1 / (1 + dist(v, Q))`` per rank, deterministically de-tied.
+
+    Multi-source BFS from the query set over the whole graph; O(n + m).
+    Query vertices themselves get weight 1.  Ties (same distance) are
+    broken by the graph's existing rank order, scaled far below the
+    smallest distance gap, so the resulting vector is strictly totalised
+    as the paper requires.
+    """
+    if not query_vertices:
+        raise QueryParameterError("at least one query vertex is required")
+    n = graph.num_vertices
+    dist = [-1] * n
+    queue: deque = deque()
+    for label in query_vertices:
+        rank = graph.rank_of(label)  # raises UnknownVertexError if absent
+        if dist[rank] == -1:
+            dist[rank] = 0
+            queue.append(rank)
+    while queue:
+        u = queue.popleft()
+        for w in graph.iter_neighbors(u):
+            if dist[w] == -1:
+                dist[w] = dist[u] + 1
+                queue.append(w)
+
+    # Tie-break epsilon: n·eps must stay below the smallest distance gap
+    # 1/((1+d)(2+d)) >= 1/(n(n+1)), so eps < 1/(n^2 (n+1)).
+    eps = 1.0 / (4.0 * (n + 1) ** 3)
+    weights = []
+    for rank in range(n):
+        if dist[rank] < 0:
+            base = unreachable_weight
+        else:
+            base = 1.0 / (1.0 + dist[rank])
+        weights.append(base + eps * (n - rank))
+    return weights
+
+
+def reweight(
+    graph: WeightedGraph, weights: Sequence[float]
+) -> WeightedGraph:
+    """Rebuild the graph under a new per-rank weight vector.
+
+    The adjacency is preserved; only the rank order changes.  O(n log n +
+    m).  This is the operation that forces index-based approaches into a
+    full index rebuild and that online search supports natively.
+    """
+    n = graph.num_vertices
+    if len(weights) != n:
+        raise QueryParameterError(
+            "weights must provide one value per vertex"
+        )
+    builder = GraphBuilder(ties="rank")
+    for rank in range(n):
+        builder.add_vertex(graph.label(rank), float(weights[rank]))
+    for u, v in graph.iter_edges():
+        builder.add_edge(graph.label(u), graph.label(v))
+    return builder.build()
+
+
+def top_k_closest_communities(
+    graph: WeightedGraph,
+    query_vertices: Sequence[Hashable],
+    k: int,
+    gamma: int,
+    delta: float = 2.0,
+) -> TopKResult:
+    """Top-``k`` influential γ-communities under query-closeness weights.
+
+    The influence value of a reported community is the closeness weight
+    of its farthest-from-query member, so the top-1 community is the
+    cohesive subgraph "closest" to the query set overall.  Communities
+    that contain a query vertex have influence > 1/(1+ecc) where ecc is
+    the member eccentricity w.r.t. ``Q``.
+
+    >>> from repro.graph.builder import graph_from_arrays
+    >>> g = graph_from_arrays(
+    ...     6, [(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5), (2, 3)]
+    ... )
+    >>> result = top_k_closest_communities(g, [0], k=1, gamma=2)
+    >>> sorted(result.communities[0].vertices)
+    [0, 1, 2]
+    """
+    if k < 1:
+        raise QueryParameterError("k must be at least 1")
+    weights = closeness_weights(graph, query_vertices)
+    reweighted = reweight(graph, weights)
+    return LocalSearchP(reweighted, gamma=gamma, delta=delta).run(k=k)

@@ -1,0 +1,159 @@
+"""Definition-level reference implementations (correctness oracles).
+
+These deliberately naive algorithms compute influential communities
+directly from the definitions, with no shared machinery with the fast
+paths, so the test suite can cross-validate every optimised algorithm
+against an independent derivation:
+
+* a vertex ``u`` is a keynode iff ``u`` belongs to the γ-core of
+  ``G>=w(u)`` (equivalently: some min-degree-γ subgraph has influence
+  exactly ``w(u)``);
+* the influential γ-community with influence ``w(u)`` is the connected
+  component containing ``u`` of the γ-core of ``G>=w(u)`` — connected and
+  cohesive by construction, and maximal because the γ-core is maximal and
+  any same-influence supergraph would live in the same threshold subgraph
+  (Lemma 3.3 guarantees uniqueness);
+* non-containment communities are those with no other community strictly
+  inside (Definition 5.1);
+* the truss analogue replaces the γ-core with the γ-truss.
+
+Everything here is O(n · m) or worse — use only on small graphs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from ..graph.connectivity import component_of
+from ..graph.core_decomposition import gamma_core
+from ..graph.subgraph import PrefixView
+from ..graph.truss_decomposition import gamma_truss
+from ..graph.weighted_graph import WeightedGraph
+
+__all__ = [
+    "reference_keynodes",
+    "reference_communities",
+    "reference_top_k",
+    "reference_noncontainment_communities",
+    "reference_truss_communities",
+    "reference_truss_top_k",
+    "is_influential_community",
+]
+
+
+def reference_keynodes(graph: WeightedGraph, gamma: int) -> List[int]:
+    """All keynode ranks, by definition, in increasing rank order."""
+    out: List[int] = []
+    for u in range(graph.num_vertices):
+        view = PrefixView(graph, u + 1)
+        alive, _ = gamma_core(view, gamma)
+        if alive[u]:
+            out.append(u)
+    return out
+
+
+def reference_communities(
+    graph: WeightedGraph, gamma: int
+) -> List[Tuple[float, FrozenSet[int]]]:
+    """All influential γ-communities as ``(influence, member ranks)``.
+
+    Sorted by decreasing influence.  O(n · m).
+    """
+    out: List[Tuple[float, FrozenSet[int]]] = []
+    for u in range(graph.num_vertices):
+        view = PrefixView(graph, u + 1)
+        alive, _ = gamma_core(view, gamma)
+        if not alive[u]:
+            continue
+        members = component_of(view, u, alive)
+        out.append((graph.weight(u), frozenset(members)))
+    out.sort(key=lambda pair: -pair[0])
+    return out
+
+
+def reference_top_k(
+    graph: WeightedGraph, k: int, gamma: int
+) -> List[Tuple[float, FrozenSet[int]]]:
+    """The top-``k`` communities by the reference derivation."""
+    return reference_communities(graph, gamma)[:k]
+
+
+def reference_noncontainment_communities(
+    graph: WeightedGraph, gamma: int
+) -> List[Tuple[float, FrozenSet[int]]]:
+    """All non-containment communities (Definition 5.1), decreasing influence.
+
+    A community is non-containment iff no *other* community is a strict
+    subset of it.  O(c² · size) over the c communities.
+    """
+    communities = reference_communities(graph, gamma)
+    out = []
+    for influence, members in communities:
+        contains_other = any(
+            other < members for _, other in communities if other != members
+        )
+        if not contains_other:
+            out.append((influence, members))
+    return out
+
+
+def reference_truss_communities(
+    graph: WeightedGraph, gamma: int
+) -> List[Tuple[float, FrozenSet[Tuple[int, int]]]]:
+    """All influential γ-truss communities as ``(influence, edge set)``.
+
+    For each candidate keynode ``u``: compute the γ-truss of ``G>=w(u)``;
+    if ``u`` survives with at least one edge, its community is the
+    connected component of ``u`` in the truss subgraph.  Sorted by
+    decreasing influence.
+    """
+    out: List[Tuple[float, FrozenSet[Tuple[int, int]]]] = []
+    for u in range(graph.num_vertices):
+        view = PrefixView(graph, u + 1)
+        adj, _ = gamma_truss(view, gamma)
+        if not adj[u]:
+            continue
+        # BFS over the truss subgraph from u; collect component edges.
+        seen = {u}
+        queue = deque([u])
+        edges: Set[Tuple[int, int]] = set()
+        while queue:
+            x = queue.popleft()
+            for y in adj[x]:
+                edges.add((x, y) if x < y else (y, x))
+                if y not in seen:
+                    seen.add(y)
+                    queue.append(y)
+        out.append((graph.weight(u), frozenset(edges)))
+    out.sort(key=lambda pair: -pair[0])
+    return out
+
+
+def reference_truss_top_k(
+    graph: WeightedGraph, k: int, gamma: int
+) -> List[Tuple[float, FrozenSet[Tuple[int, int]]]]:
+    """The top-``k`` truss communities by the reference derivation."""
+    return reference_truss_communities(graph, gamma)[:k]
+
+
+def is_influential_community(
+    graph: WeightedGraph, members: Set[int], gamma: int
+) -> bool:
+    """Check Definition 2.2 directly for an arbitrary member-rank set.
+
+    Verifies connectivity, cohesiveness (min induced degree >= γ) and
+    maximality (the set equals the component of its minimum-weight vertex
+    in the γ-core of the corresponding threshold subgraph).
+    """
+    if not members:
+        return False
+    keynode = max(members)  # max rank = min weight
+    view = PrefixView(graph, keynode + 1)
+    if not all(r <= keynode for r in members):
+        return False
+    alive, _ = gamma_core(view, gamma)
+    if not alive[keynode]:
+        return False
+    component = set(component_of(view, keynode, alive))
+    return component == set(members)

@@ -1,0 +1,106 @@
+"""Connectivity utilities over prefix views and vertex subsets.
+
+OnlineAll's expensive subroutine is "identify the connected component of
+the current graph containing the minimum-weight vertex" — these helpers
+implement exactly that, restricted to alive-flag masks so the caller's peel
+state plugs in directly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from .subgraph import PrefixView
+
+__all__ = [
+    "component_of",
+    "connected_components",
+    "is_connected_subset",
+    "bfs_order",
+]
+
+
+def component_of(
+    view: PrefixView, source: int, alive: Sequence[bool]
+) -> List[int]:
+    """Ranks of the connected component containing ``source``.
+
+    Only vertices with ``alive[u]`` true participate.  BFS, O(component
+    size in edges).
+    """
+    if not alive[source]:
+        return []
+    graph, p = view.graph, view.p
+    seen = {source}
+    queue = deque([source])
+    out = [source]
+    while queue:
+        u = queue.popleft()
+        for w in graph.neighbors_in_prefix(u, p):
+            if alive[w] and w not in seen:
+                seen.add(w)
+                out.append(w)
+                queue.append(w)
+    return out
+
+
+def connected_components(
+    view: PrefixView, alive: Sequence[bool]
+) -> List[List[int]]:
+    """All connected components among alive vertices of the view."""
+    graph, p = view.graph, view.p
+    seen: Set[int] = set()
+    components: List[List[int]] = []
+    for s in range(p):
+        if not alive[s] or s in seen:
+            continue
+        comp = [s]
+        seen.add(s)
+        queue = deque([s])
+        while queue:
+            u = queue.popleft()
+            for w in graph.neighbors_in_prefix(u, p):
+                if alive[w] and w not in seen:
+                    seen.add(w)
+                    comp.append(w)
+                    queue.append(w)
+        components.append(comp)
+    return components
+
+
+def is_connected_subset(view: PrefixView, ranks: Iterable[int]) -> bool:
+    """Whether the subgraph induced by ``ranks`` (within the view) is connected.
+
+    An empty subset is vacuously connected; a singleton is connected.
+    """
+    members = set(ranks)
+    if len(members) <= 1:
+        return True
+    graph, p = view.graph, view.p
+    start = next(iter(members))
+    seen = {start}
+    queue = deque([start])
+    while queue:
+        u = queue.popleft()
+        for w in graph.neighbors_in_prefix(u, p):
+            if w in members and w not in seen:
+                seen.add(w)
+                queue.append(w)
+    return len(seen) == len(members)
+
+
+def bfs_order(
+    view: PrefixView, source: int, alive: Sequence[bool]
+) -> Dict[int, int]:
+    """BFS distances from ``source`` among alive vertices of the view."""
+    graph, p = view.graph, view.p
+    dist = {source: 0}
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        for w in graph.neighbors_in_prefix(u, p):
+            if alive[w] and w not in dist:
+                dist[w] = dist[u] + 1
+                queue.append(w)
+    return dist

@@ -1,0 +1,208 @@
+"""Disjoint-set (union-find) structures used by community enumeration.
+
+Two variants are provided:
+
+* :class:`DisjointSet` — a classic union-find with union by size and path
+  compression (near-constant amortised operations, [12] in the paper).
+* :class:`KeyedDisjointSet` — the ``v2key`` structure of Algorithm 3
+  (EnumIC): a union-find over vertices where every set carries a *key*
+  (the smallest-weight keynode whose community currently contains the set's
+  vertices).  ``union_into`` merges a set into the set of the keynode being
+  processed and re-labels the merged root, exactly as Lines 11–13 of
+  Algorithm 3 require.
+
+Both are lazily-allocating: elements are created on first touch, which is
+what EnumIC-P's "lazily initialized" ``v2key`` (Section 4) needs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterator, Optional
+
+__all__ = ["DisjointSet", "KeyedDisjointSet"]
+
+
+class DisjointSet:
+    """Union-find with union by size and path halving.
+
+    Elements may be any hashable value and are created lazily by
+    :meth:`find` / :meth:`union`.
+
+    >>> ds = DisjointSet()
+    >>> ds.union(1, 2)
+    True
+    >>> ds.connected(1, 2)
+    True
+    >>> ds.connected(1, 3)
+    False
+    """
+
+    __slots__ = ("_parent", "_size", "_count")
+
+    def __init__(self) -> None:
+        self._parent: Dict[Hashable, Hashable] = {}
+        self._size: Dict[Hashable, int] = {}
+        self._count = 0
+
+    def __len__(self) -> int:
+        """Number of elements ever touched."""
+        return len(self._parent)
+
+    def __contains__(self, x: Hashable) -> bool:
+        return x in self._parent
+
+    @property
+    def set_count(self) -> int:
+        """Number of disjoint sets among touched elements."""
+        return self._count
+
+    def make_set(self, x: Hashable) -> None:
+        """Create a singleton set for ``x`` if it does not exist yet."""
+        if x not in self._parent:
+            self._parent[x] = x
+            self._size[x] = 1
+            self._count += 1
+
+    def find(self, x: Hashable) -> Hashable:
+        """Return the representative of ``x``'s set (creating it if new)."""
+        parent = self._parent
+        if x not in parent:
+            self.make_set(x)
+            return x
+        # Path halving: every other node points to its grandparent.
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(self, a: Hashable, b: Hashable) -> bool:
+        """Merge the sets of ``a`` and ``b``.
+
+        Returns ``True`` if a merge happened, ``False`` if they already
+        shared a set.
+        """
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        self._count -= 1
+        return True
+
+    def connected(self, a: Hashable, b: Hashable) -> bool:
+        """Whether ``a`` and ``b`` are currently in the same set."""
+        if a not in self._parent or b not in self._parent:
+            return False
+        return self.find(a) == self.find(b)
+
+    def size_of(self, x: Hashable) -> int:
+        """Size of the set containing ``x``."""
+        return self._size[self.find(x)]
+
+    def iter_elements(self) -> Iterator[Hashable]:
+        """Iterate over all touched elements."""
+        return iter(self._parent)
+
+
+class KeyedDisjointSet:
+    """The ``v2key`` union-find of EnumIC (Algorithm 3) / EnumIC-P.
+
+    Maintains, for every touched vertex ``v``, the *key* of its set —
+    in EnumIC the key is the smallest-weight keynode whose influential
+    community currently contains ``v``.  Supports:
+
+    * :meth:`key_of` — ``Find(w, v2key(.))`` of the paper: the key of the
+      set containing ``w``, or ``None`` when ``w`` was never touched
+      (``v2key(w) = null``).
+    * :meth:`assign` — initialise ``v2key(v) <- u`` for a group vertex.
+    * :meth:`union_into` — ``Union(w, u)``: merge ``w``'s set into key
+      ``u``'s set; the resulting set keeps key ``u``.
+
+    The structure is shared across progressive rounds (EnumIC-P keeps one
+    global instance), which this class supports naturally because state is
+    keyed by vertex.
+    """
+
+    __slots__ = ("_parent", "_size", "_key_of_root", "_anchor")
+
+    def __init__(self) -> None:
+        self._parent: Dict[int, int] = {}
+        self._size: Dict[int, int] = {}
+        self._key_of_root: Dict[int, int] = {}
+        # For each key, an arbitrary member vertex of its set ("anchor"),
+        # used to locate the set of a key in O(find).
+        self._anchor: Dict[int, int] = {}
+
+    def __contains__(self, v: int) -> bool:
+        return v in self._parent
+
+    def _find_root(self, v: int) -> int:
+        parent = self._parent
+        while parent[v] != v:
+            parent[v] = parent[parent[v]]
+            v = parent[v]
+        return v
+
+    def assign(self, v: int, key: int) -> None:
+        """Set ``v2key(v) = key`` where ``v`` is a fresh vertex.
+
+        If the key already has a set, ``v`` joins it; otherwise ``v``
+        becomes the anchor of a new set labelled ``key``.
+        """
+        if v in self._parent:
+            # Vertex already tracked: merge its set into the key's set.
+            self.union_into(v, key)
+            return
+        self._parent[v] = v
+        self._size[v] = 1
+        anchor = self._anchor.get(key)
+        if anchor is None:
+            self._key_of_root[v] = key
+            self._anchor[key] = v
+        else:
+            root = self._find_root(anchor)
+            self._link(root, v, key)
+
+    def key_of(self, v: int) -> Optional[int]:
+        """``Find(v, v2key(.))``: key of ``v``'s set, or ``None`` if untouched."""
+        if v not in self._parent:
+            return None
+        return self._key_of_root[self._find_root(v)]
+
+    def union_into(self, v: int, key: int) -> None:
+        """``Union(v, key)``: merge ``v``'s set into the set labelled ``key``.
+
+        The merged set is labelled ``key``.  ``v`` must already be tracked;
+        the key's set is created (empty anchor pointing at ``v``'s root)
+        when the key never had one.
+        """
+        v_root = self._find_root(v)
+        anchor = self._anchor.get(key)
+        if anchor is None:
+            # The key has no set yet: v's set simply takes this key.
+            old_key = self._key_of_root.pop(v_root, None)
+            if old_key is not None and self._anchor.get(old_key) is not None:
+                # The old key now dangles; drop its anchor if it pointed here.
+                if self._find_root(self._anchor[old_key]) == v_root:
+                    del self._anchor[old_key]
+            self._key_of_root[v_root] = key
+            self._anchor[key] = v_root
+            return
+        k_root = self._find_root(anchor)
+        if k_root == v_root:
+            self._key_of_root[v_root] = key
+            return
+        self._link(k_root, v_root, key)
+
+    def _link(self, root_a: int, root_b: int, key: int) -> None:
+        """Union two roots by size; the surviving root gets ``key``."""
+        self._key_of_root.pop(root_a, None)
+        self._key_of_root.pop(root_b, None)
+        if self._size[root_a] < self._size[root_b]:
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        self._size[root_a] += self._size[root_b]
+        self._key_of_root[root_a] = key
+        self._anchor[key] = root_a

@@ -1,0 +1,74 @@
+"""Graph statistics — the columns of Table 1 and assorted diagnostics.
+
+Table 1 of the paper reports, per dataset: ``#vertices``, ``#edges``,
+``dmax`` (maximum degree), ``davg`` (average degree) and ``γmax`` (the
+largest γ with a non-empty γ-core, i.e. the degeneracy).
+:func:`graph_statistics` computes exactly those, plus a few extras used by
+tests and the experiment reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .core_decomposition import core_decomposition
+from .weighted_graph import WeightedGraph
+
+__all__ = ["GraphStatistics", "graph_statistics", "degree_histogram"]
+
+
+@dataclass(frozen=True)
+class GraphStatistics:
+    """The Table-1 statistics row for one graph."""
+
+    name: str
+    num_vertices: int
+    num_edges: int
+    max_degree: int
+    avg_degree: float
+    gamma_max: int
+
+    def as_row(self) -> List[str]:
+        """Formatted cells in Table-1 column order."""
+        return [
+            self.name,
+            f"{self.num_vertices:,}",
+            f"{self.num_edges:,}",
+            f"{self.max_degree:,}",
+            f"{self.avg_degree:.2f}",
+            f"{self.gamma_max:,}",
+        ]
+
+    @staticmethod
+    def header() -> List[str]:
+        """Table-1 column headers."""
+        return ["Graph", "#vertices", "#edges", "dmax", "davg", "gammamax"]
+
+
+def graph_statistics(graph: WeightedGraph, name: str = "") -> GraphStatistics:
+    """Compute the Table-1 statistics of ``graph``."""
+    n = graph.num_vertices
+    m = graph.num_edges
+    degrees = [graph.degree(u) for u in range(n)]
+    dmax = max(degrees) if degrees else 0
+    davg = (2.0 * m / n) if n else 0.0
+    cores = core_decomposition(graph)
+    gamma_max = max(cores) if cores else 0
+    return GraphStatistics(
+        name=name,
+        num_vertices=n,
+        num_edges=m,
+        max_degree=dmax,
+        avg_degree=davg,
+        gamma_max=gamma_max,
+    )
+
+
+def degree_histogram(graph: WeightedGraph) -> Dict[int, int]:
+    """Mapping degree -> number of vertices with that degree."""
+    hist: Dict[int, int] = {}
+    for u in range(graph.num_vertices):
+        d = graph.degree(u)
+        hist[d] = hist.get(d, 0) + 1
+    return hist

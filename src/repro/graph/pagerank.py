@@ -1,0 +1,83 @@
+"""PageRank — the vertex-influence weights used throughout the paper.
+
+Section 6: "The weights of vertices are assigned as their PageRank values
+with the damping factor being set as 0.85."  This module implements the
+standard power iteration on the (symmetric) adjacency of an undirected
+graph, treating each undirected edge as two directed ones, with uniform
+teleportation.  Dangling (isolated) vertices redistribute uniformly.
+
+The implementation is numpy-vectorised (CSR-style gather) so weight
+assignment stays fast even for the larger synthetic stand-ins.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["pagerank_from_edges", "pagerank_weights"]
+
+
+def pagerank_from_edges(
+    num_vertices: int,
+    edges: Iterable[Tuple[int, int]],
+    damping: float = 0.85,
+    tol: float = 1e-10,
+    max_iter: int = 200,
+) -> np.ndarray:
+    """PageRank scores for an undirected edge list over ``0..n-1``.
+
+    Returns an array summing to 1.  Power iteration until the L1 change is
+    below ``tol`` or ``max_iter`` sweeps.
+
+    >>> scores = pagerank_from_edges(3, [(0, 1), (1, 2)])
+    >>> bool(scores[1] > scores[0])
+    True
+    """
+    if not 0.0 < damping < 1.0:
+        raise ValueError("damping must lie strictly between 0 and 1")
+    n = num_vertices
+    if n == 0:
+        return np.zeros(0)
+
+    edge_arr = np.asarray(list(edges), dtype=np.int64)
+    if edge_arr.size == 0:
+        return np.full(n, 1.0 / n)
+    # Directed expansion: each undirected edge contributes both directions.
+    src = np.concatenate([edge_arr[:, 0], edge_arr[:, 1]])
+    dst = np.concatenate([edge_arr[:, 1], edge_arr[:, 0]])
+    out_deg = np.bincount(src, minlength=n).astype(np.float64)
+    dangling = out_deg == 0
+    safe_deg = np.where(dangling, 1.0, out_deg)
+
+    rank = np.full(n, 1.0 / n)
+    teleport = (1.0 - damping) / n
+    for _ in range(max_iter):
+        share = rank / safe_deg
+        spread = np.bincount(dst, weights=share[src], minlength=n)
+        dangling_mass = rank[dangling].sum() / n
+        new_rank = teleport + damping * (spread + dangling_mass)
+        if np.abs(new_rank - rank).sum() < tol:
+            rank = new_rank
+            break
+        rank = new_rank
+    return rank / rank.sum()
+
+
+def pagerank_weights(
+    num_vertices: int,
+    edges: Sequence[Tuple[int, int]],
+    damping: float = 0.85,
+) -> List[float]:
+    """PageRank scores as a plain list, deterministically de-tied.
+
+    The paper needs *distinct* weights; PageRank can produce exact ties on
+    symmetric vertices.  We break ties by adding a vertex-id epsilon far
+    below the smallest meaningful PageRank gap, keeping the influence
+    ordering stable and total.
+    """
+    scores = pagerank_from_edges(num_vertices, edges, damping=damping)
+    # Epsilon smaller than any plausible PageRank distinction at this n.
+    eps = 1e-15
+    return [float(s) + eps * (num_vertices - i) for i, s in enumerate(scores)]

@@ -1,0 +1,144 @@
+"""Prefix-induced subgraph views (``G>=tau`` of the paper).
+
+Because :class:`~repro.graph.weighted_graph.WeightedGraph` ranks vertices in
+decreasing weight order, every threshold-induced subgraph ``G>=tau`` is the
+subgraph induced by a rank *prefix* ``[0, p)``.  :class:`PrefixView` is a
+lightweight, read-only window over the parent graph restricted to such a
+prefix — it owns no adjacency copies, so creating one is O(1) and iterating
+its edges is linear in its own size (the locality property the
+instance-optimality proof needs).
+
+The peeling algorithms (CountIC, γ-core, γ-truss) take a ``PrefixView`` and
+build their own mutable scratch state (degree arrays, alive flags) in
+O(size(view)).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from .weighted_graph import WeightedGraph
+
+__all__ = ["PrefixView"]
+
+
+class PrefixView:
+    """A read-only view of the subgraph induced by ranks ``[0, p)``.
+
+    >>> from repro.graph.builder import graph_from_arrays
+    >>> g = graph_from_arrays(4, [(0, 1), (1, 2), (2, 3)])
+    >>> view = PrefixView(g, 2)
+    >>> view.num_vertices, view.num_edges
+    (2, 1)
+    """
+
+    __slots__ = ("graph", "p", "_down_cuts")
+
+    def __init__(self, graph: WeightedGraph, p: int) -> None:
+        if p < 0 or p > graph.num_vertices:
+            raise ValueError(
+                f"prefix length {p} out of range [0, {graph.num_vertices}]"
+            )
+        self.graph = graph
+        self.p = p
+        # Cache of bisect cuts into adj_down, computed lazily per vertex:
+        # index of the first down-neighbour outside the prefix.
+        self._down_cuts: List[int] = []
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_threshold(cls, graph: WeightedGraph, tau: float) -> "PrefixView":
+        """The view of ``G>=tau``."""
+        return cls(graph, graph.prefix_for_threshold(tau))
+
+    @classmethod
+    def whole(cls, graph: WeightedGraph) -> "PrefixView":
+        """The view covering the entire graph."""
+        return cls(graph, graph.num_vertices)
+
+    @property
+    def is_whole_graph(self) -> bool:
+        """Whether this view covers all of ``G`` (Line 3 of Algorithm 1)."""
+        return self.p == self.graph.num_vertices
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices in the view."""
+        return self.p
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges with both endpoints in the view."""
+        return self.size - self.p
+
+    @property
+    def size(self) -> int:
+        """``size(G>=tau) = |V| + |E|`` of the view."""
+        return self.graph.prefix_size(self.p)
+
+    @property
+    def threshold(self) -> float:
+        """The weight threshold this prefix realises (weight of rank p-1)."""
+        return self.graph.threshold_for_prefix(self.p)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"PrefixView(p={self.p}, size={self.size})"
+
+    # ------------------------------------------------------------------
+    def down_cut(self, u: int) -> int:
+        """Number of down-neighbours of ``u`` inside the prefix (cached)."""
+        cuts = self._down_cuts
+        if len(cuts) <= u:
+            graph, p = self.graph, self.p
+            for v in range(len(cuts), u + 1):
+                cuts.append(graph.down_cut(v, p))
+        return cuts[u]
+
+    def degree(self, u: int) -> int:
+        """Degree of ``u`` within the view."""
+        return len(self.graph.neighbors_up(u)) + self.down_cut(u)
+
+    def degrees(self) -> List[int]:
+        """Degrees of all view vertices, computed in O(p + m_p).
+
+        Avoids per-vertex bisects by counting each up-edge at both
+        endpoints (every up-edge of a prefix vertex stays in the prefix).
+        """
+        p = self.p
+        deg = [0] * p
+        adj_up = self.graph.neighbors_up
+        for u in range(p):
+            up = adj_up(u)
+            deg[u] += len(up)
+            for v in up:
+                deg[v] += 1
+        return deg
+
+    def neighbors(self, u: int) -> Iterator[int]:
+        """Neighbours of ``u`` inside the view."""
+        yield from self.graph.neighbors_up(u)
+        down = self.graph.neighbors_down(u)
+        for i in range(self.down_cut(u)):
+            yield down[i]
+
+    def neighbor_lists(self) -> List[List[int]]:
+        """Materialised adjacency restricted to the view, O(size).
+
+        Used by algorithms that need random-access adjacency (e.g. the
+        truss peel's set-based triangle lookups).
+        """
+        p = self.p
+        lists: List[List[int]] = [[] for _ in range(p)]
+        adj_up = self.graph.neighbors_up
+        for u in range(p):
+            for v in adj_up(u):
+                lists[u].append(v)
+                lists[v].append(u)
+        return lists
+
+    def iter_edges(self) -> Iterator[Tuple[int, int]]:
+        """Edges of the view as rank pairs ``(u, v)`` with ``u > v``."""
+        adj_up = self.graph.neighbors_up
+        for u in range(self.p):
+            for v in adj_up(u):
+                yield (u, v)

@@ -1,0 +1,418 @@
+"""The vertex-weighted graph substrate (Section 3.1 "Graph Organization").
+
+The paper's local-search framework relies on two pre-arrangements of the
+input graph ``G = (V, E, w)``:
+
+1. vertices are pre-sorted in **decreasing weight order**, and
+2. the adjacency list ``N(u)`` of every vertex is pre-partitioned into
+   ``N>=(u)`` (neighbours with weight no smaller than ``w(u)``) and
+   ``N<(u)`` (neighbours with smaller weight),
+
+so that the threshold-induced subgraph ``G>=tau`` can be extracted — and
+grown incrementally — in time linear to its own size, never touching the
+rest of the graph.
+
+:class:`WeightedGraph` realises this by *re-ranking*: internally every
+vertex is an integer **rank** in ``0..n-1`` assigned in decreasing weight
+order (rank 0 = highest weight).  Consequences used throughout the library:
+
+* ``V>=tau`` is always a rank **prefix** ``0..p-1``;
+* ``N>=(u)`` is exactly the set of neighbours with rank **smaller** than
+  ``u`` (stored as :meth:`neighbors_up`), ``N<(u)`` the larger ranks
+  (:meth:`neighbors_down`), each sorted ascending so prefix-restricted
+  degrees are a single :func:`bisect`;
+* the minimum-weight alive vertex during a peel is simply the maximum alive
+  rank — a descending scan pointer replaces a priority queue, keeping every
+  peel linear.
+
+Weights must be distinct (paper Section 2).  Construction through
+:class:`~repro.graph.builder.GraphBuilder` offers tie-breaking policies;
+this class itself accepts any strictly-decreasing weight sequence.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import (
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..errors import GraphConstructionError, UnknownVertexError
+
+__all__ = ["WeightedGraph"]
+
+
+class WeightedGraph:
+    """An immutable, vertex-weighted, undirected simple graph.
+
+    Do not call the constructor directly with unchecked data; prefer
+    :meth:`from_edges` (or :class:`~repro.graph.builder.GraphBuilder` for
+    incremental construction with validation and tie policies).
+
+    Parameters
+    ----------
+    weights:
+        Vertex weights indexed by rank, **strictly decreasing**.
+    adj_up:
+        ``adj_up[u]`` = sorted list of neighbours of ``u`` with rank < u
+        (the paper's ``N>=(u)``).
+    adj_down:
+        ``adj_down[u]`` = sorted list of neighbours with rank > u
+        (the paper's ``N<(u)``).
+    labels:
+        Original (user-facing) vertex labels indexed by rank.
+    validate:
+        When True (default) the invariants above are checked, in O(n + m).
+    """
+
+    __slots__ = (
+        "_weights",
+        "_adj_up",
+        "_adj_down",
+        "_labels",
+        "_rank_of",
+        "_num_edges",
+        "_prefix_sizes",
+    )
+
+    def __init__(
+        self,
+        weights: Sequence[float],
+        adj_up: Sequence[Sequence[int]],
+        adj_down: Sequence[Sequence[int]],
+        labels: Optional[Sequence[Hashable]] = None,
+        validate: bool = True,
+    ) -> None:
+        n = len(weights)
+        self._weights: List[float] = list(weights)
+        self._adj_up: List[List[int]] = [list(a) for a in adj_up]
+        self._adj_down: List[List[int]] = [list(a) for a in adj_down]
+        if labels is None:
+            self._labels: List[Hashable] = list(range(n))
+        else:
+            self._labels = list(labels)
+        if len(self._adj_up) != n or len(self._adj_down) != n:
+            raise GraphConstructionError(
+                "adjacency arrays must have one entry per vertex"
+            )
+        if len(self._labels) != n:
+            raise GraphConstructionError("labels must have one entry per vertex")
+        self._rank_of: Dict[Hashable, int] = {
+            label: rank for rank, label in enumerate(self._labels)
+        }
+        if len(self._rank_of) != n:
+            raise GraphConstructionError("vertex labels must be unique")
+        self._num_edges = sum(len(a) for a in self._adj_up)
+        # Lazily-extended cumulative prefix sizes; see prefix_size().
+        # _prefix_sizes[p] = size(G_p) = p + |edges among ranks < p|.
+        self._prefix_sizes: List[int] = [0]
+        if validate:
+            self._validate()
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[Tuple[Hashable, Hashable]],
+        weights: Mapping[Hashable, float],
+        vertices: Optional[Iterable[Hashable]] = None,
+    ) -> "WeightedGraph":
+        """Build a graph from an edge list and a label -> weight mapping.
+
+        Vertices are every key of ``weights`` plus everything mentioned in
+        ``edges`` (and optionally ``vertices`` for isolated vertices without
+        a weight entry — those get weight below all others, in label order).
+        Parallel edges are merged; self-loops are rejected.
+
+        >>> g = WeightedGraph.from_edges([("a", "b")], {"a": 2.0, "b": 1.0})
+        >>> g.num_vertices, g.num_edges
+        (2, 1)
+        """
+        from .builder import GraphBuilder  # local import to avoid a cycle
+
+        builder = GraphBuilder()
+        if vertices is not None:
+            for v in vertices:
+                builder.add_vertex(v)
+        for label, weight in weights.items():
+            builder.add_vertex(label, weight)
+        for u, v in edges:
+            builder.add_edge(u, v)
+        return builder.build()
+
+    def _validate(self) -> None:
+        n = self.num_vertices
+        for rank in range(1, n):
+            if not self._weights[rank - 1] > self._weights[rank]:
+                raise GraphConstructionError(
+                    "weights must be strictly decreasing by rank "
+                    f"(ranks {rank - 1} and {rank}: "
+                    f"{self._weights[rank - 1]!r} vs {self._weights[rank]!r})"
+                )
+        seen_up = 0
+        for u in range(n):
+            up, down = self._adj_up[u], self._adj_down[u]
+            if any(v >= u for v in up):
+                raise GraphConstructionError(
+                    f"adj_up[{u}] contains a rank >= {u}"
+                )
+            if any(v <= u for v in down):
+                raise GraphConstructionError(
+                    f"adj_down[{u}] contains a rank <= {u}"
+                )
+            if sorted(set(up)) != list(up):
+                raise GraphConstructionError(
+                    f"adj_up[{u}] must be sorted and duplicate-free"
+                )
+            if sorted(set(down)) != list(down):
+                raise GraphConstructionError(
+                    f"adj_down[{u}] must be sorted and duplicate-free"
+                )
+            seen_up += len(up)
+        # Mirror consistency: (v in adj_up[u]) <=> (u in adj_down[v]).
+        down_total = sum(len(a) for a in self._adj_down)
+        if down_total != seen_up:
+            raise GraphConstructionError(
+                "adj_up and adj_down disagree on the number of edges"
+            )
+        for u in range(n):
+            for v in self._adj_up[u]:
+                row = self._adj_down[v]
+                pos = bisect_left(row, u)
+                if pos >= len(row) or row[pos] != u:
+                    raise GraphConstructionError(
+                        f"edge ({u}, {v}) present in adj_up but not adj_down"
+                    )
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``|V|``."""
+        return len(self._weights)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of (undirected) edges ``|E|``."""
+        return self._num_edges
+
+    @property
+    def size(self) -> int:
+        """``size(G) = |V| + |E|`` as defined in Section 2 of the paper."""
+        return self.num_vertices + self._num_edges
+
+    def __len__(self) -> int:
+        return self.num_vertices
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"WeightedGraph(n={self.num_vertices}, m={self.num_edges}, "
+            f"size={self.size})"
+        )
+
+    def weight(self, rank: int) -> float:
+        """Weight of the vertex at ``rank``."""
+        return self._weights[rank]
+
+    def weight_of_label(self, label: Hashable) -> float:
+        """Weight of the vertex with user-facing ``label``."""
+        return self._weights[self.rank_of(label)]
+
+    def label(self, rank: int) -> Hashable:
+        """User-facing label of the vertex at ``rank``."""
+        return self._labels[rank]
+
+    def labels(self, ranks: Iterable[int]) -> List[Hashable]:
+        """Map an iterable of ranks to their labels."""
+        return [self._labels[r] for r in ranks]
+
+    def rank_of(self, label: Hashable) -> int:
+        """Rank (0 = highest weight) of the vertex with ``label``."""
+        try:
+            return self._rank_of[label]
+        except KeyError:
+            raise UnknownVertexError(label) from None
+
+    def has_vertex(self, label: Hashable) -> bool:
+        """Whether a vertex with this label exists."""
+        return label in self._rank_of
+
+    def has_edge_ranks(self, u: int, v: int) -> bool:
+        """Whether the edge between ranks ``u`` and ``v`` exists (O(log d))."""
+        if u == v:
+            return False
+        if u > v:
+            u, v = v, u
+        row = self._adj_up[v]  # neighbours of v with smaller rank
+        pos = bisect_left(row, u)
+        return pos < len(row) and row[pos] == u
+
+    # ------------------------------------------------------------------
+    # adjacency (the N>= / N< partition of Section 3.1)
+    # ------------------------------------------------------------------
+    def neighbors_up(self, u: int) -> List[int]:
+        """``N>=(u)``: neighbours with rank < u (weight >= w(u)), sorted."""
+        return self._adj_up[u]
+
+    def neighbors_down(self, u: int) -> List[int]:
+        """``N<(u)``: neighbours with rank > u (weight < w(u)), sorted."""
+        return self._adj_down[u]
+
+    def degree(self, u: int) -> int:
+        """Degree of rank ``u`` in the full graph."""
+        return len(self._adj_up[u]) + len(self._adj_down[u])
+
+    def iter_neighbors(self, u: int) -> Iterator[int]:
+        """All neighbours of rank ``u`` (up-part first)."""
+        yield from self._adj_up[u]
+        yield from self._adj_down[u]
+
+    def neighbors_in_prefix(self, u: int, p: int) -> Iterator[int]:
+        """Neighbours of ``u`` inside the rank prefix ``[0, p)``.
+
+        ``u`` itself must lie in the prefix.  Runs in O(d_prefix + log d).
+        """
+        yield from self._adj_up[u]
+        down = self._adj_down[u]
+        cut = bisect_left(down, p)
+        for i in range(cut):
+            yield down[i]
+
+    def degree_in_prefix(self, u: int, p: int) -> int:
+        """Degree of ``u`` within the rank prefix ``[0, p)`` (O(log d))."""
+        return len(self._adj_up[u]) + bisect_left(self._adj_down[u], p)
+
+    def down_cut(self, u: int, p: int) -> int:
+        """Index into ``neighbors_down(u)`` of the first rank >= ``p``."""
+        return bisect_left(self._adj_down[u], p)
+
+    def iter_edges(self) -> Iterator[Tuple[int, int]]:
+        """All edges as rank pairs ``(u, v)`` with ``u > v``.
+
+        The iteration order is by increasing ``u`` (i.e. decreasing edge
+        weight, where the weight of an edge is the weight of its
+        minimum-weight endpoint — the ordering used by the semi-external
+        algorithms of [27]).
+        """
+        for u in range(self.num_vertices):
+            for v in self._adj_up[u]:
+                yield (u, v)
+
+    def edges_as_labels(self) -> Iterator[Tuple[Hashable, Hashable]]:
+        """All edges as label pairs."""
+        for u, v in self.iter_edges():
+            yield (self._labels[u], self._labels[v])
+
+    # ------------------------------------------------------------------
+    # thresholds, prefixes and sizes
+    # ------------------------------------------------------------------
+    def prefix_for_threshold(self, tau: float) -> int:
+        """Number of vertices with weight >= ``tau`` (``|V>=tau|``).
+
+        Binary search over the decreasing weight array — O(log n).
+        """
+        # weights are strictly decreasing; find first index with w < tau.
+        lo, hi = 0, self.num_vertices
+        weights = self._weights
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if weights[mid] >= tau:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def threshold_for_prefix(self, p: int) -> float:
+        """The weight ``tau`` such that ``V>=tau`` is exactly ranks ``< p``.
+
+        This is the weight of rank ``p - 1``.  ``p`` must be >= 1.
+        """
+        if p <= 0:
+            raise ValueError("prefix must contain at least one vertex")
+        return self._weights[p - 1]
+
+    @property
+    def min_weight(self) -> float:
+        """``tau_min``: the smallest vertex weight in the graph."""
+        return self._weights[-1]
+
+    @property
+    def max_weight(self) -> float:
+        """``tau_max``: the largest vertex weight in the graph."""
+        return self._weights[0]
+
+    def prefix_size(self, p: int) -> int:
+        """``size(G_p) = p + |{edges among ranks < p}|`` — size of ``G>=tau``.
+
+        Computed incrementally and memoised, so a sweep of growing prefixes
+        costs O(p_max) in total and never touches ranks beyond the largest
+        ``p`` requested (preserving the locality that instance-optimality
+        relies on).
+        """
+        sizes = self._prefix_sizes
+        while len(sizes) <= p:
+            q = len(sizes)  # next prefix length to account for
+            sizes.append(sizes[-1] + 1 + len(self._adj_up[q - 1]))
+        return sizes[p]
+
+    def grow_prefix(self, p: int, target_size: int) -> int:
+        """Smallest prefix ``q >= p`` with ``size(G_q) >= target_size``.
+
+        Implements Line 4 of Algorithm 1 (and Line 8 of Algorithm 4): grow
+        the subgraph vertex by vertex — in decreasing weight order, adding
+        each vertex together with its ``N>=`` edges — until the requested
+        size is reached, or the whole graph is included (``tau_min``).
+        Runs in time linear to the number of vertices/edges added.
+        """
+        n = self.num_vertices
+        q = max(p, 0)
+        while q < n and self.prefix_size(q) < target_size:
+            q += 1
+        return q
+
+    # ------------------------------------------------------------------
+    # conversions
+    # ------------------------------------------------------------------
+    def induced_edge_count(self, ranks: Iterable[int]) -> int:
+        """Number of edges of ``G`` with both endpoints in ``ranks``."""
+        member = set(ranks)
+        count = 0
+        for u in member:
+            for v in self._adj_up[u]:
+                if v in member:
+                    count += 1
+        return count
+
+    def induced_edges(
+        self, ranks: Iterable[int]
+    ) -> List[Tuple[int, int]]:
+        """Edges of ``G`` with both endpoints in ``ranks`` (as rank pairs)."""
+        member = set(ranks)
+        out: List[Tuple[int, int]] = []
+        for u in sorted(member):
+            for v in self._adj_up[u]:
+                if v in member:
+                    out.append((u, v))
+        return out
+
+    def to_edge_list(self) -> List[Tuple[Hashable, Hashable]]:
+        """The full edge list as label pairs (materialised)."""
+        return list(self.edges_as_labels())
+
+    def weights_by_label(self) -> Dict[Hashable, float]:
+        """Mapping label -> weight for the whole graph."""
+        return {
+            self._labels[rank]: self._weights[rank]
+            for rank in range(self.num_vertices)
+        }

@@ -1,0 +1,59 @@
+"""Workloads: generators, the Table-1 stand-in registry, case-study data.
+
+* :mod:`~repro.workloads.generators` — synthetic graph families;
+* :mod:`~repro.workloads.weights` — influence-weight assignment schemes;
+* :mod:`~repro.workloads.datasets` — stand-ins for the paper's 8 graphs;
+* :mod:`~repro.workloads.dblp` — the DBLP-style case-study network;
+* :mod:`~repro.workloads.paper_examples` — the exact Figure-1/Figure-3
+  example graphs with their paper-stated expected outputs.
+"""
+
+from .datasets import (
+    DATASETS,
+    PAPER_STATS,
+    DatasetSpec,
+    clear_cache,
+    dataset_names,
+    load_dataset,
+)
+from .dblp import researcher_names, synthetic_dblp
+from .generators import (
+    barabasi_albert,
+    build_weighted_graph,
+    chung_lu,
+    erdos_renyi,
+    planted_dense_blocks,
+    planted_partition,
+    rmat,
+)
+from .paper_examples import (
+    FIGURE1_COMMUNITIES,
+    FIGURE3_TOP4,
+    figure1_graph,
+    figure3_graph,
+)
+from .weights import SCHEMES, assign_weights
+
+__all__ = [
+    "DATASETS",
+    "PAPER_STATS",
+    "DatasetSpec",
+    "dataset_names",
+    "load_dataset",
+    "clear_cache",
+    "synthetic_dblp",
+    "researcher_names",
+    "erdos_renyi",
+    "barabasi_albert",
+    "chung_lu",
+    "rmat",
+    "planted_partition",
+    "planted_dense_blocks",
+    "build_weighted_graph",
+    "assign_weights",
+    "SCHEMES",
+    "figure1_graph",
+    "figure3_graph",
+    "FIGURE1_COMMUNITIES",
+    "FIGURE3_TOP4",
+]

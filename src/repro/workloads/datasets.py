@@ -1,0 +1,199 @@
+"""Dataset registry: synthetic stand-ins for the eight graphs of Table 1.
+
+The paper's evaluation uses Email, Youtube, Wiki, Livejournal, Orkut
+(SNAP) and Arabic, UK, Twitter (LAW) — 184K to 1.47B edges.  Those are
+unavailable offline and beyond pure-Python scale, so each gets a synthetic
+stand-in (see the substitution table in DESIGN.md) that preserves what the
+algorithms are sensitive to:
+
+* heavy-tailed degree distributions (Chung-Lu / Barabási-Albert / R-MAT);
+* deep cores — dense planted blocks lift ``γmax`` to ≥ 60 on the graphs
+  the large-γ experiments use (the real Arabic has γmax 3,247);
+* the relative size ordering of Table 1 (email < youtube < ... < twitter);
+* PageRank vertex weights with damping 0.85 (the paper's setting).
+
+Every stand-in is deterministic (fixed seed), built lazily and cached
+in-process.  ``PAPER_STATS`` records the original Table-1 rows so the
+Table-1 benchmark can print paper-vs-stand-in side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import DatasetError
+from ..graph.weighted_graph import WeightedGraph
+from . import generators
+
+__all__ = [
+    "DatasetSpec",
+    "PAPER_STATS",
+    "DATASETS",
+    "dataset_names",
+    "load_dataset",
+    "clear_cache",
+]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Recipe for one synthetic stand-in dataset."""
+
+    name: str
+    description: str
+    build: Callable[[], WeightedGraph]
+    #: Graphs used in each figure roughly follow the paper's groupings.
+    paper_vertices: int = 0
+    paper_edges: int = 0
+    paper_gamma_max: int = 0
+
+
+#: Table 1 of the paper (name -> (#vertices, #edges, dmax, davg, gammamax)).
+PAPER_STATS: Dict[str, Tuple[int, int, int, float, int]] = {
+    "email": (36_692, 183_831, 1_383, 10.02, 43),
+    "youtube": (1_134_890, 2_987_624, 28_754, 5.27, 51),
+    "wiki": (1_791_489, 25_446_040, 238_342, 28.41, 99),
+    "livejournal": (3_997_962, 34_681_189, 14_815, 17.35, 360),
+    "orkut": (3_072_627, 117_185_083, 33_313, 76.28, 253),
+    "arabic": (22_744_080, 553_903_073, 575_628, 48.71, 3_247),
+    "uk": (39_459_925, 783_027_125, 1_776_858, 39.69, 588),
+    "twitter": (41_652_230, 1_468_365_182, 2_997_487, 70.51, 2_488),
+}
+
+
+def _with_blocks(
+    n: int,
+    edges,
+    num_blocks: int,
+    block_size: int,
+    p_in: float,
+    seed: int,
+):
+    """Overlay dense blocks (deep cores) onto a generated edge list."""
+    return generators.planted_dense_blocks(
+        n, edges, num_blocks=num_blocks, block_size=block_size, p_in=p_in,
+        seed=seed,
+    )
+
+
+def _build_email() -> WeightedGraph:
+    n, edges = generators.chung_lu(2_000, avg_degree=9.0, exponent=2.3, seed=11)
+    edges = _with_blocks(n, edges, num_blocks=3, block_size=30, p_in=0.7, seed=11)
+    return generators.build_weighted_graph(n, edges, weights="pagerank")
+
+
+def _build_youtube() -> WeightedGraph:
+    n, edges = generators.chung_lu(6_000, avg_degree=6.0, exponent=2.2, seed=12)
+    edges = _with_blocks(n, edges, num_blocks=4, block_size=40, p_in=0.6, seed=12)
+    return generators.build_weighted_graph(n, edges, weights="pagerank")
+
+
+def _build_wiki() -> WeightedGraph:
+    n, edges = generators.chung_lu(8_000, avg_degree=14.0, exponent=2.1, seed=13)
+    edges = _with_blocks(n, edges, num_blocks=5, block_size=80, p_in=0.8, seed=13)
+    return generators.build_weighted_graph(n, edges, weights="pagerank")
+
+
+def _build_livejournal() -> WeightedGraph:
+    n, edges = generators.barabasi_albert(10_000, attach=8, seed=14)
+    edges = _with_blocks(n, edges, num_blocks=6, block_size=90, p_in=0.75, seed=14)
+    return generators.build_weighted_graph(n, edges, weights="pagerank")
+
+
+def _build_orkut() -> WeightedGraph:
+    n, edges = generators.chung_lu(9_000, avg_degree=24.0, exponent=2.4, seed=15)
+    edges = _with_blocks(n, edges, num_blocks=5, block_size=70, p_in=0.7, seed=15)
+    return generators.build_weighted_graph(n, edges, weights="pagerank")
+
+
+def _build_arabic() -> WeightedGraph:
+    n, edges = generators.rmat(scale=14, edge_factor=9, seed=16)
+    edges = _with_blocks(n, edges, num_blocks=8, block_size=110, p_in=0.75, seed=16)
+    # Isolated influential pockets (cliques + follower halos): they give
+    # the graph a rich population of *non-containment* communities, the
+    # structure Eval-VII queries; see generators.influence_pockets.
+    n, edges = generators.influence_pockets(
+        n, edges, num_pockets=110, clique_size=13, leaves_per_member=15,
+        seed=116,
+    )
+    return generators.build_weighted_graph(n, edges, weights="pagerank")
+
+
+def _build_uk() -> WeightedGraph:
+    n, edges = generators.rmat(scale=14, edge_factor=11, seed=17)
+    edges = _with_blocks(n, edges, num_blocks=8, block_size=90, p_in=0.7, seed=17)
+    n, edges = generators.influence_pockets(
+        n, edges, num_pockets=110, clique_size=13, leaves_per_member=15,
+        seed=117,
+    )
+    return generators.build_weighted_graph(n, edges, weights="pagerank")
+
+
+def _build_twitter() -> WeightedGraph:
+    n, edges = generators.chung_lu(16_000, avg_degree=22.0, exponent=2.0, seed=18)
+    edges = _with_blocks(n, edges, num_blocks=10, block_size=120, p_in=0.7, seed=18)
+    return generators.build_weighted_graph(n, edges, weights="pagerank")
+
+
+DATASETS: Dict[str, DatasetSpec] = {
+    "email": DatasetSpec(
+        "email", "Chung-Lu power-law + 3 dense blocks (Email stand-in)",
+        _build_email, *PAPER_STATS["email"][:2], PAPER_STATS["email"][4],
+    ),
+    "youtube": DatasetSpec(
+        "youtube", "Chung-Lu power-law + 4 dense blocks (Youtube stand-in)",
+        _build_youtube, *PAPER_STATS["youtube"][:2], PAPER_STATS["youtube"][4],
+    ),
+    "wiki": DatasetSpec(
+        "wiki", "Chung-Lu power-law + 5 dense blocks (Wiki stand-in)",
+        _build_wiki, *PAPER_STATS["wiki"][:2], PAPER_STATS["wiki"][4],
+    ),
+    "livejournal": DatasetSpec(
+        "livejournal", "Barabasi-Albert + 6 dense blocks (Livejournal stand-in)",
+        _build_livejournal, *PAPER_STATS["livejournal"][:2],
+        PAPER_STATS["livejournal"][4],
+    ),
+    "orkut": DatasetSpec(
+        "orkut", "dense Chung-Lu + 5 dense blocks (Orkut stand-in)",
+        _build_orkut, *PAPER_STATS["orkut"][:2], PAPER_STATS["orkut"][4],
+    ),
+    "arabic": DatasetSpec(
+        "arabic", "R-MAT + 8 dense blocks (Arabic web-graph stand-in)",
+        _build_arabic, *PAPER_STATS["arabic"][:2], PAPER_STATS["arabic"][4],
+    ),
+    "uk": DatasetSpec(
+        "uk", "R-MAT + 8 dense blocks (UK web-graph stand-in)",
+        _build_uk, *PAPER_STATS["uk"][:2], PAPER_STATS["uk"][4],
+    ),
+    "twitter": DatasetSpec(
+        "twitter", "dense Chung-Lu + 10 dense blocks (Twitter stand-in)",
+        _build_twitter, *PAPER_STATS["twitter"][:2], PAPER_STATS["twitter"][4],
+    ),
+}
+
+_CACHE: Dict[str, WeightedGraph] = {}
+
+
+def dataset_names() -> List[str]:
+    """All registered stand-in names, in Table-1 order."""
+    return list(DATASETS)
+
+
+def load_dataset(name: str) -> WeightedGraph:
+    """Build (or fetch from cache) the stand-in graph called ``name``."""
+    spec = DATASETS.get(name)
+    if spec is None:
+        raise DatasetError(
+            f"unknown dataset {name!r}; available: {', '.join(DATASETS)}"
+        )
+    graph = _CACHE.get(name)
+    if graph is None:
+        graph = spec.build()
+        _CACHE[name] = graph
+    return graph
+
+
+def clear_cache() -> None:
+    """Drop all cached stand-in graphs (tests / memory control)."""
+    _CACHE.clear()

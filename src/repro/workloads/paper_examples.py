@@ -1,0 +1,134 @@
+"""The paper's running-example graphs, reconstructed from the text.
+
+Two small graphs appear throughout the paper and pin down exact expected
+outputs, which makes them ideal correctness fixtures:
+
+* **Figure 1** — 10 vertices; for γ = 3 there are exactly two influential
+  γ-communities: ``{v0, v1, v5, v6}`` (influence 10) and
+  ``{v3, v4, v7, v8, v9}`` (influence 13); ``{v3, v4, v7, v8}`` has the
+  same influence 13 but is not maximal.
+* **Figure 3** — 22 vertices (weights per Figure 4(a)); for γ = 3 the
+  top-4 communities are ``{v3, v11, v12, v20}`` (18), ``{v1, v6, v7,
+  v16}`` (14), ``{v3, v11, v12, v13, v20}`` (13) and ``{v1, v5, v6, v7,
+  v16}`` (12); Examples 3.1–3.3 trace LocalSearch on it step by step
+  (τ1 = 18, τ2 = 12, the ``keys``/``cvs`` of Figure 6, the groups of
+  Figure 7).
+
+The figure drawings do not list every edge explicitly; the edge sets below
+are reconstructed to satisfy **every** stated fact simultaneously (the
+community lists, the peel traces of Examples 3.1–3.3, the subgraph sizes
+``size(G>=18) = 18`` and ``size(G>=12) = 36``, v7 being a keynode while v6
+is not, and the g1/g2 discussion of Example 2.1).  The test suite asserts
+all of those facts against these fixtures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..graph.builder import GraphBuilder
+from ..graph.weighted_graph import WeightedGraph
+
+__all__ = [
+    "figure1_graph",
+    "figure3_graph",
+    "FIGURE1_COMMUNITIES",
+    "FIGURE3_TOP4",
+]
+
+#: Expected γ=3 communities of the Figure-1 graph: (influence, members).
+FIGURE1_COMMUNITIES: List[Tuple[float, frozenset]] = [
+    (13.0, frozenset({"v3", "v4", "v7", "v8", "v9"})),
+    (10.0, frozenset({"v0", "v1", "v5", "v6"})),
+]
+
+#: Expected γ=3 top-4 of the Figure-3 graph, in decreasing influence.
+FIGURE3_TOP4: List[Tuple[float, frozenset]] = [
+    (18.0, frozenset({"v3", "v11", "v12", "v20"})),
+    (14.0, frozenset({"v1", "v6", "v7", "v16"})),
+    (13.0, frozenset({"v3", "v11", "v12", "v13", "v20"})),
+    (12.0, frozenset({"v1", "v5", "v6", "v7", "v16"})),
+]
+
+
+def figure1_graph() -> WeightedGraph:
+    """The example graph of Figure 1 (Section 1)."""
+    weights = {
+        "v0": 10.0,
+        "v1": 11.0,
+        "v2": 12.0,
+        "v3": 13.0,
+        "v4": 14.0,
+        "v5": 15.0,
+        "v6": 16.0,
+        "v7": 17.0,
+        "v8": 18.0,
+        "v9": 19.0,
+    }
+    edges = [
+        # K4 on {v0, v1, v5, v6}: the influence-10 community.
+        ("v0", "v1"), ("v0", "v5"), ("v0", "v6"),
+        ("v1", "v5"), ("v1", "v6"), ("v5", "v6"),
+        # K4 on {v3, v4, v7, v8} (influence 13, NOT maximal) ...
+        ("v3", "v4"), ("v3", "v7"), ("v3", "v8"),
+        ("v4", "v7"), ("v4", "v8"), ("v7", "v8"),
+        # ... plus v9 attached to three of them (including v3, so that no
+        # all->=14-weight K4 sneaks in) -> the maximal community
+        # {v3, v4, v7, v8, v9}, also influence 13.
+        ("v9", "v3"), ("v9", "v4"), ("v9", "v8"),
+        # v2 stays below degree 3: in no influential 3-community.
+        ("v2", "v1"), ("v2", "v3"),
+    ]
+    builder = GraphBuilder()
+    for label, weight in weights.items():
+        builder.add_vertex(label, weight)
+    builder.add_edges(edges)
+    return builder.build()
+
+
+def figure3_graph() -> WeightedGraph:
+    """The example graph of Figure 3 (weights per Figure 4(a))."""
+    weights = {
+        "v18": 24.0, "v17": 23.0, "v3": 22.0, "v20": 21.0, "v9": 20.0,
+        "v12": 19.0, "v11": 18.0, "v16": 17.0, "v1": 16.0, "v6": 15.0,
+        "v7": 14.0, "v13": 13.0, "v5": 12.0, "v0": 11.0, "v15": 10.0,
+        "v10": 9.0, "v8": 8.0, "v21": 7.0, "v19": 6.0, "v4": 5.0,
+        "v2": 4.0, "v14": 3.0,
+    }
+    edges = [
+        # K4 on {v3, v11, v12, v20}: the top-1 community (influence 18).
+        ("v3", "v11"), ("v3", "v12"), ("v3", "v20"),
+        ("v11", "v12"), ("v11", "v20"), ("v12", "v20"),
+        # G>=18 (Figure 4(b)) has 7 vertices and 11 edges: the five edges
+        # among/to {v9, v17, v18} keep them below degree 3 so the γ-core
+        # reduction removes exactly {v9, v17, v18} (Example 3.2).
+        ("v17", "v18"), ("v17", "v9"), ("v18", "v9"),
+        ("v9", "v3"), ("v9", "v12"),
+        # K4 on {v1, v6, v7, v16}: the top-2 community (influence 14).
+        ("v1", "v6"), ("v1", "v7"), ("v1", "v16"),
+        ("v6", "v7"), ("v6", "v16"), ("v7", "v16"),
+        # v13 attaches to v3, v12, v20 (Example 3.3): top-3 community
+        # {v3, v11, v12, v13, v20}, influence 13.
+        ("v13", "v3"), ("v13", "v12"), ("v13", "v20"),
+        # v5 attaches to exactly {v1, v6, v16}: top-4 community
+        # {v1, v5, v6, v7, v16}, influence 12, and the growth trace of
+        # Example 3.1 reaches size(G>=12) = 36 right after adding v5.
+        ("v5", "v1"), ("v5", "v6"), ("v5", "v16"),
+        # v10 attaches to v11, v12, v20 and v9: Example 2.1's g1 =
+        # {v3, v10, v11, v12, v20} (influence 9, not maximal) and g2 =
+        # {v3, v9, v10, v11, v12, v13, v20} (influence 9, maximal).
+        ("v10", "v11"), ("v10", "v12"), ("v10", "v20"), ("v10", "v9"),
+        # A lower-influence cluster: K4 on {v0, v15, v8, v21} plus v19,
+        # giving communities with influences 7 and 6.
+        ("v0", "v15"), ("v0", "v8"), ("v0", "v21"),
+        ("v15", "v8"), ("v15", "v21"), ("v8", "v21"),
+        ("v19", "v0"), ("v19", "v15"), ("v19", "v8"),
+        # And the weakest cluster: K4 on {v19, v4, v2, v14} - influence 3.
+        ("v4", "v2"), ("v4", "v14"), ("v2", "v14"),
+        ("v19", "v4"), ("v19", "v2"), ("v19", "v14"),
+    ]
+    builder = GraphBuilder()
+    for label, weight in weights.items():
+        builder.add_vertex(label, weight)
+    builder.add_edges(edges)
+    return builder.build()

@@ -1,0 +1,50 @@
+"""Vertex-weight (influence) assignment schemes.
+
+Section 2 of the paper: the weight of a vertex represents its influence —
+"its PageRank value, centrality score, h-index, social status, etc."; the
+experiments use PageRank with damping 0.85.  Every scheme below yields
+strictly distinct weights (the paper's standing assumption), breaking ties
+deterministically by vertex id.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+__all__ = ["assign_weights", "SCHEMES"]
+
+Edge = Tuple[int, int]
+
+SCHEMES = ("pagerank", "degree", "random", "identity")
+
+
+def assign_weights(
+    n: int,
+    edges: Sequence[Edge],
+    scheme: str = "pagerank",
+    seed: int = 0,
+) -> List[float]:
+    """Weights for vertices ``0..n-1`` under the chosen scheme.
+
+    All schemes return strictly distinct values.
+    """
+    if scheme == "pagerank":
+        from ..graph.pagerank import pagerank_weights
+
+        return pagerank_weights(n, edges)
+    if scheme == "degree":
+        deg = [0] * n
+        for u, v in edges:
+            deg[u] += 1
+            deg[v] += 1
+        # De-tie by id: higher id loses fractionally.
+        return [d + (n - i) / (10.0 * n) for i, d in enumerate(deg)]
+    if scheme == "random":
+        rng = random.Random(seed)
+        values = list(range(1, n + 1))
+        rng.shuffle(values)
+        return [float(v) for v in values]
+    if scheme == "identity":
+        return [float(n - i) for i in range(n)]
+    raise ValueError(f"unknown weight scheme {scheme!r}; choose from {SCHEMES}")

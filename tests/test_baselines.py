@@ -1,0 +1,155 @@
+"""Baseline algorithms: OnlineAll, Forward, Backward, IndexAll."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import top_k_influential_communities
+from repro.baselines import ICPIndex, backward, forward, online_all
+from repro.baselines.online_all import online_all_count
+from repro.core.count import count_communities
+from repro.core.reference import reference_top_k
+from repro.errors import QueryParameterError
+from repro.graph.subgraph import PrefixView
+from tests.conftest import random_graph
+
+
+def pairs(graph, result):
+    return [
+        (c.influence, frozenset(c.vertex_ranks)) for c in result.communities
+    ]
+
+
+class TestOnlineAll:
+    def test_validation(self, fig3):
+        with pytest.raises(QueryParameterError):
+            online_all(fig3, 0, 3)
+        with pytest.raises(QueryParameterError):
+            online_all(fig3, 1, 0)
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("gamma", [1, 2, 3])
+    @pytest.mark.parametrize("k", [1, 4])
+    def test_matches_reference(self, seed, gamma, k):
+        g = random_graph(18, 0.3, seed, weights="shuffled")
+        result = online_all(g, k, gamma)
+        assert pairs(g, result) == reference_top_k(g, k, gamma)
+
+    def test_count_helper(self, fig3):
+        view = PrefixView.whole(fig3)
+        assert online_all_count(view, 3) == count_communities(view, 3)
+
+    def test_prefix_restriction(self, fig3):
+        result = online_all(fig3, 4, 3, prefix=13)
+        assert len(result.communities) == 4
+
+    def test_fig3(self, fig3):
+        result = online_all(fig3, 4, 3)
+        expected = top_k_influential_communities(fig3, 4, 3)
+        assert pairs(fig3, result) == pairs(fig3, expected)
+
+
+class TestForward:
+    def test_validation(self, fig3):
+        with pytest.raises(QueryParameterError):
+            forward(fig3, 0, 3)
+        with pytest.raises(QueryParameterError):
+            forward(fig3, 1, 0)
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("gamma", [1, 2, 3])
+    @pytest.mark.parametrize("k", [1, 4])
+    def test_matches_reference(self, seed, gamma, k):
+        g = random_graph(18, 0.3, seed, weights="shuffled")
+        result = forward(g, k, gamma)
+        assert pairs(g, result) == reference_top_k(g, k, gamma)
+
+    def test_is_global(self, email_graph):
+        """Forward always peels the entire graph."""
+        result = forward(email_graph, 1, 10)
+        assert result.stats.prefixes == [email_graph.num_vertices]
+
+
+class TestBackward:
+    def test_validation(self, fig3):
+        with pytest.raises(QueryParameterError):
+            backward(fig3, 0, 3)
+        with pytest.raises(QueryParameterError):
+            backward(fig3, 1, 0)
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("gamma", [1, 2, 3])
+    @pytest.mark.parametrize("k", [1, 4])
+    def test_matches_reference(self, seed, gamma, k):
+        g = random_graph(18, 0.3, seed, weights="shuffled")
+        result = backward(g, k, gamma)
+        assert pairs(g, result) == reference_top_k(g, k, gamma)
+
+    def test_max_prefix_cap(self, fig3):
+        result = backward(fig3, 100, 3, max_prefix=5)
+        assert result.stats.prefixes == [5]
+        assert len(result.communities) <= 100
+
+    def test_quadratic_work_recorded(self, fig3):
+        result = backward(fig3, 4, 3)
+        # Total work is the sum of all prefix sizes: strictly more than
+        # the final prefix alone.
+        final_prefix_size = fig3.prefix_size(result.stats.prefixes[0])
+        assert result.stats.prefix_sizes[0] > final_prefix_size
+
+
+class TestICPIndex:
+    def test_query_before_build(self, fig3):
+        with pytest.raises(QueryParameterError):
+            ICPIndex(fig3).query(1, 3)
+
+    def test_matches_local_search(self, fig3):
+        index = ICPIndex(fig3).build()
+        for gamma in (1, 2, 3):
+            for k in (1, 4):
+                got = index.query(k, gamma)
+                expected = top_k_influential_communities(fig3, k, gamma)
+                assert [
+                    (c.influence, frozenset(c.vertex_ranks)) for c in got
+                ] == [
+                    (c.influence, frozenset(c.vertex_ranks))
+                    for c in expected.communities
+                ]
+
+    def test_index_miss_materialises_on_demand(self, fig3):
+        index = ICPIndex(fig3).build(gammas=[2])
+        assert index.query(1, 3)  # gamma=3 not pre-built: index miss path
+
+    def test_num_communities(self, fig3):
+        index = ICPIndex(fig3).build()
+        assert index.num_communities(3) == 8
+
+    def test_footprint_positive(self, fig3):
+        index = ICPIndex(fig3).build()
+        assert index.index_entries() > 0
+        assert index.is_built
+        assert index.build_seconds > 0
+
+    def test_validation(self, fig3):
+        index = ICPIndex(fig3).build(gammas=[2])
+        with pytest.raises(QueryParameterError):
+            index.query(0, 2)
+
+
+class TestCrossAlgorithmAgreement:
+    """All five top-k algorithms agree on a batch of random graphs."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_all_agree(self, seed):
+        from repro import LocalSearchP
+
+        g = random_graph(22, 0.25, seed, weights="shuffled")
+        k, gamma = 5, 2
+        expected = reference_top_k(g, k, gamma)
+        ls = top_k_influential_communities(g, k, gamma)
+        lsp = LocalSearchP(g, gamma=gamma).run(k=k)
+        fw = forward(g, k, gamma)
+        oa = online_all(g, k, gamma)
+        bw = backward(g, k, gamma)
+        for result in (ls, lsp, fw, oa, bw):
+            assert pairs(g, result) == expected

@@ -1,0 +1,135 @@
+"""Unit tests for GraphBuilder: tie policies, loops, parallel edges."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    DuplicateWeightError,
+    GraphConstructionError,
+    SelfLoopError,
+)
+from repro.graph.builder import GraphBuilder, graph_from_arrays
+
+
+class TestBasics:
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphConstructionError):
+            GraphBuilder().build()
+
+    def test_single_vertex(self):
+        b = GraphBuilder()
+        b.add_vertex("only", 1.0)
+        g = b.build()
+        assert g.num_vertices == 1
+        assert g.num_edges == 0
+
+    def test_rank_order_follows_weights(self):
+        b = GraphBuilder()
+        b.add_vertex("low", 1.0)
+        b.add_vertex("high", 9.0)
+        b.add_vertex("mid", 5.0)
+        g = b.build()
+        assert [g.label(r) for r in range(3)] == ["high", "mid", "low"]
+
+    def test_edge_creates_endpoints(self):
+        b = GraphBuilder()
+        b.add_edge("a", "b")
+        g = b.build()
+        assert g.num_vertices == 2
+        assert g.num_edges == 1
+
+    def test_set_weights_bulk(self):
+        b = GraphBuilder()
+        b.add_edge("a", "b")
+        b.set_weights({"a": 1.0, "b": 2.0})
+        g = b.build()
+        assert g.rank_of("b") == 0
+
+
+class TestSelfLoops:
+    def test_rejected_by_default(self):
+        b = GraphBuilder()
+        with pytest.raises(SelfLoopError):
+            b.add_edge("a", "a")
+
+    def test_dropped_when_configured(self):
+        b = GraphBuilder(drop_self_loops=True)
+        b.add_edge("a", "a")
+        b.add_edge("a", "b")
+        g = b.build()
+        assert g.num_edges == 1
+        assert b.dropped_self_loops == 1
+
+
+class TestParallelEdges:
+    def test_merged(self):
+        b = GraphBuilder()
+        b.add_edge("a", "b")
+        b.add_edge("b", "a")
+        b.add_edge("a", "b")
+        g = b.build()
+        assert g.num_edges == 1
+        assert b.merged_parallel_edges == 2
+
+
+class TestTiePolicies:
+    def test_error_policy(self):
+        b = GraphBuilder(ties="error")
+        b.add_vertex("a", 1.0)
+        b.add_vertex("b", 1.0)
+        with pytest.raises(DuplicateWeightError):
+            b.build()
+
+    def test_rank_policy_breaks_ties_deterministically(self):
+        b = GraphBuilder(ties="rank")
+        b.add_vertex("a", 1.0)
+        b.add_vertex("b", 1.0)
+        b.add_vertex("c", 2.0)
+        g = b.build()
+        # c first (weight 2), then a before b (insertion order).
+        assert [g.label(r) for r in range(3)] == ["c", "a", "b"]
+        weights = [g.weight(r) for r in range(3)]
+        assert weights == sorted(weights, reverse=True)
+        assert len(set(weights)) == 3  # strictly distinct after de-tie
+
+    def test_jitter_policy_produces_distinct_weights(self):
+        b = GraphBuilder(ties="jitter")
+        for name in "abcd":
+            b.add_vertex(name, 7.0)
+        g = b.build()
+        weights = [g.weight(r) for r in range(4)]
+        assert len(set(weights)) == 4
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            GraphBuilder(ties="whatever")
+
+    def test_implicit_weight_vertices_rank_last(self):
+        b = GraphBuilder()
+        b.add_vertex("heavy", 10.0)
+        b.add_edge("heavy", "anon")  # anon has no weight
+        g = b.build()
+        assert g.rank_of("heavy") == 0
+        assert g.rank_of("anon") == 1
+
+
+class TestGraphFromArrays:
+    def test_identity_weights(self):
+        g = graph_from_arrays(3, [(0, 1), (1, 2)])
+        assert g.rank_of(0) == 0
+        assert g.weight(0) == 3.0
+
+    def test_explicit_weights(self):
+        g = graph_from_arrays(3, [(0, 1)], weights=[1.0, 3.0, 2.0])
+        assert g.rank_of(1) == 0
+
+    def test_weight_length_mismatch(self):
+        with pytest.raises(GraphConstructionError):
+            graph_from_arrays(3, [], weights=[1.0])
+
+    def test_adjacency_is_sorted_and_mirrored(self):
+        g = graph_from_arrays(5, [(0, 4), (1, 4), (2, 4), (3, 4)])
+        assert g.neighbors_up(4) == [0, 1, 2, 3]
+        for u in range(4):
+            assert g.neighbors_down(u) == [4]

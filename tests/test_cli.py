@@ -1,0 +1,149 @@
+"""CLI tests: all subcommands end to end."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph.io import write_edge_list, write_weights
+
+
+@pytest.fixture()
+def edge_file(tmp_path):
+    path = tmp_path / "g.txt"
+    # Two K4s with a weak bridge.
+    edges = [
+        (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3),
+        (4, 5), (4, 6), (4, 7), (5, 6), (5, 7), (6, 7),
+        (3, 4),
+    ]
+    write_edge_list(path, edges)
+    return str(path)
+
+
+@pytest.fixture()
+def weight_file(tmp_path):
+    path = tmp_path / "w.txt"
+    write_weights(path, {i: float(10 - i) for i in range(8)})
+    return str(path)
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_requires_graph_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query"])
+
+    def test_dataset_and_edges_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["query", "--dataset", "email", "--edges", "x"]
+            )
+
+
+class TestStats:
+    def test_stats_on_file(self, edge_file):
+        code, text = run_cli(["stats", "--edges", edge_file])
+        assert code == 0
+        assert "#vertices: 8" in text
+        assert "#edges: 13" in text
+        assert "gammamax: 3" in text
+
+    def test_stats_on_dataset(self):
+        code, text = run_cli(["stats", "--dataset", "email"])
+        assert code == 0
+        assert "#vertices: 2,000" in text
+
+
+class TestQuery:
+    @pytest.mark.parametrize(
+        "algorithm",
+        ["localsearch", "localsearch-p", "forward", "onlineall", "backward"],
+    )
+    def test_algorithms_agree(self, edge_file, weight_file, algorithm):
+        code, text = run_cli([
+            "query", "--edges", edge_file, "--weights", weight_file,
+            "--k", "2", "--gamma", "3", "--algorithm", algorithm,
+        ])
+        assert code == 0
+        assert "2 communities" in text
+        assert "top-1" in text and "top-2" in text
+        # With weights 10..3, the heavy K4 {0,1,2,3} has influence 7.
+        assert "influence=7" in text
+
+    def test_members_flag(self, edge_file, weight_file):
+        code, text = run_cli([
+            "query", "--edges", edge_file, "--weights", weight_file,
+            "--k", "1", "--gamma", "3", "--members",
+        ])
+        assert code == 0
+        assert "members:" in text
+
+    def test_truss_algorithm(self, edge_file, weight_file):
+        code, text = run_cli([
+            "query", "--edges", edge_file, "--weights", weight_file,
+            "--k", "1", "--gamma", "4", "--algorithm", "truss",
+        ])
+        assert code == 0
+        assert "size=4" in text
+
+    def test_noncontainment_algorithm(self, edge_file, weight_file):
+        # Only the heavy K4 is non-containment: the influence-3 community
+        # is the whole graph, which contains it (Definition 5.1).
+        code, text = run_cli([
+            "query", "--edges", edge_file, "--weights", weight_file,
+            "--k", "2", "--gamma", "3", "--algorithm", "noncontainment",
+        ])
+        assert code == 0
+        assert "1 communities" in text
+        assert "influence=7" in text
+
+    def test_query_on_dataset(self):
+        code, text = run_cli([
+            "query", "--dataset", "email", "--k", "3", "--gamma", "5",
+        ])
+        assert code == 0
+        assert "3 communities" in text
+
+
+class TestStream:
+    def test_limit(self, edge_file, weight_file):
+        code, text = run_cli([
+            "stream", "--edges", edge_file, "--weights", weight_file,
+            "--gamma", "3", "--limit", "1",
+        ])
+        assert code == 0
+        assert "limit 1 reached" in text
+
+    def test_min_influence(self, edge_file, weight_file):
+        code, text = run_cli([
+            "stream", "--edges", edge_file, "--weights", weight_file,
+            "--gamma", "3", "--min-influence", "6.5",
+        ])
+        assert code == 0
+        assert "top-1" in text
+        assert "fell below" in text
+
+    def test_decreasing_influences(self, edge_file, weight_file):
+        code, text = run_cli([
+            "stream", "--edges", edge_file, "--weights", weight_file,
+            "--gamma", "3",
+        ])
+        values = [
+            float(line.split("influence=")[1].split()[0])
+            for line in text.splitlines()
+            if "influence=" in line
+        ]
+        assert values == sorted(values, reverse=True)
+        assert len(values) == 2

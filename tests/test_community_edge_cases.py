@@ -1,0 +1,166 @@
+"""Edge cases and failure injection across the public API.
+
+Degenerate graphs, boundary parameters, and deliberately awkward inputs:
+the situations a downstream user will hit first.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    LocalSearch,
+    LocalSearchP,
+    top_k_influential_communities,
+    top_k_noncontainment_communities,
+    top_k_truss_communities,
+)
+from repro.graph.builder import GraphBuilder, graph_from_arrays
+from repro.graph.subgraph import PrefixView
+from repro.core.count import construct_cvs
+
+
+class TestDegenerateGraphs:
+    def test_single_vertex(self):
+        g = graph_from_arrays(1, [])
+        assert top_k_influential_communities(g, 1, 1).communities == []
+
+    def test_single_edge(self):
+        g = graph_from_arrays(2, [(0, 1)])
+        result = top_k_influential_communities(g, 1, 1)
+        assert len(result.communities) == 1
+        assert result.communities[0].num_vertices == 2
+
+    def test_no_edges(self):
+        g = graph_from_arrays(5, [])
+        assert top_k_influential_communities(g, 3, 1).communities == []
+        assert list(LocalSearchP(g, gamma=1).stream()) == []
+
+    def test_star_gamma1(self):
+        g = graph_from_arrays(6, [(0, i) for i in range(1, 6)])
+        # Top-1: the centre + the heaviest leaf (influence 5); the whole
+        # star is the lowest-influence community in the chain.
+        result = top_k_influential_communities(g, 1, 1)
+        assert result.communities[0].num_vertices == 2
+        full = list(LocalSearchP(g, gamma=1).stream())
+        assert len(full) == 5
+        assert full[-1].num_vertices == 6
+
+    def test_star_gamma2(self):
+        g = graph_from_arrays(6, [(0, i) for i in range(1, 6)])
+        assert top_k_influential_communities(g, 1, 2).communities == []
+
+    def test_self_contained_component_per_weight_level(self):
+        # A disconnected graph: 3 triangles at separate weight bands.
+        edges = []
+        for base in (0, 3, 6):
+            edges += [(base, base + 1), (base, base + 2),
+                      (base + 1, base + 2)]
+        g = graph_from_arrays(9, edges)
+        communities = list(LocalSearchP(g, gamma=2).stream())
+        assert len(communities) == 3
+        assert [c.num_vertices for c in communities] == [3, 3, 3]
+
+    def test_path_graph_communities_nest(self):
+        g = graph_from_arrays(6, [(i, i + 1) for i in range(5)])
+        communities = list(LocalSearchP(g, gamma=1).stream())
+        # Each suffix-removal yields one community; all nested prefixes.
+        influences = [c.influence for c in communities]
+        assert influences == sorted(influences, reverse=True)
+        top = communities[0]
+        assert top.num_vertices == 2  # the two heaviest vertices
+
+
+class TestBoundaryParameters:
+    def test_gamma_equals_degeneracy(self, two_cliques):
+        result = top_k_influential_communities(two_cliques, 5, 3)
+        assert len(result.communities) == 2
+
+    def test_gamma_above_degeneracy(self, two_cliques):
+        assert top_k_influential_communities(
+            two_cliques, 1, 99
+        ).communities == []
+
+    def test_k_equals_total(self, fig3):
+        result = top_k_influential_communities(fig3, 8, 3)
+        assert len(result.communities) == 8
+
+    def test_huge_delta_still_correct(self, fig3):
+        result = LocalSearch(fig3, gamma=3, delta=1e6).search(4)
+        assert len(result.communities) == 4
+        # One growth step jumps to the whole graph.
+        assert result.stats.rounds <= 2
+
+    def test_delta_just_above_one(self, fig3):
+        result = LocalSearch(fig3, gamma=3, delta=1.0001).search(4)
+        assert len(result.communities) == 4
+
+    def test_truss_gamma_boundary(self, triangle):
+        assert len(top_k_truss_communities(triangle, 1, 3).communities) == 1
+        assert top_k_truss_communities(triangle, 1, 4).communities == []
+
+
+class TestAwkwardWeights:
+    def test_negative_weights(self):
+        b = GraphBuilder()
+        for i, w in enumerate([-1.0, -2.0, -3.0, -4.0]):
+            b.add_vertex(i, w)
+        for i in range(4):
+            for j in range(i + 1, 4):
+                b.add_edge(i, j)
+        g = b.build()
+        result = top_k_influential_communities(g, 1, 3)
+        assert result.communities[0].influence == -4.0
+
+    def test_tiny_float_weights(self):
+        b = GraphBuilder()
+        for i in range(4):
+            b.add_vertex(i, 1e-12 * (4 - i))
+        for i in range(4):
+            for j in range(i + 1, 4):
+                b.add_edge(i, j)
+        result = top_k_influential_communities(b.build(), 1, 3)
+        assert result.communities[0].num_vertices == 4
+
+    def test_all_equal_weights_detied(self):
+        b = GraphBuilder(ties="rank")
+        for i in range(4):
+            b.add_vertex(i, 5.0)
+        for i in range(4):
+            for j in range(i + 1, 4):
+                b.add_edge(i, j)
+        g = b.build()
+        result = top_k_influential_communities(g, 1, 3)
+        assert len(result.communities) == 1
+
+    def test_string_labels_everywhere(self):
+        from repro import WeightedGraph
+
+        g = WeightedGraph.from_edges(
+            [("a", "b"), ("b", "c"), ("a", "c")],
+            weights={"a": 3.0, "b": 2.0, "c": 1.0},
+        )
+        result = top_k_influential_communities(g, 1, 2)
+        assert sorted(result.communities[0].vertices) == ["a", "b", "c"]
+        assert result.communities[0].keynode_label == "c"
+
+
+class TestStopRankEdgeCases:
+    def test_stop_rank_equal_to_prefix(self, fig3):
+        record = construct_cvs(PrefixView(fig3, 7), 3, stop_rank=7)
+        assert record.keys == []
+
+    def test_progressive_single_round_graph(self):
+        # gamma+1 >= n: the first round is already the whole graph.
+        g = graph_from_arrays(4, [(i, j) for i in range(4)
+                                  for j in range(i + 1, 4)])
+        communities = list(LocalSearchP(g, gamma=3).stream())
+        assert len(communities) == 1
+
+    def test_abandoned_stream_is_resumable_via_new_searcher(self, fig3):
+        stream = LocalSearchP(fig3, gamma=3).stream()
+        first = next(stream)
+        del stream  # abandon mid-flight
+        again = list(LocalSearchP(fig3, gamma=3).stream())
+        assert again[0].influence == first.influence
+        assert len(again) == 8

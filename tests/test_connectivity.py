@@ -1,0 +1,88 @@
+"""Connectivity helpers vs networkx."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.builder import graph_from_arrays
+from repro.graph.connectivity import (
+    bfs_order,
+    component_of,
+    connected_components,
+    is_connected_subset,
+)
+from repro.graph.subgraph import PrefixView
+from tests.conftest import random_graph
+
+
+class TestComponentOf:
+    def test_two_components(self, two_cliques):
+        view = PrefixView.whole(two_cliques)
+        alive = [True] * 8
+        assert sorted(component_of(view, 0, alive)) == [0, 1, 2, 3]
+        assert sorted(component_of(view, 5, alive)) == [4, 5, 6, 7]
+
+    def test_dead_source(self, two_cliques):
+        view = PrefixView.whole(two_cliques)
+        alive = [False] * 8
+        assert component_of(view, 0, alive) == []
+
+    def test_alive_mask_cuts_component(self):
+        g = graph_from_arrays(4, [(0, 1), (1, 2), (2, 3)])
+        view = PrefixView.whole(g)
+        alive = [True, True, False, True]
+        assert sorted(component_of(view, 0, alive)) == [0, 1]
+
+
+class TestConnectedComponents:
+    def test_counts(self, two_cliques):
+        view = PrefixView.whole(two_cliques)
+        comps = connected_components(view, [True] * 8)
+        assert sorted(len(c) for c in comps) == [4, 4]
+
+    def test_against_networkx(self):
+        nx = pytest.importorskip("networkx")
+        g = random_graph(30, 0.05, 17)
+        view = PrefixView.whole(g)
+        comps = connected_components(view, [True] * 30)
+        ng = nx.Graph()
+        ng.add_nodes_from(range(30))
+        ng.add_edges_from(g.iter_edges())
+        expected = sorted(len(c) for c in nx.connected_components(ng))
+        assert sorted(len(c) for c in comps) == expected
+
+    def test_partition(self):
+        g = random_graph(25, 0.08, 23)
+        view = PrefixView.whole(g)
+        comps = connected_components(view, [True] * 25)
+        seen = [r for comp in comps for r in comp]
+        assert sorted(seen) == list(range(25))
+
+
+class TestIsConnectedSubset:
+    def test_trivial(self, triangle):
+        view = PrefixView.whole(triangle)
+        assert is_connected_subset(view, [])
+        assert is_connected_subset(view, [1])
+
+    def test_connected(self, triangle):
+        view = PrefixView.whole(triangle)
+        assert is_connected_subset(view, [0, 1, 2])
+
+    def test_disconnected(self, two_cliques):
+        view = PrefixView.whole(two_cliques)
+        assert not is_connected_subset(view, [0, 5])
+
+
+class TestBfsOrder:
+    def test_distances(self):
+        g = graph_from_arrays(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        view = PrefixView.whole(g)
+        dist = bfs_order(view, 0, [True] * 5)
+        assert dist == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_respects_alive(self):
+        g = graph_from_arrays(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        view = PrefixView.whole(g)
+        dist = bfs_order(view, 0, [True, True, False, True, True])
+        assert dist == {0: 0, 1: 1}

@@ -1,0 +1,117 @@
+"""k-core machinery vs brute force and networkx."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.builder import graph_from_arrays
+from repro.graph.core_decomposition import (
+    core_decomposition,
+    degeneracy,
+    gamma_core,
+    gamma_core_members,
+)
+from repro.graph.subgraph import PrefixView
+from tests.conftest import random_graph
+
+
+def brute_gamma_core(edges, n, gamma):
+    """Reference gamma-core by repeated scanning."""
+    alive = set(range(n))
+    adj = {u: set() for u in range(n)}
+    for u, v in edges:
+        adj[u].add(v)
+        adj[v].add(u)
+    changed = True
+    while changed:
+        changed = False
+        for u in list(alive):
+            if sum(1 for w in adj[u] if w in alive) < gamma:
+                alive.discard(u)
+                changed = True
+    return alive
+
+
+class TestGammaCore:
+    def test_triangle(self, triangle):
+        alive, _ = gamma_core(PrefixView.whole(triangle), 2)
+        assert all(alive)
+        alive, _ = gamma_core(PrefixView.whole(triangle), 3)
+        assert not any(alive)
+
+    def test_gamma_zero(self, triangle):
+        alive, _ = gamma_core(PrefixView.whole(triangle), 0)
+        assert all(alive)
+
+    def test_negative_gamma(self, triangle):
+        with pytest.raises(ValueError):
+            gamma_core(PrefixView.whole(triangle), -1)
+
+    def test_members_helper(self, two_cliques):
+        members = gamma_core_members(PrefixView.whole(two_cliques), 3)
+        assert members == list(range(8))
+
+    def test_prefix_restriction(self, two_cliques):
+        # Only the first clique is in the prefix.
+        members = gamma_core_members(PrefixView(two_cliques, 4), 3)
+        assert members == [0, 1, 2, 3]
+
+    def test_cascade(self):
+        # Pendant chain hanging off a triangle collapses for gamma=2.
+        g = graph_from_arrays(
+            6, [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 5)]
+        )
+        members = gamma_core_members(PrefixView.whole(g), 2)
+        assert members == [0, 1, 2]
+
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("gamma", [1, 2, 3, 4])
+    def test_matches_brute_force(self, seed, gamma):
+        g = random_graph(18, 0.25, seed)
+        edges = [(g.label(u), g.label(v)) for u, v in g.iter_edges()]
+        expected = brute_gamma_core(edges, 18, gamma)
+        got = {
+            g.label(r)
+            for r in gamma_core_members(PrefixView.whole(g), gamma)
+        }
+        assert got == expected
+
+
+class TestCoreDecomposition:
+    def test_clique(self, two_cliques):
+        cores = core_decomposition(two_cliques)
+        assert cores == [3] * 8
+
+    def test_star(self):
+        g = graph_from_arrays(5, [(0, i) for i in range(1, 5)])
+        assert core_decomposition(g) == [1] * 5
+
+    def test_core_number_definition(self):
+        """core[u] is the max gamma whose gamma-core contains u."""
+        g = random_graph(20, 0.3, 3)
+        cores = core_decomposition(g)
+        for gamma in range(1, max(cores) + 2):
+            members = set(gamma_core_members(PrefixView.whole(g), gamma))
+            expected = {u for u in range(20) if cores[u] >= gamma}
+            assert members == expected
+
+    def test_against_networkx(self):
+        nx = pytest.importorskip("networkx")
+        g = random_graph(40, 0.15, 9)
+        ng = nx.Graph()
+        ng.add_nodes_from(range(40))
+        ng.add_edges_from(
+            (g.label(u), g.label(v)) for u, v in g.iter_edges()
+        )
+        expected = nx.core_number(ng)
+        cores = core_decomposition(g)
+        got = {g.label(r): cores[r] for r in range(40)}
+        assert got == expected
+
+    def test_degeneracy(self, two_cliques):
+        assert degeneracy(two_cliques) == 3
+
+    def test_empty_like(self):
+        g = graph_from_arrays(1, [])
+        assert core_decomposition(g) == [0]
+        assert degeneracy(g) == 0

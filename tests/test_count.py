@@ -1,0 +1,127 @@
+"""CountIC / peel_cvs unit tests (Algorithm 2 / 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.count import construct_cvs, count_communities, peel_cvs
+from repro.core.reference import reference_communities, reference_keynodes
+from repro.graph.builder import graph_from_arrays
+from repro.graph.subgraph import PrefixView
+from tests.conftest import random_graph
+
+
+class TestBasics:
+    def test_triangle_gamma2(self, triangle):
+        record = construct_cvs(PrefixView.whole(triangle), 2)
+        assert record.num_communities == 1
+        assert record.keys == [2]  # the min-weight vertex
+        assert record.cvs == [2, 1, 0] or set(record.cvs) == {0, 1, 2}
+
+    def test_triangle_gamma3(self, triangle):
+        record = construct_cvs(PrefixView.whole(triangle), 3)
+        assert record.num_communities == 0
+        assert record.cvs == []
+
+    def test_gamma_validation(self, triangle):
+        with pytest.raises(ValueError):
+            peel_cvs([[1], [0]], 0)
+
+    def test_empty_adjacency(self):
+        record = peel_cvs([], 1)
+        assert record.num_communities == 0
+
+    def test_two_cliques_two_keynodes(self, two_cliques):
+        record = construct_cvs(PrefixView.whole(two_cliques), 3)
+        assert record.keys == [7, 3]
+        groups = [set(record.group(i)) for i in range(2)]
+        assert groups == [{4, 5, 6, 7}, {0, 1, 2, 3}]
+
+    def test_keys_strictly_decreasing_rank(self, fig3):
+        record = construct_cvs(PrefixView.whole(fig3), 3)
+        assert record.keys == sorted(record.keys, reverse=True)
+
+    def test_cvs_partitioned_by_groups(self, fig3):
+        record = construct_cvs(PrefixView.whole(fig3), 3)
+        rebuilt = []
+        for i in range(len(record.keys)):
+            rebuilt.extend(record.group(i))
+        assert rebuilt == record.cvs
+
+    def test_cvs_has_no_duplicates(self, fig3):
+        record = construct_cvs(PrefixView.whole(fig3), 3)
+        assert len(set(record.cvs)) == len(record.cvs)
+
+
+class TestAgainstReference:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("gamma", [1, 2, 3])
+    def test_count_matches_reference(self, seed, gamma):
+        g = random_graph(16, 0.25, seed, weights="shuffled")
+        expected = len(reference_communities(g, gamma))
+        assert count_communities(PrefixView.whole(g), gamma) == expected
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_keynodes_match_reference(self, seed):
+        g = random_graph(16, 0.3, seed, weights="shuffled")
+        record = construct_cvs(PrefixView.whole(g), 2)
+        assert sorted(record.keys) == reference_keynodes(g, 2)
+
+    @pytest.mark.parametrize("gamma", [1, 2, 3, 4])
+    def test_count_monotone_in_prefix(self, gamma):
+        """Lemma 3.1: the number of communities grows as tau decreases."""
+        g = random_graph(20, 0.3, 77, weights="shuffled")
+        previous = 0
+        for p in range(0, 21, 4):
+            count = count_communities(PrefixView(g, p), gamma)
+            assert count >= previous
+            previous = count
+
+    @pytest.mark.parametrize("gamma", [1, 2, 3, 4, 5])
+    def test_count_antitone_in_gamma(self, gamma):
+        """Tighter cohesiveness can only reduce the community count."""
+        g = random_graph(20, 0.35, 88, weights="shuffled")
+        view = PrefixView.whole(g)
+        assert count_communities(view, gamma) >= count_communities(
+            view, gamma + 1
+        )
+
+
+class TestStopRank:
+    def test_stop_rank_zero_is_full_peel(self, fig3):
+        full = construct_cvs(PrefixView.whole(fig3), 3)
+        stopped = construct_cvs(PrefixView.whole(fig3), 3, stop_rank=0)
+        assert full.keys == stopped.keys
+
+    def test_suffix_property_random(self):
+        """keys/cvs of a smaller prefix is a suffix of the larger one's,
+        and stop_rank computes exactly the complement (Section 4)."""
+        g = random_graph(24, 0.3, 5, weights="shuffled")
+        for gamma in (2, 3):
+            for p_small in (8, 12, 16):
+                small = construct_cvs(PrefixView(g, p_small), gamma)
+                large = construct_cvs(PrefixView(g, 24), gamma)
+                delta = construct_cvs(
+                    PrefixView(g, 24), gamma, stop_rank=p_small
+                )
+                assert delta.keys + small.keys == large.keys
+                assert delta.cvs + small.cvs == large.cvs
+
+    def test_stop_rank_beyond_all_keys(self, fig3):
+        record = construct_cvs(
+            PrefixView.whole(fig3), 3, stop_rank=fig3.num_vertices
+        )
+        assert record.keys == []
+
+
+class TestRecordAccessors:
+    def test_group_bounds(self, fig3):
+        record = construct_cvs(PrefixView.whole(fig3), 3)
+        for i in range(len(record.keys)):
+            start, stop = record.group_bounds(i)
+            assert record.cvs[start:stop] == record.group(i)
+
+    def test_nc_requires_tracking(self, fig3):
+        record = construct_cvs(PrefixView.whole(fig3), 3)
+        with pytest.raises(ValueError):
+            _ = record.num_noncontainment

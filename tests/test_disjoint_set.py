@@ -1,0 +1,149 @@
+"""Unit and model-based tests for the union-find structures."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.disjoint_set import DisjointSet, KeyedDisjointSet
+
+
+class TestDisjointSet:
+    def test_singletons(self):
+        ds = DisjointSet()
+        assert ds.find(1) == 1
+        assert ds.find(2) == 2
+        assert not ds.connected(1, 2)
+        assert ds.set_count == 2
+
+    def test_union(self):
+        ds = DisjointSet()
+        assert ds.union(1, 2) is True
+        assert ds.union(1, 2) is False
+        assert ds.connected(1, 2)
+        assert ds.set_count == 1
+
+    def test_transitivity(self):
+        ds = DisjointSet()
+        ds.union("a", "b")
+        ds.union("b", "c")
+        assert ds.connected("a", "c")
+        assert ds.size_of("a") == 3
+
+    def test_contains_and_len(self):
+        ds = DisjointSet()
+        ds.make_set(5)
+        assert 5 in ds
+        assert 6 not in ds
+        assert len(ds) == 1
+
+    def test_connected_untouched(self):
+        ds = DisjointSet()
+        assert not ds.connected(1, 2)
+
+    def test_iter_elements(self):
+        ds = DisjointSet()
+        ds.union(1, 2)
+        assert sorted(ds.iter_elements()) == [1, 2]
+
+    @given(st.lists(st.tuples(st.integers(0, 15), st.integers(0, 15)),
+                    max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_naive_model(self, pairs):
+        """Union-find agrees with a naive set-merging model."""
+        ds = DisjointSet()
+        model = {}  # element -> frozenset id (represented by set object)
+        for a, b in pairs:
+            for x in (a, b):
+                if x not in model:
+                    model[x] = {x}
+            if model[a] is not model[b]:
+                merged = model[a] | model[b]
+                for x in merged:
+                    model[x] = merged
+            ds.union(a, b)
+        for a in model:
+            for b in model:
+                assert ds.connected(a, b) == (model[a] is model[b])
+
+
+class TestKeyedDisjointSet:
+    def test_untouched_vertex_has_no_key(self):
+        v2k = KeyedDisjointSet()
+        assert v2k.key_of(1) is None
+        assert 1 not in v2k
+
+    def test_assign_and_lookup(self):
+        v2k = KeyedDisjointSet()
+        v2k.assign(1, 100)
+        v2k.assign(2, 100)
+        assert v2k.key_of(1) == 100
+        assert v2k.key_of(2) == 100
+        assert 1 in v2k
+
+    def test_union_into_relabels(self):
+        # Mirrors EnumIC: community 100 built first (higher weight), then
+        # community 50 absorbs it.
+        v2k = KeyedDisjointSet()
+        v2k.assign(1, 100)
+        v2k.assign(2, 100)
+        v2k.assign(3, 50)
+        v2k.union_into(1, 50)
+        assert v2k.key_of(1) == 50
+        assert v2k.key_of(2) == 50  # whole set relabelled
+        assert v2k.key_of(3) == 50
+
+    def test_union_into_same_set_is_noop(self):
+        v2k = KeyedDisjointSet()
+        v2k.assign(1, 9)
+        v2k.union_into(1, 9)
+        assert v2k.key_of(1) == 9
+
+    def test_chained_absorption(self):
+        # 300 absorbed by 200, then 200's set absorbed by 100.
+        v2k = KeyedDisjointSet()
+        v2k.assign(1, 300)
+        v2k.assign(2, 200)
+        v2k.union_into(1, 200)
+        v2k.assign(3, 100)
+        v2k.union_into(2, 100)
+        assert v2k.key_of(1) == 100
+        assert v2k.key_of(2) == 100
+        assert v2k.key_of(3) == 100
+
+    def test_union_into_fresh_key(self):
+        # Merging into a key that has no set yet simply relabels.
+        v2k = KeyedDisjointSet()
+        v2k.assign(1, 7)
+        v2k.union_into(1, 3)
+        assert v2k.key_of(1) == 3
+
+    @given(st.lists(st.integers(0, 9), min_size=1, max_size=10, unique=True))
+    @settings(max_examples=40, deadline=None)
+    def test_enumic_processing_pattern(self, keynodes):
+        """Simulate EnumIC's access pattern: each vertex assigned once to a
+        fresh key (decreasing keys), later keys absorb earlier sets."""
+        v2k = KeyedDisjointSet()
+        rng = random.Random(42)
+        assigned = {}
+        groups = {}
+        for i, key in enumerate(keynodes):
+            vertex = 1000 + i
+            v2k.assign(vertex, key)
+            assigned[vertex] = key
+            groups[key] = vertex
+            # Absorb a random earlier key's set.
+            earlier = [k for k in groups if k != key]
+            if earlier:
+                absorbed = rng.choice(earlier)
+                v2k.union_into(groups[absorbed], key)
+                for v, k in assigned.items():
+                    if k == absorbed:
+                        assigned[v] = key
+                groups.pop(absorbed)
+                groups[key] = vertex
+        for vertex, key in assigned.items():
+            assert v2k.key_of(vertex) == key

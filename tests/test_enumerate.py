@@ -1,0 +1,130 @@
+"""EnumIC tests: community reconstruction from keys/cvs (Algorithm 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.count import construct_cvs
+from repro.core.enumerate import (
+    EnumerationState,
+    enumerate_progressive,
+    enumerate_top_k,
+)
+from repro.core.reference import reference_communities
+from repro.graph.subgraph import PrefixView
+from tests.conftest import random_graph
+
+
+class TestEnumerateTopK:
+    def test_requires_nbrs(self, fig3):
+        record = construct_cvs(PrefixView.whole(fig3), 3)
+        record.nbrs = None
+        with pytest.raises(ValueError):
+            enumerate_top_k(fig3, record, 1)
+
+    def test_k_larger_than_available(self, fig3):
+        record = construct_cvs(PrefixView.whole(fig3), 3)
+        communities = enumerate_top_k(fig3, record, 1000)
+        assert len(communities) == record.num_communities
+
+    def test_k_none_returns_all(self, fig3):
+        record = construct_cvs(PrefixView.whole(fig3), 3)
+        communities = enumerate_top_k(fig3, record)
+        assert len(communities) == record.num_communities
+
+    def test_decreasing_influence(self, fig3):
+        record = construct_cvs(PrefixView.whole(fig3), 3)
+        influences = [c.influence for c in enumerate_top_k(fig3, record)]
+        assert influences == sorted(influences, reverse=True)
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("gamma", [2, 3])
+    def test_members_match_reference(self, seed, gamma):
+        g = random_graph(16, 0.3, seed, weights="shuffled")
+        record = construct_cvs(PrefixView.whole(g), gamma)
+        got = [
+            (c.influence, frozenset(c.vertex_ranks))
+            for c in enumerate_top_k(g, record)
+        ]
+        expected = [
+            (inf, members)
+            for inf, members in reference_communities(g, gamma)
+        ]
+        assert got == expected
+
+    def test_keynode_is_min_weight_member(self, fig3):
+        record = construct_cvs(PrefixView.whole(fig3), 3)
+        for community in enumerate_top_k(fig3, record):
+            ranks = community.vertex_ranks
+            assert max(ranks) == community.keynode  # max rank = min weight
+            assert community.influence == fig3.weight(community.keynode)
+
+    def test_children_disjoint(self, fig3):
+        record = construct_cvs(PrefixView.whole(fig3), 3)
+        for community in enumerate_top_k(fig3, record):
+            child_sets = [set(c.vertex_ranks) for c in community.children]
+            for i in range(len(child_sets)):
+                for j in range(i + 1, len(child_sets)):
+                    assert child_sets[i].isdisjoint(child_sets[j])
+
+    def test_num_vertices_matches_materialisation(self, fig3):
+        record = construct_cvs(PrefixView.whole(fig3), 3)
+        for community in enumerate_top_k(fig3, record):
+            assert community.num_vertices == len(set(community.vertex_ranks))
+
+
+class TestCommunityObject:
+    def test_edges_and_min_degree(self, fig3):
+        record = construct_cvs(PrefixView.whole(fig3), 3)
+        for community in enumerate_top_k(fig3, record):
+            assert community.min_degree() >= 3
+            assert community.num_edges() == len(community.edges())
+
+    def test_contains(self, fig3):
+        record = construct_cvs(PrefixView.whole(fig3), 3)
+        top = enumerate_top_k(fig3, record, 1)[0]
+        assert top.keynode in top
+        assert (fig3.rank_of("v14")) not in top
+
+    def test_ordering(self, fig3):
+        record = construct_cvs(PrefixView.whole(fig3), 3)
+        communities = enumerate_top_k(fig3, record, 2)
+        assert communities[1] < communities[0]
+
+    def test_len(self, fig3):
+        record = construct_cvs(PrefixView.whole(fig3), 3)
+        top = enumerate_top_k(fig3, record, 1)[0]
+        assert len(top) == 4
+
+
+class TestProgressiveEnumeration:
+    def test_shared_state_links_across_rounds(self, fig3):
+        state = EnumerationState()
+        round1 = construct_cvs(PrefixView(fig3, 7), 3)
+        round2 = construct_cvs(PrefixView(fig3, 13), 3, stop_rank=7)
+        first = list(enumerate_progressive(fig3, round1, state))
+        assert len(first) == 1
+        second = list(enumerate_progressive(fig3, round2, state))
+        assert len(second) == 3
+        by_key = {c.keynode_label: c for c in first + second}
+        # v13's community (round 2) must absorb v11's (round 1).
+        assert [c.keynode_label for c in by_key["v13"].children] == ["v11"]
+
+    def test_progressive_equals_batch(self):
+        g = random_graph(24, 0.3, 13, weights="shuffled")
+        gamma = 2
+        state = EnumerationState()
+        out = []
+        for p_prev, p in ((0, 8), (8, 16), (16, 24)):
+            record = construct_cvs(PrefixView(g, p), gamma, stop_rank=p_prev)
+            out.extend(enumerate_progressive(g, record, state))
+        batch = enumerate_top_k(
+            g, construct_cvs(PrefixView(g, 24), gamma)
+        )
+        got = sorted(
+            (c.influence, frozenset(c.vertex_ranks)) for c in out
+        )
+        expected = sorted(
+            (c.influence, frozenset(c.vertex_ranks)) for c in batch
+        )
+        assert got == expected

@@ -1,0 +1,137 @@
+"""Dataset-scale integration tests: all pieces working together.
+
+Unit tests validate each module against oracles on small graphs; these
+tests run the full pipelines on the (smallest) Table-1 stand-in and check
+cross-algorithm agreement and the structural guarantees end to end.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    LocalSearch,
+    LocalSearchP,
+    top_k_influential_communities,
+    top_k_noncontainment_communities,
+    top_k_truss_communities,
+)
+from repro.baselines import (
+    ICPIndex,
+    backward,
+    forward,
+    forward_noncontainment,
+    online_all,
+)
+from repro.core.truss_search import global_search_truss
+
+
+@pytest.mark.parametrize("k,gamma", [(1, 5), (5, 10), (20, 10), (10, 15)])
+class TestFiveWayAgreement:
+    def test_all_top_k_algorithms_agree(self, email_graph, k, gamma):
+        expected = top_k_influential_communities(
+            email_graph, k=k, gamma=gamma
+        )
+        pairs = [
+            (c.influence, frozenset(c.vertex_ranks))
+            for c in expected.communities
+        ]
+        for runner in (
+            lambda: LocalSearchP(email_graph, gamma=gamma).run(k=k),
+            lambda: forward(email_graph, k, gamma),
+            lambda: online_all(email_graph, k, gamma),
+            lambda: backward(email_graph, k, gamma),
+        ):
+            result = runner()
+            assert [
+                (c.influence, frozenset(c.vertex_ranks))
+                for c in result.communities
+            ] == pairs
+
+
+class TestStructuralGuarantees:
+    def test_every_community_is_valid(self, email_graph):
+        gamma = 8
+        result = top_k_influential_communities(email_graph, k=25, gamma=gamma)
+        for community in result.communities:
+            assert community.min_degree() >= gamma
+            ranks = community.vertex_ranks
+            assert max(ranks) == community.keynode
+            assert community.influence == email_graph.weight(
+                community.keynode
+            )
+
+    def test_progressive_prefix_of_full_enumeration(self, email_graph):
+        full = LocalSearchP(email_graph, gamma=10).run().influences
+        partial = LocalSearchP(email_graph, gamma=10).run(k=30).influences
+        assert partial == full[:30]
+
+    def test_nc_communities_disjoint_and_valid(self, email_graph):
+        result = top_k_noncontainment_communities(email_graph, k=5, gamma=5)
+        seen = set()
+        for community in result.communities:
+            members = set(community.vertex_ranks)
+            assert not (members & seen)
+            seen |= members
+            assert community.min_degree() >= 5
+
+    def test_nc_agrees_with_forward_nc(self, email_graph):
+        local = top_k_noncontainment_communities(email_graph, k=5, gamma=5)
+        global_ = forward_noncontainment(email_graph, 5, 5)
+        assert local.influences == global_.influences
+
+    def test_truss_local_equals_global(self, email_graph):
+        local = top_k_truss_communities(email_graph, 5, 6)
+        global_ = global_search_truss(email_graph, 5, 6)
+        assert local.influences == global_.influences
+        for a, b in zip(local.communities, global_.communities):
+            assert sorted(a.iter_edges()) == sorted(b.iter_edges())
+
+    def test_truss_nested_in_core_community(self, email_graph):
+        """Section 6 remark: gamma-truss communities live inside
+        (gamma-1)-communities of the same influence."""
+        from repro.graph.connectivity import component_of
+        from repro.graph.core_decomposition import gamma_core
+        from repro.graph.subgraph import PrefixView
+
+        gamma = 6
+        result = top_k_truss_communities(email_graph, 3, gamma)
+        for community in result.communities:
+            view = PrefixView(email_graph, community.keynode + 1)
+            alive, _ = gamma_core(view, gamma - 1)
+            enclosing = set(
+                component_of(view, community.keynode, alive)
+            )
+            assert set(community.vertex_ranks) <= enclosing
+
+
+class TestIndexConsistency:
+    def test_index_matches_online_across_gammas(self, email_graph):
+        index = ICPIndex(email_graph).build(gammas=[5, 10, 15])
+        for gamma in (5, 10, 15):
+            online = top_k_influential_communities(
+                email_graph, k=8, gamma=gamma
+            )
+            indexed = index.query(8, gamma)
+            assert [c.influence for c in indexed] == online.influences
+
+
+class TestStatsAccounting:
+    def test_locality_improves_with_smaller_k(self, email_graph):
+        sizes = []
+        for k in (1, 5, 25, 100):
+            result = LocalSearch(email_graph, gamma=10).search(k)
+            sizes.append(result.stats.accessed_size)
+        assert sizes == sorted(sizes)
+
+    def test_deeper_gamma_needs_deeper_prefix(self, email_graph):
+        shallow = LocalSearch(email_graph, gamma=5).search(10)
+        deep = LocalSearch(email_graph, gamma=15).search(10)
+        assert (
+            deep.stats.accessed_size >= shallow.stats.accessed_size
+        )
+
+    def test_counts_are_monotone_over_rounds(self, email_graph):
+        result = LocalSearch(email_graph, gamma=12).search(50)
+        counts = result.stats.counts
+        assert counts == sorted(counts)

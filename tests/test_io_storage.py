@@ -1,0 +1,185 @@
+"""I/O round-trips and the disk-resident edge store."""
+
+from __future__ import annotations
+
+import io
+import os
+
+import pytest
+
+from repro.errors import GraphConstructionError, StorageError
+from repro.graph.builder import graph_from_arrays
+from repro.graph.io import (
+    load_npz,
+    load_snap_graph,
+    read_edge_list,
+    read_weights,
+    save_npz,
+    write_edge_list,
+    write_weights,
+)
+from repro.graph.storage import (
+    FileEdgeStore,
+    IOCounter,
+    InMemoryEdgeStore,
+    edges_in_weight_order,
+)
+
+
+class TestEdgeListIO:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "g.txt"
+        edges = [(0, 1), (1, 2), (2, 0)]
+        write_edge_list(path, edges, header="test graph\nsecond line")
+        assert read_edge_list(path) == edges
+
+    def test_comments_and_blanks(self):
+        text = "# comment\n\n% other comment\n1 2\n3\t4\n"
+        assert read_edge_list(io.StringIO(text)) == [(1, 2), (3, 4)]
+
+    def test_malformed_line(self):
+        with pytest.raises(GraphConstructionError):
+            read_edge_list(io.StringIO("1\n"))
+
+    def test_non_integer(self):
+        with pytest.raises(GraphConstructionError):
+            read_edge_list(io.StringIO("a b\n"))
+
+
+class TestWeightsIO:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "w.txt"
+        weights = {0: 1.5, 1: 2.25, 7: 0.125}
+        write_weights(path, weights)
+        assert read_weights(path) == weights
+
+    def test_malformed(self):
+        with pytest.raises(GraphConstructionError):
+            read_weights(io.StringIO("1 2 3\n"))
+
+
+class TestSnapLoader:
+    def test_with_weight_file(self, tmp_path):
+        epath, wpath = tmp_path / "e.txt", tmp_path / "w.txt"
+        write_edge_list(epath, [(10, 20), (20, 30)])
+        write_weights(wpath, {10: 3.0, 20: 2.0, 30: 1.0})
+        g = load_snap_graph(epath, wpath)
+        assert g.num_vertices == 3
+        assert g.rank_of(10) == 0
+
+    def test_pagerank_default(self, tmp_path):
+        epath = tmp_path / "e.txt"
+        write_edge_list(epath, [(0, 1), (1, 2), (1, 3)])
+        g = load_snap_graph(epath)
+        assert g.rank_of(1) == 0  # the hub gets the top PageRank
+
+    def test_drops_self_loops(self, tmp_path):
+        epath = tmp_path / "e.txt"
+        write_edge_list(epath, [(0, 0), (0, 1)])
+        g = load_snap_graph(epath)
+        assert g.num_edges == 1
+
+
+class TestNpz:
+    def test_round_trip(self, tmp_path):
+        g = graph_from_arrays(5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)],
+                              weights=[5.0, 3.0, 4.0, 1.0, 2.0])
+        path = tmp_path / "g.npz"
+        save_npz(path, g)
+        g2 = load_npz(path)
+        assert g2.num_vertices == g.num_vertices
+        assert g2.num_edges == g.num_edges
+        assert sorted(g2.edges_as_labels()) == sorted(g.edges_as_labels())
+        assert g2.weights_by_label() == g.weights_by_label()
+
+
+class TestIOCounter:
+    def test_block_accounting(self):
+        counter = IOCounter(block_edges=100)
+        counter.record_read(250)
+        assert counter.edges_read == 250
+        assert counter.blocks_read == 3
+        counter.record_read(0)
+        assert counter.blocks_read == 3
+
+    def test_resident_gauge(self):
+        counter = IOCounter()
+        counter.record_resident(10)
+        counter.record_resident(5)
+        assert counter.resident_edges == 5
+        assert counter.peak_resident_edges == 10
+
+
+class TestInMemoryStore:
+    def test_from_graph_order(self):
+        g = graph_from_arrays(4, [(0, 1), (0, 3), (1, 2)])
+        store = InMemoryEdgeStore.from_graph(g)
+        edges = store.read_prefix(len(store))
+        assert [u for u, _ in edges] == sorted(u for u, _ in edges)
+
+    def test_bounds(self):
+        store = InMemoryEdgeStore([(1, 0)])
+        with pytest.raises(StorageError):
+            store.read_range(0, 2)
+
+    def test_order_validation(self):
+        with pytest.raises(StorageError):
+            InMemoryEdgeStore([(2, 0), (1, 0)])  # descending max rank
+        with pytest.raises(StorageError):
+            InMemoryEdgeStore([(0, 1)])  # wrong orientation
+
+    def test_scan_chunks(self):
+        store = InMemoryEdgeStore([(1, 0), (2, 0), (3, 1), (4, 2)])
+        chunks = list(store.scan(chunk_edges=3))
+        assert [len(c) for c in chunks] == [3, 1]
+        assert store.counter.sequential_reads == 2
+
+
+class TestFileStore:
+    def test_round_trip(self, tmp_path):
+        g = graph_from_arrays(6, [(0, 1), (1, 2), (2, 3), (0, 4), (4, 5)])
+        path = tmp_path / "edges.bin"
+        store = FileEdgeStore.create(path, g)
+        assert store.num_edges == 5
+        assert store.read_prefix(5) == list(edges_in_weight_order(g))
+
+    def test_partial_reads_accounted(self, tmp_path):
+        g = graph_from_arrays(6, [(0, 1), (1, 2), (2, 3), (0, 4), (4, 5)])
+        path = tmp_path / "edges.bin"
+        store = FileEdgeStore.create(path, g, IOCounter(block_edges=2))
+        store.read_range(1, 4)
+        assert store.counter.edges_read == 3
+        assert store.counter.blocks_read == 2
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bogus.bin"
+        path.write_bytes(b"NOTMAGIC" + b"\x00" * 8)
+        with pytest.raises(StorageError):
+            FileEdgeStore(path)
+
+    def test_truncated_file(self, tmp_path):
+        path = tmp_path / "short.bin"
+        path.write_bytes(FileEdgeStore.MAGIC + b"\x00" * 5)
+        with pytest.raises(StorageError):
+            FileEdgeStore(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(StorageError):
+            FileEdgeStore(tmp_path / "nope.bin")
+
+    def test_max_rank_column(self, tmp_path):
+        g = graph_from_arrays(6, [(0, 1), (1, 2), (2, 3), (0, 4), (4, 5)])
+        path = tmp_path / "edges.bin"
+        store = FileEdgeStore.create(path, g)
+        col = store.max_rank_column()
+        assert col == sorted(col)
+        assert len(col) == 5
+
+    def test_prefix_stop_for_rank(self, tmp_path):
+        g = graph_from_arrays(6, [(0, 1), (1, 2), (2, 3), (0, 4), (4, 5)])
+        path = tmp_path / "edges.bin"
+        store = FileEdgeStore.create(path, g)
+        col = store.max_rank_column()
+        # Edges entirely inside prefix p have max rank < p.
+        assert store.prefix_stop_for_rank(2, col) == 1  # only (1,0)
+        assert store.prefix_stop_for_rank(6, col) == 5

@@ -1,0 +1,176 @@
+"""Graph metrics, error types, and the bench harness/reporting layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import ExperimentReport, Series, measure_ms
+from repro.bench.reporting import (
+    format_report,
+    format_series_group,
+    format_table,
+)
+from repro.errors import (
+    DuplicateWeightError,
+    ReproError,
+    SelfLoopError,
+    UnknownVertexError,
+)
+from repro.graph.builder import graph_from_arrays
+from repro.graph.metrics import (
+    GraphStatistics,
+    degree_histogram,
+    graph_statistics,
+)
+
+
+class TestMetrics:
+    def test_statistics_on_clique(self, two_cliques):
+        stats = graph_statistics(two_cliques, "cliques")
+        assert stats.num_vertices == 8
+        assert stats.num_edges == 12
+        assert stats.max_degree == 3
+        assert stats.avg_degree == 3.0
+        assert stats.gamma_max == 3
+
+    def test_row_formatting(self, two_cliques):
+        stats = graph_statistics(two_cliques, "cliques")
+        row = stats.as_row()
+        assert row[0] == "cliques"
+        assert len(row) == len(GraphStatistics.header())
+
+    def test_degree_histogram(self):
+        g = graph_from_arrays(4, [(0, 1), (0, 2), (0, 3)])
+        assert degree_histogram(g) == {3: 1, 1: 3}
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(DuplicateWeightError, ReproError)
+        assert issubclass(SelfLoopError, ReproError)
+        assert issubclass(UnknownVertexError, ReproError)
+
+    def test_messages_carry_context(self):
+        err = DuplicateWeightError(3.0, "a", "b")
+        assert "3.0" in str(err)
+        err2 = UnknownVertexError("ghost")
+        assert "ghost" in str(err2)
+        err3 = SelfLoopError("x")
+        assert "x" in str(err3)
+
+
+class TestHarness:
+    def test_measure_ms_positive(self):
+        assert measure_ms(lambda: sum(range(100)), repeat=2) >= 0
+
+    def test_measure_ms_warmup(self):
+        calls = []
+        measure_ms(lambda: calls.append(1), repeat=2, warmup=3)
+        assert len(calls) == 5
+
+    def test_series(self):
+        s = Series("algo")
+        s.add(5, 10.0)
+        s.add(10, None)
+        assert s.x_values == [5, 10]
+        assert s.y_values == [10.0, None]
+
+    def test_ratio(self):
+        fast = Series("fast")
+        slow = Series("slow")
+        fast.add(1, 2.0)
+        slow.add(1, 20.0)
+        fast.add(2, None)
+        slow.add(2, 5.0)
+        assert fast.ratio_to(slow) == [10.0, None]
+
+    def test_report_groups_and_notes(self):
+        report = ExperimentReport("figX", "test")
+        report.add_series("g1", Series("a"))
+        report.note("observation")
+        assert "g1" in report.groups
+        assert report.notes == ["observation"]
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["col", "x"], [["a", "1"], ["bb", "22"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_format_series_group(self):
+        s = Series("algo")
+        s.add(5, 1.5)
+        s.add(10, None)
+        text = format_series_group("email", [s], "k")
+        assert "email" in text
+        assert "algo" in text
+        assert "-" in text  # the omitted point
+
+    def test_format_series_group_empty(self):
+        assert "(no data)" in format_series_group("x", [], "k")
+
+    def test_format_report_full(self):
+        report = ExperimentReport("figX", "demo")
+        report.header = ["a"]
+        report.rows = [["1"]]
+        s = Series("algo")
+        s.add(1, 123456.0)
+        report.add_series("grp", s)
+        report.note("done")
+        text = format_report(report)
+        assert "figX" in text
+        assert "123,456" in text
+        assert "done" in text
+
+    def test_cell_formats(self):
+        s = Series("a")
+        for value in (12345.0, 55.5, 1.2345, 0.0001):
+            s.add(1, value)
+        text = format_series_group("g", [s], "x")
+        assert "12,345" in text
+        assert "55.5" in text
+        assert "1.234" in text
+        assert "1.00e-04" in text
+
+
+class TestExperimentRegistry:
+    def test_registry_covers_every_artifact(self):
+        from repro.bench.experiments import EXPERIMENTS
+
+        expected = {
+            "table1", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+            "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "case",
+            "access", "growth", "index",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_experiment(self):
+        from repro.bench.experiments import run_experiment
+
+        with pytest.raises(SystemExit):
+            run_experiment("fig99")
+
+    def test_table1_runs(self):
+        from repro.bench.experiments import run_table1
+
+        report = run_table1(quick=True)
+        assert len(report.rows) == 8
+        text = format_report(report)
+        assert "email" in text and "twitter" in text
+
+    def test_access_fraction_runs(self):
+        from repro.bench.experiments import run_access_fraction
+
+        report = run_access_fraction(quick=True)
+        assert len(report.rows) == 8
+        for row in report.rows:
+            assert row[3].endswith("%")
+
+    def test_case_study_runs(self):
+        from repro.bench.experiments import run_case_study
+
+        report = run_case_study(quick=True)
+        as_dict = {row[0]: row[1] for row in report.rows}
+        assert as_dict["truss inside 5-community"] == "True"

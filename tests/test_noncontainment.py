@@ -1,0 +1,113 @@
+"""Non-containment community search tests (Section 5.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import LocalSearchP, top_k_noncontainment_communities
+from repro.baselines import forward_noncontainment
+from repro.core.count import construct_cvs
+from repro.core.noncontainment import noncontainment_communities_from_record
+from repro.core.reference import reference_noncontainment_communities
+from repro.errors import QueryParameterError
+from repro.graph.subgraph import PrefixView
+from tests.conftest import random_graph
+
+
+def pairs(result):
+    return [
+        (c.influence, frozenset(c.vertex_ranks)) for c in result.communities
+    ]
+
+
+class TestValidation:
+    def test_bad_k(self, fig3):
+        with pytest.raises(QueryParameterError):
+            top_k_noncontainment_communities(fig3, k=0, gamma=3)
+
+    def test_bad_gamma(self, fig3):
+        with pytest.raises(QueryParameterError):
+            top_k_noncontainment_communities(fig3, k=1, gamma=0)
+
+    def test_bad_delta(self, fig3):
+        with pytest.raises(QueryParameterError):
+            top_k_noncontainment_communities(fig3, k=1, gamma=3, delta=1.0)
+
+    def test_untracked_record_rejected(self, fig3):
+        record = construct_cvs(PrefixView.whole(fig3), 3)
+        with pytest.raises(QueryParameterError):
+            noncontainment_communities_from_record(fig3, record)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("gamma", [1, 2, 3])
+    def test_matches_reference(self, seed, gamma):
+        g = random_graph(16, 0.3, seed, weights="shuffled")
+        expected = reference_noncontainment_communities(g, gamma)
+        k = max(len(expected), 1)
+        result = top_k_noncontainment_communities(g, k=k, gamma=gamma)
+        assert pairs(result) == expected
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_forward_nc(self, seed):
+        g = random_graph(20, 0.25, seed, weights="shuffled")
+        local = top_k_noncontainment_communities(g, k=3, gamma=2)
+        global_ = forward_noncontainment(g, 3, 2)
+        assert pairs(local) == pairs(global_)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_pairwise_disjoint(self, seed):
+        """Section 5.1: the set of NC communities is disjoint."""
+        g = random_graph(20, 0.3, seed, weights="shuffled")
+        result = top_k_noncontainment_communities(g, k=50, gamma=2)
+        sets = [set(c.vertex_ranks) for c in result.communities]
+        for i in range(len(sets)):
+            for j in range(i + 1, len(sets)):
+                assert sets[i].isdisjoint(sets[j])
+
+    def test_nc_are_subset_of_all_communities(self, fig3):
+        from repro.core.reference import reference_communities
+
+        all_pairs = set(reference_communities(fig3, 3))
+        result = top_k_noncontainment_communities(fig3, k=10, gamma=3)
+        for influence, members in pairs(result):
+            assert (influence, members) in all_pairs
+
+    def test_fig3_nc_communities(self, fig3):
+        result = top_k_noncontainment_communities(fig3, k=10, gamma=3)
+        got = [
+            (c.influence, frozenset(c.vertices)) for c in result.communities
+        ]
+        assert got == [
+            (18.0, frozenset({"v3", "v11", "v12", "v20"})),
+            (14.0, frozenset({"v1", "v6", "v7", "v16"})),
+            (7.0, frozenset({"v0", "v15", "v8", "v21"})),
+        ]
+
+
+class TestProgressiveNC:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_stream_matches_reference(self, seed):
+        g = random_graph(18, 0.3, seed, weights="shuffled")
+        got = [
+            (c.influence, frozenset(c.vertex_ranks))
+            for c in LocalSearchP(g, gamma=2, noncontainment=True).stream()
+        ]
+        assert got == reference_noncontainment_communities(g, 2)
+
+    def test_stream_decreasing(self, email_graph):
+        influences = []
+        searcher = LocalSearchP(email_graph, gamma=5, noncontainment=True)
+        for community in searcher.stream():
+            influences.append(community.influence)
+            if len(influences) >= 10:
+                break
+        assert influences == sorted(influences, reverse=True)
+
+    def test_nc_communities_have_no_children(self, fig3):
+        for community in LocalSearchP(
+            fig3, gamma=3, noncontainment=True
+        ).stream():
+            assert community.children == []
+            assert community.min_degree() >= 3

@@ -1,0 +1,69 @@
+"""PageRank tests: invariants plus networkx cross-check."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.graph.pagerank import pagerank_from_edges, pagerank_weights
+from tests.conftest import random_graph
+
+
+class TestInvariants:
+    def test_sums_to_one(self):
+        scores = pagerank_from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        assert math.isclose(scores.sum(), 1.0, rel_tol=1e-9)
+
+    def test_uniform_on_cycle(self):
+        n = 6
+        edges = [(i, (i + 1) % n) for i in range(n)]
+        scores = pagerank_from_edges(n, edges)
+        assert max(scores) - min(scores) < 1e-9
+
+    def test_star_center_wins(self):
+        scores = pagerank_from_edges(6, [(0, i) for i in range(1, 6)])
+        assert scores[0] > max(scores[1:]) * 2
+
+    def test_empty_edge_list(self):
+        scores = pagerank_from_edges(4, [])
+        assert all(math.isclose(s, 0.25) for s in scores)
+
+    def test_zero_vertices(self):
+        assert pagerank_from_edges(0, []).size == 0
+
+    def test_isolated_vertex_gets_teleport_mass(self):
+        scores = pagerank_from_edges(3, [(0, 1)])
+        assert scores[2] > 0
+
+    def test_bad_damping(self):
+        with pytest.raises(ValueError):
+            pagerank_from_edges(3, [(0, 1)], damping=1.0)
+        with pytest.raises(ValueError):
+            pagerank_from_edges(3, [(0, 1)], damping=0.0)
+
+
+class TestAgainstNetworkx:
+    def test_matches_networkx(self):
+        nx = pytest.importorskip("networkx")
+        g = random_graph(30, 0.1, 21)
+        edges = list(g.iter_edges())
+        scores = pagerank_from_edges(30, edges)
+        ng = nx.Graph()
+        ng.add_nodes_from(range(30))
+        ng.add_edges_from(edges)
+        expected = nx.pagerank(ng, alpha=0.85, tol=1e-12, max_iter=500)
+        for r in range(30):
+            assert math.isclose(scores[r], expected[r], abs_tol=1e-6)
+
+
+class TestWeightAssignment:
+    def test_distinct(self):
+        n = 8
+        edges = [(i, (i + 1) % n) for i in range(n)]  # symmetric cycle
+        weights = pagerank_weights(n, edges)
+        assert len(set(weights)) == n
+
+    def test_order_preserved(self):
+        weights = pagerank_weights(6, [(0, i) for i in range(1, 6)])
+        assert weights[0] == max(weights)

@@ -1,0 +1,207 @@
+"""Every concrete fact the paper states about its running examples.
+
+These are the strongest correctness anchors available: the paper names the
+exact communities, influence values, peel traces, subgraph sizes and
+keynode sets for the Figure-1 and Figure-3 graphs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    LocalSearch,
+    LocalSearchP,
+    top_k_influential_communities,
+)
+from repro.core.count import construct_cvs
+from repro.core.enumerate import enumerate_top_k
+from repro.core.reference import (
+    is_influential_community,
+    reference_communities,
+    reference_keynodes,
+)
+from repro.graph.subgraph import PrefixView
+from repro.workloads.paper_examples import (
+    FIGURE1_COMMUNITIES,
+    FIGURE3_TOP4,
+    figure1_graph,
+    figure3_graph,
+)
+
+
+def members(graph, community):
+    return frozenset(community.vertices)
+
+
+class TestFigure1:
+    """Section 1: exactly two influential 3-communities."""
+
+    def test_exactly_two_communities(self, fig1):
+        assert len(reference_communities(fig1, 3)) == 2
+
+    def test_communities_match_paper(self, fig1):
+        result = top_k_influential_communities(fig1, k=2, gamma=3)
+        got = [(c.influence, members(fig1, c)) for c in result]
+        assert got == FIGURE1_COMMUNITIES
+
+    def test_non_maximal_subset_is_cohesive_but_rejected(self, fig1):
+        """{v3, v4, v7, v8} has influence 13 and min degree 3, yet is not
+        an influential community (not maximal)."""
+        ranks = {fig1.rank_of(v) for v in ("v3", "v4", "v7", "v8")}
+        assert not is_influential_community(fig1, ranks, 3)
+        bigger = ranks | {fig1.rank_of("v9")}
+        assert is_influential_community(fig1, bigger, 3)
+
+
+class TestFigure3TopK:
+    """Problem statement of Section 2: the top-4 for gamma=3, k=4."""
+
+    def test_top4(self, fig3):
+        result = top_k_influential_communities(fig3, k=4, gamma=3)
+        got = [(c.influence, members(fig3, c)) for c in result]
+        assert got == FIGURE3_TOP4
+
+    def test_influences_strictly_decreasing(self, fig3):
+        result = top_k_influential_communities(fig3, k=4, gamma=3)
+        inf = result.influences
+        assert inf == sorted(inf, reverse=True)
+        assert len(set(inf)) == len(inf)
+
+
+class TestExample21:
+    """Example 2.1: the g1/g2 maximality discussion."""
+
+    def test_g1_not_maximal(self, fig3):
+        g1 = {fig3.rank_of(v) for v in ("v3", "v10", "v11", "v12", "v20")}
+        assert not is_influential_community(fig3, g1, 3)
+
+    def test_g2_is_community(self, fig3):
+        g2 = {
+            fig3.rank_of(v)
+            for v in ("v3", "v9", "v10", "v11", "v12", "v13", "v20")
+        }
+        assert is_influential_community(fig3, g2, 3)
+
+    def test_top1_is_community_despite_nesting(self, fig3):
+        sub = {fig3.rank_of(v) for v in ("v3", "v11", "v12", "v20")}
+        assert is_influential_community(fig3, sub, 3)
+
+
+class TestDefinition31Keynodes:
+    """Definition 3.1's worked example: v7 is a keynode, v6 is not."""
+
+    def test_v7_is_keynode(self, fig3):
+        keynodes = {fig3.label(r) for r in reference_keynodes(fig3, 3)}
+        assert "v7" in keynodes
+
+    def test_v6_is_not_keynode(self, fig3):
+        keynodes = {fig3.label(r) for r in reference_keynodes(fig3, 3)}
+        assert "v6" not in keynodes
+
+
+class TestExample31Trace:
+    """Example 3.1: the exact LocalSearch trace on Figure 3."""
+
+    def test_tau1_is_weight_of_7th_vertex(self, fig3):
+        searcher = LocalSearch(fig3, gamma=3)
+        p1 = searcher.initial_prefix(4)  # k + gamma = 7
+        assert p1 == 7
+        assert fig3.threshold_for_prefix(p1) == 18.0  # omega(v11)
+
+    def test_subgraph_sizes(self, fig3):
+        # size(G>=18) = 7 vertices + 11 edges = 18
+        assert fig3.prefix_size(7) == 18
+        # size(G>=12) = 36, reached right after adding v5 (rank 12)
+        assert fig3.prefix_size(13) == 36
+        assert fig3.threshold_for_prefix(13) == 12.0
+
+    def test_round_counts(self, fig3):
+        result = LocalSearch(fig3, gamma=3).search(4)
+        assert result.stats.prefixes == [7, 13]
+        assert result.stats.prefix_sizes == [18, 36]
+        assert result.stats.counts == [1, 4]
+
+
+class TestExample32CountIC:
+    """Example 3.2: keys/cvs of CountIC on G>=12 (Figure 6)."""
+
+    @pytest.fixture()
+    def record(self, fig3):
+        return construct_cvs(PrefixView(fig3, 13), 3)
+
+    def test_keys(self, fig3, record):
+        assert [fig3.label(u) for u in record.keys] == [
+            "v5", "v13", "v7", "v11",
+        ]
+
+    def test_count(self, record):
+        assert record.num_communities == 4
+
+    def test_initial_core_reduction_not_in_cvs(self, fig3, record):
+        labels = {fig3.label(u) for u in record.cvs}
+        assert labels.isdisjoint({"v9", "v17", "v18"})
+
+    def test_groups_match_figure6(self, fig3, record):
+        groups = [
+            {fig3.label(u) for u in record.group(i)} for i in range(4)
+        ]
+        assert groups == [
+            {"v5"},
+            {"v13"},
+            {"v7", "v16", "v6", "v1"},
+            {"v11", "v20", "v3", "v12"},
+        ]
+
+    def test_each_group_starts_with_its_keynode(self, record):
+        for i, u in enumerate(record.keys):
+            assert record.group(i)[0] == u
+
+
+class TestExample33EnumIC:
+    """Example 3.3: the community forest built by EnumIC."""
+
+    def test_children_links(self, fig3):
+        record = construct_cvs(PrefixView(fig3, 13), 3)
+        communities = enumerate_top_k(fig3, record, 4)
+        by_key = {c.keynode_label: c for c in communities}
+        # IC(v11) and IC(v7) have no children.
+        assert by_key["v11"].children == []
+        assert by_key["v7"].children == []
+        # IC(v13) = gp(v13) + IC(v11); IC(v5) = gp(v5) + IC(v7).
+        assert [c.keynode_label for c in by_key["v13"].children] == ["v11"]
+        assert [c.keynode_label for c in by_key["v5"].children] == ["v7"]
+
+    def test_lazy_sizes(self, fig3):
+        record = construct_cvs(PrefixView(fig3, 13), 3)
+        communities = enumerate_top_k(fig3, record, 4)
+        by_key = {c.keynode_label: c for c in communities}
+        assert by_key["v13"].num_vertices == 5
+        assert len(by_key["v13"].own_vertices) == 1  # no copying
+
+
+class TestLocalSearchPTrace:
+    """Section 4's running example: round boundaries of LocalSearch-P."""
+
+    def test_round1_top1_only(self, fig3):
+        searcher = LocalSearchP(fig3, gamma=3)
+        stream = searcher.stream()
+        first = next(stream)
+        assert members(fig3, first) == frozenset(
+            {"v3", "v11", "v12", "v20"}
+        )
+        assert first.influence == 18.0
+
+    def test_rounds_concatenate_to_full_peel(self, fig3):
+        """The keys of round i+1 followed by round i equal the full keys."""
+        full = construct_cvs(PrefixView(fig3, 13), 3)
+        round1 = construct_cvs(PrefixView(fig3, 7), 3)
+        round2 = construct_cvs(PrefixView(fig3, 13), 3, stop_rank=7)
+        assert round2.keys + round1.keys == full.keys
+        assert round2.cvs + round1.cvs == full.cvs
+
+    def test_all_eight_communities_streamed(self, fig3):
+        communities = list(LocalSearchP(fig3, gamma=3).stream())
+        assert len(communities) == len(reference_communities(fig3, 3))
+        influences = [c.influence for c in communities]
+        assert influences == sorted(influences, reverse=True)

@@ -1,0 +1,110 @@
+"""LocalSearch-P (Algorithm 4) tests: streaming order, equivalence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import LocalSearchP, progressive_influential_communities
+from repro.core.reference import reference_communities
+from repro.errors import QueryParameterError
+from tests.conftest import random_graph
+
+
+class TestValidation:
+    def test_bad_gamma(self, fig3):
+        with pytest.raises(QueryParameterError):
+            LocalSearchP(fig3, gamma=0)
+
+    def test_bad_delta(self, fig3):
+        with pytest.raises(QueryParameterError):
+            LocalSearchP(fig3, gamma=2, delta=0.5)
+
+
+class TestStreaming:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("gamma", [1, 2, 3])
+    def test_stream_matches_reference_in_order(self, seed, gamma):
+        g = random_graph(18, 0.3, seed, weights="shuffled")
+        got = [
+            (c.influence, frozenset(c.vertex_ranks))
+            for c in LocalSearchP(g, gamma=gamma).stream()
+        ]
+        assert got == reference_communities(g, gamma)
+
+    def test_strictly_decreasing_influence(self, email_graph):
+        influences = []
+        for community in LocalSearchP(email_graph, gamma=5).stream():
+            influences.append(community.influence)
+            if len(influences) >= 40:
+                break
+        assert influences == sorted(influences, reverse=True)
+        assert len(set(influences)) == len(influences)
+
+    def test_early_termination_cheaper_than_full(self, email_graph):
+        searcher_small = LocalSearchP(email_graph, gamma=5)
+        searcher_small.run(k=1)
+        searcher_large = LocalSearchP(email_graph, gamma=5)
+        searcher_large.run(k=50)
+        assert (
+            searcher_small.stats.accessed_size
+            <= searcher_large.stats.accessed_size
+        )
+
+    def test_run_with_k(self, fig3):
+        result = LocalSearchP(fig3, gamma=3).run(k=2)
+        assert len(result.communities) == 2
+
+    def test_run_all(self, fig3):
+        result = LocalSearchP(fig3, gamma=3).run()
+        assert len(result.communities) == 8
+
+    def test_convenience_generator(self, fig3):
+        influences = [
+            c.influence
+            for c in progressive_influential_communities(fig3, gamma=3)
+        ]
+        assert influences == sorted(influences, reverse=True)
+
+    def test_empty_result_when_gamma_too_big(self, two_cliques):
+        assert LocalSearchP(two_cliques, gamma=5).run().communities == []
+
+    def test_single_vertex_graph(self):
+        from repro.graph.builder import graph_from_arrays
+
+        g = graph_from_arrays(1, [])
+        assert LocalSearchP(g, gamma=1).run().communities == []
+
+
+class TestEquivalenceWithNonProgressive:
+    @pytest.mark.parametrize("k", [1, 3, 5])
+    def test_same_top_k(self, email_graph, k):
+        from repro import top_k_influential_communities
+
+        batch = top_k_influential_communities(email_graph, k=k, gamma=8)
+        stream = LocalSearchP(email_graph, gamma=8).run(k=k)
+        assert [
+            (c.influence, frozenset(c.vertex_ranks)) for c in batch
+        ] == [
+            (c.influence, frozenset(c.vertex_ranks))
+            for c in stream.communities
+        ]
+
+    @pytest.mark.parametrize("delta", [1.5, 2.0, 4.0, 16.0])
+    def test_delta_invariance(self, fig3, delta):
+        got = [
+            (c.influence, frozenset(c.vertex_ranks))
+            for c in LocalSearchP(fig3, gamma=3, delta=delta).stream()
+        ]
+        assert got == reference_communities(fig3, 3)
+
+
+class TestTimestamps:
+    def test_monotone_latencies(self, email_graph):
+        latencies = []
+        for _, seconds in LocalSearchP(
+            email_graph, gamma=5
+        ).stream_with_timestamps():
+            latencies.append(seconds)
+            if len(latencies) >= 20:
+                break
+        assert latencies == sorted(latencies)

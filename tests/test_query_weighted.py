@@ -1,0 +1,109 @@
+"""Query-dependent weights (the paper's future-work extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.query_weighted import (
+    closeness_weights,
+    reweight,
+    top_k_closest_communities,
+)
+from repro.errors import QueryParameterError, UnknownVertexError
+from repro.graph.builder import graph_from_arrays
+
+
+@pytest.fixture()
+def barbell():
+    # Two triangles joined by a path: a "near" and a "far" community.
+    return graph_from_arrays(
+        8,
+        [(0, 1), (0, 2), (1, 2),            # near triangle
+         (2, 3), (3, 4),                     # path
+         (4, 5), (4, 6), (5, 6), (5, 7), (6, 7), (4, 7)],  # far K4-ish
+    )
+
+
+class TestClosenessWeights:
+    def test_query_vertex_weight_is_highest(self, barbell):
+        weights = closeness_weights(barbell, [0])
+        assert weights[0] == max(weights)
+        assert weights[0] > 1.0  # 1 + tie epsilon
+
+    def test_weights_decrease_with_distance(self, barbell):
+        weights = closeness_weights(barbell, [0])
+        # dist: 0 ->0; 1,2 ->1; 3 ->2; 4 ->3; 5,6,7 ->4
+        assert weights[1] > weights[3] > weights[4] > weights[5]
+
+    def test_multi_source(self, barbell):
+        weights = closeness_weights(barbell, [0, 7])
+        assert weights[0] > weights[3]
+        assert weights[7] > weights[3]
+
+    def test_distinct(self, barbell):
+        weights = closeness_weights(barbell, [0])
+        assert len(set(weights)) == len(weights)
+
+    def test_unreachable_gets_floor(self):
+        g = graph_from_arrays(4, [(0, 1), (2, 3)])
+        weights = closeness_weights(g, [0])
+        assert weights[2] < weights[1]
+        assert weights[3] < 0.01
+
+    def test_unknown_query_vertex(self, barbell):
+        with pytest.raises(UnknownVertexError):
+            closeness_weights(barbell, ["ghost"])
+
+    def test_empty_query(self, barbell):
+        with pytest.raises(QueryParameterError):
+            closeness_weights(barbell, [])
+
+
+class TestReweight:
+    def test_preserves_structure(self, barbell):
+        new = reweight(barbell, closeness_weights(barbell, [0]))
+        assert new.num_vertices == barbell.num_vertices
+        assert new.num_edges == barbell.num_edges
+        assert sorted(new.edges_as_labels()) == sorted(
+            barbell.edges_as_labels()
+        )
+
+    def test_rank_order_follows_new_weights(self, barbell):
+        new = reweight(barbell, closeness_weights(barbell, [7]))
+        assert new.rank_of(7) == 0  # the query vertex becomes rank 0
+
+    def test_length_mismatch(self, barbell):
+        with pytest.raises(QueryParameterError):
+            reweight(barbell, [1.0])
+
+
+class TestClosestCommunities:
+    def test_top1_is_the_near_community(self, barbell):
+        result = top_k_closest_communities(barbell, [0], k=1, gamma=2)
+        assert sorted(result.communities[0].vertices) == [0, 1, 2]
+
+    def test_query_from_other_side(self, barbell):
+        result = top_k_closest_communities(barbell, [7], k=1, gamma=3)
+        assert sorted(result.communities[0].vertices) == [4, 5, 6, 7]
+
+    def test_decreasing_closeness(self, barbell):
+        result = top_k_closest_communities(barbell, [0], k=3, gamma=2)
+        influences = result.influences
+        assert influences == sorted(influences, reverse=True)
+
+    def test_k_validation(self, barbell):
+        with pytest.raises(QueryParameterError):
+            top_k_closest_communities(barbell, [0], k=0, gamma=2)
+
+    def test_different_queries_different_answers(self, barbell):
+        """The whole point: no index could serve both weight vectors."""
+        near = top_k_closest_communities(barbell, [0], k=1, gamma=2)
+        far = top_k_closest_communities(barbell, [7], k=1, gamma=2)
+        assert set(near.communities[0].vertices) != set(
+            far.communities[0].vertices
+        )
+
+    def test_communities_are_cohesive(self, barbell):
+        result = top_k_closest_communities(barbell, [0], k=2, gamma=2)
+        for community in result.communities:
+            assert community.min_degree() >= 2

@@ -1,0 +1,122 @@
+"""Semi-external algorithms: correctness + I/O accounting."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import top_k_influential_communities
+from repro.baselines import local_search_se, online_all_se
+from repro.errors import QueryParameterError
+from repro.graph.storage import FileEdgeStore, IOCounter, InMemoryEdgeStore
+from tests.conftest import random_graph
+
+
+@pytest.fixture()
+def se_graph():
+    return random_graph(60, 0.12, 31, weights="shuffled")
+
+
+@pytest.fixture()
+def file_store(tmp_path, se_graph):
+    path = tmp_path / "edges.bin"
+    return FileEdgeStore.create(path, se_graph, IOCounter(block_edges=16))
+
+
+def pairs(result):
+    return [
+        (c.influence, frozenset(c.vertex_ranks)) for c in result.communities
+    ]
+
+
+class TestLocalSearchSE:
+    def test_validation(self, se_graph, file_store):
+        with pytest.raises(QueryParameterError):
+            local_search_se(se_graph, file_store, 0, 2)
+        with pytest.raises(QueryParameterError):
+            local_search_se(se_graph, file_store, 1, 0)
+        with pytest.raises(QueryParameterError):
+            local_search_se(se_graph, file_store, 1, 2, delta=1.0)
+
+    @pytest.mark.parametrize("k", [1, 3, 8])
+    @pytest.mark.parametrize("gamma", [2, 3])
+    def test_matches_in_memory(self, se_graph, tmp_path, k, gamma):
+        store = FileEdgeStore.create(
+            tmp_path / f"e{k}{gamma}.bin", se_graph, IOCounter()
+        )
+        se = local_search_se(se_graph, store, k, gamma)
+        mem = top_k_influential_communities(se_graph, k, gamma)
+        assert pairs(se) == [
+            (c.influence, frozenset(c.vertex_ranks))
+            for c in mem.communities
+        ]
+
+    def test_reads_only_prefix(self, se_graph, file_store):
+        result = local_search_se(se_graph, file_store, 2, 2)
+        assert result.io.edges_read < se_graph.num_edges
+        assert result.io.edges_read == result.io.peak_resident_edges
+        assert result.visited_edges == result.io.peak_resident_edges
+
+    def test_sequential_loads_never_reread(self, se_graph, file_store):
+        result = local_search_se(se_graph, file_store, 5, 2)
+        # Each edge is read exactly once: reads sum to the resident set.
+        assert result.io.edges_read == result.io.peak_resident_edges
+
+    def test_in_memory_store_variant(self, se_graph):
+        store = InMemoryEdgeStore.from_graph(se_graph)
+        result = local_search_se(se_graph, store, 3, 2)
+        mem = top_k_influential_communities(se_graph, 3, 2)
+        assert pairs(result) == [
+            (c.influence, frozenset(c.vertex_ranks))
+            for c in mem.communities
+        ]
+
+
+class TestOnlineAllSE:
+    def test_validation(self, se_graph, file_store):
+        with pytest.raises(QueryParameterError):
+            online_all_se(se_graph, file_store, 0, 2)
+        with pytest.raises(QueryParameterError):
+            online_all_se(se_graph, file_store, 1, 0)
+
+    def test_matches_in_memory(self, se_graph, file_store):
+        result = online_all_se(se_graph, file_store, 4, 2)
+        mem = top_k_influential_communities(se_graph, 4, 2)
+        assert pairs(result) == [
+            (c.influence, frozenset(c.vertex_ranks))
+            for c in mem.communities
+        ]
+
+    def test_scans_whole_file(self, se_graph, file_store):
+        result = online_all_se(se_graph, file_store, 2, 2)
+        assert result.io.edges_read >= se_graph.num_edges
+
+    def test_memory_budget_spill(self, se_graph, tmp_path):
+        m = se_graph.num_edges
+        budget = m // 3
+        store = FileEdgeStore.create(
+            tmp_path / "budget.bin", se_graph, IOCounter()
+        )
+        result = online_all_se(
+            se_graph, store, 2, 2, memory_budget_edges=budget
+        )
+        assert result.io.peak_resident_edges == budget
+        # Spill accounting: strictly more I/O than the plain scan.
+        assert result.io.edges_read > m
+
+    def test_unbudgeted_resident_is_whole_graph(self, se_graph, file_store):
+        result = online_all_se(se_graph, file_store, 2, 2)
+        assert result.io.peak_resident_edges == se_graph.num_edges
+
+
+class TestSEComparison:
+    def test_locality_gap(self, se_graph, tmp_path):
+        """LocalSearch-SE must touch far fewer edges than OnlineAll-SE."""
+        store_a = FileEdgeStore.create(tmp_path / "a.bin", se_graph)
+        store_b = FileEdgeStore.create(tmp_path / "b.bin", se_graph)
+        ls = local_search_se(se_graph, store_a, 2, 3)
+        oa = online_all_se(se_graph, store_b, 2, 3)
+        assert ls.io.edges_read < oa.io.edges_read
+        assert ls.visited_edges <= oa.visited_edges
+        assert pairs(ls) == pairs(oa)

@@ -1,0 +1,83 @@
+"""Unit tests for PrefixView (the G>=tau windows)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.builder import graph_from_arrays
+from repro.graph.subgraph import PrefixView
+
+
+def path_graph(n=5):
+    return graph_from_arrays(n, [(i, i + 1) for i in range(n - 1)])
+
+
+class TestBounds:
+    def test_invalid_prefix(self):
+        g = path_graph()
+        with pytest.raises(ValueError):
+            PrefixView(g, -1)
+        with pytest.raises(ValueError):
+            PrefixView(g, 6)
+
+    def test_empty_prefix(self):
+        view = PrefixView(path_graph(), 0)
+        assert view.num_vertices == 0
+        assert view.num_edges == 0
+        assert view.size == 0
+
+    def test_whole(self):
+        g = path_graph()
+        view = PrefixView.whole(g)
+        assert view.is_whole_graph
+        assert view.size == g.size
+
+    def test_for_threshold(self):
+        g = path_graph(5)  # weights 5..1
+        view = PrefixView.for_threshold(g, 3.0)
+        assert view.p == 3
+        assert view.threshold == 3.0
+
+
+class TestDegreesAndNeighbors:
+    def test_degrees_match_manual(self):
+        g = graph_from_arrays(4, [(0, 1), (0, 2), (1, 2), (2, 3)])
+        view = PrefixView(g, 3)
+        assert view.degrees() == [2, 2, 2]
+        assert view.degree(2) == 2
+        full = PrefixView(g, 4)
+        assert full.degrees() == [2, 2, 3, 1]
+
+    def test_neighbors_restricted(self):
+        g = graph_from_arrays(4, [(0, 1), (0, 2), (1, 2), (2, 3)])
+        view = PrefixView(g, 3)
+        assert sorted(view.neighbors(2)) == [0, 1]
+
+    def test_neighbor_lists_mirror(self):
+        g = graph_from_arrays(4, [(0, 1), (0, 2), (1, 2), (2, 3)])
+        view = PrefixView(g, 4)
+        lists = view.neighbor_lists()
+        for u in range(4):
+            for v in lists[u]:
+                assert u in lists[v]
+        assert sum(len(x) for x in lists) == 2 * view.num_edges
+
+    def test_down_cut_cached(self):
+        g = graph_from_arrays(4, [(0, 1), (0, 2), (0, 3)])
+        view = PrefixView(g, 2)
+        assert view.down_cut(0) == 1  # only rank 1 of {1,2,3} is in prefix
+        assert view.down_cut(1) == 0
+
+    def test_iter_edges(self):
+        g = graph_from_arrays(4, [(0, 1), (0, 2), (1, 2), (2, 3)])
+        view = PrefixView(g, 3)
+        assert sorted(view.iter_edges()) == [(1, 0), (2, 0), (2, 1)]
+
+    def test_size_consistency(self):
+        g = graph_from_arrays(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5),
+                                  (0, 5), (1, 4)])
+        for p in range(7):
+            view = PrefixView(g, p)
+            edges = list(view.iter_edges())
+            assert view.num_edges == len(edges)
+            assert view.size == p + len(edges)

@@ -1,0 +1,133 @@
+"""k-truss machinery vs brute force and networkx."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.builder import graph_from_arrays
+from repro.graph.subgraph import PrefixView
+from repro.graph.truss_decomposition import (
+    edge_key,
+    edge_supports,
+    gamma_truss,
+    max_truss,
+    truss_decomposition,
+)
+from tests.conftest import random_graph
+
+
+def k4():
+    return graph_from_arrays(4, [(i, j) for i in range(4)
+                                 for j in range(i + 1, 4)])
+
+
+class TestEdgeSupports:
+    def test_triangle(self, triangle):
+        support = edge_supports(PrefixView.whole(triangle))
+        assert support == {(0, 1): 1, (0, 2): 1, (1, 2): 1}
+
+    def test_k4(self):
+        support = edge_supports(PrefixView.whole(k4()))
+        assert all(s == 2 for s in support.values())
+        assert len(support) == 6
+
+    def test_path_has_zero_support(self):
+        g = graph_from_arrays(3, [(0, 1), (1, 2)])
+        support = edge_supports(PrefixView.whole(g))
+        assert all(s == 0 for s in support.values())
+
+    def test_edge_key_canonical(self):
+        assert edge_key(5, 2) == (2, 5)
+        assert edge_key(2, 5) == (2, 5)
+
+
+class TestGammaTruss:
+    def test_k4_is_4_truss(self):
+        adj, support = gamma_truss(PrefixView.whole(k4()), 4)
+        assert sum(len(a) for a in adj) == 12  # all 6 edges survive
+        assert all(s >= 2 for s in support.values())
+
+    def test_k4_is_not_5_truss(self):
+        adj, _ = gamma_truss(PrefixView.whole(k4()), 5)
+        assert sum(len(a) for a in adj) == 0
+
+    def test_gamma_2_keeps_everything(self):
+        g = graph_from_arrays(3, [(0, 1), (1, 2)])
+        adj, _ = gamma_truss(PrefixView.whole(g), 2)
+        assert sum(len(a) for a in adj) == 4
+
+    def test_cascade(self):
+        # K4 plus a pendant triangle: the pendant dies in the 4-truss.
+        g = graph_from_arrays(
+            6,
+            [(i, j) for i in range(4) for j in range(i + 1, 4)]
+            + [(3, 4), (3, 5), (4, 5)],
+        )
+        adj, support = gamma_truss(PrefixView.whole(g), 4)
+        surviving = {
+            edge_key(u, v) for u in range(6) for v in adj[u]
+        }
+        assert surviving == {
+            edge_key(i, j) for i in range(4) for j in range(i + 1, 4)
+        }
+
+    def test_supports_are_recomputed_within_survivor(self):
+        g = graph_from_arrays(
+            6,
+            [(i, j) for i in range(4) for j in range(i + 1, 4)]
+            + [(3, 4), (3, 5), (4, 5)],
+        )
+        _, support = gamma_truss(PrefixView.whole(g), 4)
+        assert all(s >= 2 for s in support.values())
+
+
+class TestTrussDecomposition:
+    def test_k4(self):
+        truss = truss_decomposition(k4())
+        assert all(t == 4 for t in truss.values())
+        assert max_truss(k4()) == 4
+
+    def test_triangle(self, triangle):
+        truss = truss_decomposition(triangle)
+        assert all(t == 3 for t in truss.values())
+
+    def test_tree_is_2_truss(self):
+        g = graph_from_arrays(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        truss = truss_decomposition(g)
+        assert all(t == 2 for t in truss.values())
+
+    def test_truss_number_definition(self):
+        """truss[e] is the max gamma whose gamma-truss contains e."""
+        g = random_graph(14, 0.4, 5)
+        truss = truss_decomposition(g)
+        for gamma in range(2, max(truss.values()) + 2):
+            adj, _ = gamma_truss(PrefixView.whole(g), gamma)
+            surviving = {
+                edge_key(u, v)
+                for u in range(g.num_vertices)
+                for v in adj[u]
+            }
+            expected = {e for e, t in truss.items() if t >= gamma}
+            assert surviving == expected
+
+    def test_against_networkx(self):
+        nx = pytest.importorskip("networkx")
+        g = random_graph(20, 0.3, 11)
+        ng = nx.Graph()
+        ng.add_nodes_from(range(20))
+        ng.add_edges_from(
+            (g.label(u), g.label(v)) for u, v in g.iter_edges()
+        )
+        for k in range(3, 7):
+            nx_truss = nx.k_truss(ng, k)
+            expected = {
+                tuple(sorted((g.rank_of(u), g.rank_of(v))))
+                for u, v in nx_truss.edges()
+            }
+            adj, _ = gamma_truss(PrefixView.whole(g), k)
+            got = {
+                edge_key(u, v)
+                for u in range(20)
+                for v in adj[u]
+            }
+            assert got == expected

@@ -1,0 +1,151 @@
+"""Influential γ-truss community search tests (Section 5.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    LocalSearchTruss,
+    global_search_truss,
+    top_k_truss_communities,
+)
+from repro.core.reference import reference_truss_communities
+from repro.core.truss_search import (
+    construct_cvs_truss,
+    enumerate_truss_top_k,
+)
+from repro.errors import QueryParameterError
+from repro.graph.builder import graph_from_arrays
+from repro.graph.subgraph import PrefixView
+from tests.conftest import random_graph
+
+
+def truss_pairs(result):
+    return [
+        (c.influence, frozenset(c.iter_edges())) for c in result.communities
+    ]
+
+
+class TestValidation:
+    def test_gamma_below_two(self, fig3):
+        with pytest.raises(QueryParameterError):
+            LocalSearchTruss(fig3, gamma=1)
+        with pytest.raises(QueryParameterError):
+            construct_cvs_truss(PrefixView.whole(fig3), 1)
+
+    def test_bad_delta(self, fig3):
+        with pytest.raises(QueryParameterError):
+            LocalSearchTruss(fig3, gamma=3, delta=1.0)
+
+    def test_bad_k(self, fig3):
+        with pytest.raises(QueryParameterError):
+            LocalSearchTruss(fig3, gamma=3).search(0)
+
+
+class TestCountICC:
+    def test_k4(self):
+        g = graph_from_arrays(
+            4, [(i, j) for i in range(4) for j in range(i + 1, 4)]
+        )
+        record = construct_cvs_truss(PrefixView.whole(g), 4)
+        assert record.num_communities == 1
+        assert record.keys == [3]
+        assert len(record.group(0)) == 6  # all K4 edges in the group
+
+    def test_two_triangles(self):
+        g = graph_from_arrays(6, [(0, 1), (0, 2), (1, 2),
+                                  (3, 4), (3, 5), (4, 5)])
+        record = construct_cvs_truss(PrefixView.whole(g), 3)
+        assert record.keys == [5, 2]
+
+    def test_cvs_partitions_edges(self, fig3):
+        record = construct_cvs_truss(PrefixView.whole(fig3), 3)
+        assert len(set(record.cvs)) == len(record.cvs)
+        rebuilt = []
+        for i in range(len(record.keys)):
+            rebuilt.extend(record.group(i))
+        assert rebuilt == record.cvs
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("gamma", [3, 4])
+    def test_count_matches_reference(self, seed, gamma):
+        g = random_graph(14, 0.4, seed, weights="shuffled")
+        expected = len(reference_truss_communities(g, gamma))
+        record = construct_cvs_truss(PrefixView.whole(g), gamma)
+        assert record.num_communities == expected
+
+
+class TestEnumICC:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("gamma", [3, 4])
+    def test_edge_sets_match_reference(self, seed, gamma):
+        g = random_graph(14, 0.4, seed, weights="shuffled")
+        record = construct_cvs_truss(PrefixView.whole(g), gamma)
+        got = [
+            (c.influence, frozenset(c.iter_edges()))
+            for c in enumerate_truss_top_k(g, record)
+        ]
+        assert got == reference_truss_communities(g, gamma)
+
+    def test_vertex_counts(self, fig3):
+        record = construct_cvs_truss(PrefixView.whole(fig3), 3)
+        for community in enumerate_truss_top_k(fig3, record):
+            endpoints = {
+                v for edge in community.iter_edges() for v in edge
+            }
+            assert community.num_vertices == len(endpoints)
+            assert community.num_edges == len(list(community.iter_edges()))
+
+    def test_keynode_is_min_weight(self, fig3):
+        record = construct_cvs_truss(PrefixView.whole(fig3), 3)
+        for community in enumerate_truss_top_k(fig3, record):
+            assert max(community.vertex_ranks) == community.keynode
+
+
+class TestLocalVsGlobal:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("gamma", [3, 4])
+    @pytest.mark.parametrize("k", [1, 3])
+    def test_local_equals_global(self, seed, gamma, k):
+        g = random_graph(16, 0.4, seed, weights="shuffled")
+        local = top_k_truss_communities(g, k=k, gamma=gamma)
+        global_ = global_search_truss(g, k, gamma)
+        assert truss_pairs(local) == truss_pairs(global_)
+
+    def test_local_accesses_less(self, email_graph):
+        local = LocalSearchTruss(email_graph, gamma=5).search(5)
+        global_ = global_search_truss(email_graph, 5, 5)
+        assert (
+            local.stats.accessed_size < global_.stats.accessed_size
+        )
+
+    def test_fewer_than_k(self, triangle):
+        result = top_k_truss_communities(triangle, k=5, gamma=3)
+        assert len(result.communities) == 1
+
+    def test_no_truss_communities(self, triangle):
+        result = top_k_truss_communities(triangle, k=1, gamma=4)
+        assert result.communities == []
+
+
+class TestTrussVsCore:
+    def test_truss_implies_core_containment(self, fig3):
+        """Remark of Eval-IX: an influential γ-truss community with
+        influence tau lies inside a (γ-1)-community with influence <= tau
+        ... specifically its members all live in the (γ-1)-core of
+        G>=tau."""
+        from repro.graph.core_decomposition import gamma_core
+        from repro.graph.subgraph import PrefixView as PV
+
+        gamma = 3
+        result = top_k_truss_communities(fig3, k=3, gamma=gamma)
+        for community in result.communities:
+            view = PV(fig3, community.keynode + 1)
+            alive, _ = gamma_core(view, gamma - 1)
+            assert all(alive[r] for r in community.vertex_ranks)
+
+    def test_gamma2_truss_equals_components(self):
+        g = graph_from_arrays(5, [(0, 1), (1, 2), (3, 4)])
+        result = top_k_truss_communities(g, k=5, gamma=2)
+        # gamma=2 truss communities = connected prefixes' components.
+        assert len(result.communities) >= 2

@@ -1,0 +1,199 @@
+"""Unit tests for the WeightedGraph substrate (rank order, N>=/N< split)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphConstructionError, UnknownVertexError
+from repro.graph.builder import graph_from_arrays
+from repro.graph.weighted_graph import WeightedGraph
+
+
+def simple_graph() -> WeightedGraph:
+    # Path 0-1-2-3 plus chord 0-2; identity weights (0 heaviest).
+    return graph_from_arrays(4, [(0, 1), (1, 2), (2, 3), (0, 2)])
+
+
+class TestConstruction:
+    def test_counts(self):
+        g = simple_graph()
+        assert g.num_vertices == 4
+        assert g.num_edges == 4
+        assert g.size == 8
+        assert len(g) == 4
+
+    def test_weights_strictly_decreasing(self):
+        g = simple_graph()
+        weights = [g.weight(r) for r in range(4)]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_direct_constructor_validates_weight_order(self):
+        with pytest.raises(GraphConstructionError):
+            WeightedGraph([1.0, 2.0], [[], [0]], [[1], []])
+
+    def test_direct_constructor_validates_adjacency_direction(self):
+        # adj_up containing a larger rank must be rejected.
+        with pytest.raises(GraphConstructionError):
+            WeightedGraph([2.0, 1.0], [[1], []], [[], []])
+
+    def test_direct_constructor_validates_mirrors(self):
+        # adj_up says edge (1,0) exists; adj_down disagrees.
+        with pytest.raises(GraphConstructionError):
+            WeightedGraph([2.0, 1.0], [[], [0]], [[], []])
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(GraphConstructionError):
+            WeightedGraph(
+                [2.0, 1.0], [[], [0]], [[1], []], labels=["a", "a"]
+            )
+
+    def test_adjacency_must_be_sorted(self):
+        with pytest.raises(GraphConstructionError):
+            WeightedGraph(
+                [3.0, 2.0, 1.0], [[], [0], [1, 0]], [[1, 2], [2], []]
+            )
+
+
+class TestAdjacencyPartition:
+    def test_up_neighbors_have_smaller_rank(self):
+        g = simple_graph()
+        for u in range(4):
+            assert all(v < u for v in g.neighbors_up(u))
+
+    def test_down_neighbors_have_larger_rank(self):
+        g = simple_graph()
+        for u in range(4):
+            assert all(v > u for v in g.neighbors_down(u))
+
+    def test_partition_covers_all_neighbors(self):
+        g = simple_graph()
+        assert sorted(g.iter_neighbors(2)) == [0, 1, 3]
+        assert g.degree(2) == 3
+
+    def test_has_edge_ranks(self):
+        g = simple_graph()
+        assert g.has_edge_ranks(0, 1)
+        assert g.has_edge_ranks(1, 0)
+        assert not g.has_edge_ranks(0, 3)
+        assert not g.has_edge_ranks(2, 2)
+
+    def test_neighbors_in_prefix(self):
+        g = simple_graph()
+        assert sorted(g.neighbors_in_prefix(2, 3)) == [0, 1]
+        assert sorted(g.neighbors_in_prefix(2, 4)) == [0, 1, 3]
+
+    def test_degree_in_prefix(self):
+        g = simple_graph()
+        assert g.degree_in_prefix(2, 3) == 2
+        assert g.degree_in_prefix(2, 4) == 3
+        assert g.degree_in_prefix(0, 1) == 0
+
+
+class TestLabelsAndWeights:
+    def test_label_round_trip(self):
+        g = WeightedGraph.from_edges(
+            [("x", "y")], weights={"x": 1.0, "y": 2.0}
+        )
+        assert g.label(g.rank_of("x")) == "x"
+        assert g.label(g.rank_of("y")) == "y"
+        # y has the larger weight -> rank 0.
+        assert g.rank_of("y") == 0
+
+    def test_unknown_vertex(self):
+        g = simple_graph()
+        with pytest.raises(UnknownVertexError):
+            g.rank_of("nope")
+
+    def test_has_vertex(self):
+        g = simple_graph()
+        assert g.has_vertex(0)
+        assert not g.has_vertex(99)
+
+    def test_weight_of_label(self):
+        g = WeightedGraph.from_edges(
+            [("x", "y")], weights={"x": 1.5, "y": 2.5}
+        )
+        assert g.weight_of_label("x") == 1.5
+
+    def test_weights_by_label(self):
+        g = WeightedGraph.from_edges(
+            [("x", "y")], weights={"x": 1.5, "y": 2.5}
+        )
+        assert g.weights_by_label() == {"x": 1.5, "y": 2.5}
+
+    def test_labels_batch(self):
+        g = simple_graph()
+        assert g.labels([0, 1]) == [0, 1]
+
+
+class TestThresholdsAndPrefixes:
+    def test_prefix_for_threshold(self):
+        g = simple_graph()  # weights 4, 3, 2, 1
+        assert g.prefix_for_threshold(4.0) == 1
+        assert g.prefix_for_threshold(3.5) == 1
+        assert g.prefix_for_threshold(3.0) == 2
+        assert g.prefix_for_threshold(1.0) == 4
+        assert g.prefix_for_threshold(0.5) == 4
+        assert g.prefix_for_threshold(5.0) == 0
+
+    def test_threshold_for_prefix(self):
+        g = simple_graph()
+        assert g.threshold_for_prefix(1) == 4.0
+        assert g.threshold_for_prefix(4) == 1.0
+        with pytest.raises(ValueError):
+            g.threshold_for_prefix(0)
+
+    def test_min_max_weight(self):
+        g = simple_graph()
+        assert g.max_weight == 4.0
+        assert g.min_weight == 1.0
+
+    def test_prefix_size_matches_induced_subgraph(self):
+        g = simple_graph()
+        # prefix 1: just vertex 0 -> size 1
+        assert g.prefix_size(0) == 0
+        assert g.prefix_size(1) == 1
+        # prefix 2: {0,1} with edge (0,1) -> size 3
+        assert g.prefix_size(2) == 3
+        # prefix 3: {0,1,2} with edges (0,1),(1,2),(0,2) -> size 6
+        assert g.prefix_size(3) == 6
+        assert g.prefix_size(4) == 8
+
+    def test_grow_prefix_reaches_target(self):
+        g = simple_graph()
+        assert g.grow_prefix(1, 3) == 2
+        assert g.grow_prefix(1, 4) == 3
+        assert g.grow_prefix(2, 100) == 4  # capped at whole graph
+
+    def test_grow_prefix_already_sufficient(self):
+        g = simple_graph()
+        assert g.grow_prefix(3, 5) == 3
+
+
+class TestEdgeIteration:
+    def test_iter_edges_orientation(self):
+        g = simple_graph()
+        edges = list(g.iter_edges())
+        assert all(u > v for u, v in edges)
+        assert len(edges) == 4
+        # ascending by max rank (decreasing edge weight).
+        assert [u for u, _ in edges] == sorted(u for u, _ in edges)
+
+    def test_edges_as_labels(self):
+        g = WeightedGraph.from_edges(
+            [("x", "y")], weights={"x": 1.0, "y": 2.0}
+        )
+        assert list(g.edges_as_labels()) == [("x", "y")]
+
+    def test_induced_edge_count(self):
+        g = simple_graph()
+        assert g.induced_edge_count([0, 1, 2]) == 3
+        assert g.induced_edge_count([0, 3]) == 0
+
+    def test_induced_edges(self):
+        g = simple_graph()
+        assert g.induced_edges([0, 1, 2]) == [(1, 0), (2, 0), (2, 1)]
+
+    def test_to_edge_list(self):
+        g = simple_graph()
+        assert len(g.to_edge_list()) == 4

@@ -1,0 +1,194 @@
+"""Workload generators, weight schemes, dataset registry, DBLP network."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.graph.core_decomposition import degeneracy
+from repro.graph.metrics import degree_histogram, graph_statistics
+from repro.workloads import (
+    DATASETS,
+    PAPER_STATS,
+    assign_weights,
+    barabasi_albert,
+    build_weighted_graph,
+    chung_lu,
+    clear_cache,
+    dataset_names,
+    erdos_renyi,
+    load_dataset,
+    planted_dense_blocks,
+    planted_partition,
+    researcher_names,
+    rmat,
+    synthetic_dblp,
+)
+
+
+class TestGenerators:
+    def test_erdos_renyi_counts(self):
+        n, edges = erdos_renyi(50, 100, seed=1)
+        assert n == 50
+        assert len(edges) == 100
+        assert all(u < v for u, v in edges)
+
+    def test_erdos_renyi_deterministic(self):
+        assert erdos_renyi(30, 60, seed=5) == erdos_renyi(30, 60, seed=5)
+        assert erdos_renyi(30, 60, seed=5) != erdos_renyi(30, 60, seed=6)
+
+    def test_erdos_renyi_caps_at_complete(self):
+        n, edges = erdos_renyi(5, 1000, seed=0)
+        assert len(edges) == 10
+
+    def test_barabasi_albert(self):
+        n, edges = barabasi_albert(200, attach=3, seed=2)
+        assert n == 200
+        g = build_weighted_graph(n, edges, weights="identity")
+        # Degeneracy of a BA graph is ~attach.
+        assert degeneracy(g) >= 3
+        # Preferential attachment: the max degree is well above attach.
+        hist = degree_histogram(g)
+        assert max(hist) > 10
+
+    def test_barabasi_albert_validation(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(10, attach=0)
+
+    def test_chung_lu_heavy_tail(self):
+        n, edges = chung_lu(500, avg_degree=8.0, exponent=2.2, seed=3)
+        g = build_weighted_graph(n, edges, weights="identity")
+        degrees = sorted(
+            (g.degree(u) for u in range(n)), reverse=True
+        )
+        # Heavy tail: top degree dwarfs the median.
+        assert degrees[0] > 5 * max(degrees[n // 2], 1)
+
+    def test_rmat_shape(self):
+        n, edges = rmat(scale=8, edge_factor=4, seed=4)
+        assert n == 256
+        assert len(edges) > 300
+        assert all(0 <= u < 256 and 0 <= v < 256 for u, v in edges)
+
+    def test_rmat_validation(self):
+        with pytest.raises(ValueError):
+            rmat(scale=4, a=0.5, b=0.4, c=0.3)
+
+    def test_planted_partition_blocks_are_dense(self):
+        n, edges = planted_partition(3, 10, p_in=0.9, p_out_edges=5, seed=6)
+        assert n == 30
+        g = build_weighted_graph(n, edges, weights="identity")
+        # Each block is nearly a clique: high degeneracy.
+        assert degeneracy(g) >= 5
+
+    def test_planted_dense_blocks_raise_degeneracy(self):
+        n, edges = erdos_renyi(300, 400, seed=7)
+        before = degeneracy(build_weighted_graph(n, edges, "identity"))
+        boosted = planted_dense_blocks(
+            n, edges, num_blocks=2, block_size=30, p_in=0.9, seed=7
+        )
+        after = degeneracy(build_weighted_graph(n, boosted, "identity"))
+        assert after > before + 10
+
+    def test_planted_blocks_validation(self):
+        with pytest.raises(ValueError):
+            planted_dense_blocks(5, [], 1, 10, 0.5)
+
+
+class TestWeightSchemes:
+    @pytest.mark.parametrize("scheme", ["pagerank", "degree", "random",
+                                        "identity"])
+    def test_distinct(self, scheme):
+        n, edges = erdos_renyi(40, 80, seed=8)
+        weights = assign_weights(n, edges, scheme=scheme, seed=8)
+        assert len(weights) == n
+        assert len(set(weights)) == n
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            assign_weights(5, [], scheme="tarot")
+
+    def test_degree_scheme_orders_by_degree(self):
+        edges = [(0, i) for i in range(1, 6)]
+        weights = assign_weights(6, edges, scheme="degree")
+        assert weights[0] == max(weights)
+
+
+class TestDatasetRegistry:
+    def test_names_in_table1_order(self):
+        assert dataset_names() == list(PAPER_STATS)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetError):
+            load_dataset("facebook")
+
+    def test_email_standin_properties(self, email_graph):
+        stats = graph_statistics(email_graph, "email")
+        assert stats.gamma_max >= 15  # deep core planted
+        assert stats.num_vertices == 2000
+
+    def test_caching(self):
+        a = load_dataset("email")
+        b = load_dataset("email")
+        assert a is b
+        clear_cache()
+        c = load_dataset("email")
+        assert c is not a
+
+    def test_size_ordering_preserved(self):
+        """Stand-ins keep the paper's m ordering for the extremes."""
+        email = load_dataset("email")
+        twitter = load_dataset("twitter")
+        assert email.num_edges < twitter.num_edges
+
+    def test_specs_carry_paper_stats(self):
+        for name, spec in DATASETS.items():
+            assert spec.paper_vertices == PAPER_STATS[name][0]
+            assert spec.paper_edges == PAPER_STATS[name][1]
+
+
+class TestDBLP:
+    def test_names_unique(self):
+        names = researcher_names(2000)
+        assert len(set(names)) == 2000
+
+    def test_structure(self):
+        graph, planted = synthetic_dblp()
+        assert graph.num_vertices == 1743
+        assert len(planted["top_core_cluster"]) == 14
+        assert len(planted["top_truss_cluster"]) == 6
+        assert len(planted["blob"]) >= 1100
+
+    def test_case_study_relations(self):
+        """The Figure 20/21 qualitative relations hold."""
+        from repro import LocalSearchP, top_k_truss_communities
+        from repro.graph.connectivity import component_of
+        from repro.graph.core_decomposition import gamma_core
+        from repro.graph.subgraph import PrefixView
+
+        graph, planted = synthetic_dblp()
+        top_core = LocalSearchP(graph, gamma=5).run(k=1).communities[0]
+        top_truss = top_k_truss_communities(graph, 1, 6).communities[0]
+
+        # The truss community is smaller and denser than the 5-community.
+        assert top_truss.num_vertices < top_core.num_vertices
+        # Truss influence < core influence (harder constraint; the paper's
+        # keynode ranks: 339 vs 215 of 1,743).
+        assert top_truss.influence < top_core.influence
+        # The planted clusters are exactly what gets found.
+        assert set(top_core.vertices) <= set(planted["top_core_cluster"])
+        assert set(top_truss.vertices) == set(planted["top_truss_cluster"])
+        # The 5-core *community* (no influence constraint) blows up
+        # (paper: 1,148 of 1,743 researchers).
+        view = PrefixView.whole(graph)
+        alive, _ = gamma_core(view, 5)
+        blob = component_of(view, top_core.keynode, alive)
+        assert len(blob) > 20 * top_core.num_vertices
+        # Section 6 remark: the truss community lies inside the
+        # 5-community sharing its influence value.
+        truss_view = PrefixView(graph, top_truss.keynode + 1)
+        t_alive, _ = gamma_core(truss_view, 5)
+        enclosing = set(
+            component_of(truss_view, top_truss.keynode, t_alive)
+        )
+        assert set(top_truss.vertex_ranks) <= enclosing
