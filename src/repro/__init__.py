@@ -53,8 +53,18 @@ from .errors import (
     UnknownVertexError,
 )
 from .graph import GraphBuilder, PrefixView, WeightedGraph, graph_from_arrays
+from .service import (
+    CommunityView,
+    GraphRegistry,
+    QueryEngine,
+    QueryResult,
+    ResultCache,
+    ServiceMetrics,
+    SessionManager,
+    TopKQuery,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -77,6 +87,15 @@ __all__ = [
     "TopKResult",
     "TrussResult",
     "SearchStats",
+    # service layer
+    "GraphRegistry",
+    "QueryEngine",
+    "ResultCache",
+    "SessionManager",
+    "ServiceMetrics",
+    "TopKQuery",
+    "QueryResult",
+    "CommunityView",
     # errors
     "ReproError",
     "GraphConstructionError",

@@ -1,0 +1,6 @@
+"""``python -m repro`` — delegate to the CLI (same as ``python -m repro.cli``)."""
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,11 +1,14 @@
 """Command-line interface: query graphs from the shell.
 
-Three subcommands::
+Four subcommands::
 
-    python -m repro.cli query  --dataset wiki --k 10 --gamma 10
-    python -m repro.cli query  --edges g.txt --algorithm forward --k 5
-    python -m repro.cli stats  --dataset arabic
-    python -m repro.cli stream --dataset wiki --gamma 10 --min-influence 1e-3
+    repro query  --dataset wiki --k 10 --gamma 10
+    repro query  --edges g.txt --algorithm forward --k 5
+    repro stats  --dataset arabic
+    repro stream --dataset wiki --gamma 10 --min-influence 1e-3
+    repro serve  --cache-size 256
+
+(also reachable as ``python -m repro`` / ``python -m repro.cli``.)
 
 ``query`` runs a top-k search with a chosen algorithm (localsearch,
 localsearch-p, forward, onlineall, backward, truss, noncontainment) on a
@@ -13,7 +16,10 @@ registered stand-in dataset or a SNAP-style edge-list file (weights file
 optional; PageRank otherwise).  ``stats`` prints the Table-1 statistics.
 ``stream`` runs the progressive search and prints communities until an
 influence floor or count cap is hit — the "no k needed" workflow of
-Section 4.
+Section 4.  ``serve`` starts the long-lived serving loop of
+:mod:`repro.service`: graphs are built once and pinned, answers are
+cached and reused across queries, and progressive sessions stream
+results on demand (type ``help`` at its prompt for the protocol).
 """
 
 from __future__ import annotations
@@ -98,6 +104,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--limit", type=int, default=20,
         help="maximum number of communities to print (default 20)",
     )
+
+    serve = sub.add_parser(
+        "serve", help="long-lived serving loop (registry + cache + sessions)"
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=256,
+        help="result-cache capacity in entries (default 256)",
+    )
+    serve.add_argument(
+        "--session-ttl", type=float, default=300.0,
+        help="idle seconds before a progressive session expires (default 300)",
+    )
+    serve.add_argument(
+        "--script", metavar="FILE", default=None,
+        help="read protocol commands from FILE instead of stdin",
+    )
+    serve.add_argument(
+        "--no-datasets", action="store_true",
+        help="start with an empty registry (use 'load' to add graphs)",
+    )
     return parser
 
 
@@ -144,10 +170,47 @@ def _print_community(i: int, community, show_members: bool, out) -> None:
         print(f"       members: {members}", file=out)
 
 
-def main(argv: Optional[List[str]] = None, out=None) -> int:
+def _run_serve(args: argparse.Namespace, out, in_stream) -> int:
+    from .service import (
+        GraphRegistry,
+        QueryEngine,
+        ResultCache,
+        ServiceMetrics,
+        ServiceShell,
+        SessionManager,
+    )
+
+    registry = GraphRegistry(preload_datasets=not args.no_datasets)
+    metrics = ServiceMetrics()
+    try:
+        engine = QueryEngine(
+            registry, cache=ResultCache(args.cache_size), metrics=metrics
+        )
+        sessions = SessionManager(
+            registry, ttl_seconds=args.session_ttl, metrics=metrics
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    if args.script is not None:
+        with open(args.script, "r", encoding="utf-8") as handle:
+            shell = ServiceShell(engine, sessions, out)
+            return shell.run(handle)
+    if in_stream is None:
+        in_stream = sys.stdin
+    prompt = "repro> " if getattr(in_stream, "isatty", lambda: False)() else ""
+    shell = ServiceShell(engine, sessions, out, prompt=prompt)
+    return shell.run(in_stream)
+
+
+def main(argv: Optional[List[str]] = None, out=None, in_stream=None) -> int:
     """CLI entry point; returns a process exit code."""
     out = out if out is not None else sys.stdout
     args = build_parser().parse_args(argv)
+
+    if args.command == "serve":
+        return _run_serve(args, out, in_stream)
+
     graph = _load_graph(args)
 
     if args.command == "stats":

@@ -37,7 +37,11 @@ from .noncontainment import (
     noncontainment_communities_from_record,
     top_k_noncontainment_communities,
 )
-from .progressive import LocalSearchP, progressive_influential_communities
+from .progressive import (
+    LocalSearchP,
+    ProgressiveCursor,
+    progressive_influential_communities,
+)
 from .query_weighted import (
     closeness_weights,
     reweight,
@@ -73,6 +77,7 @@ __all__ = [
     "TopKResult",
     "top_k_influential_communities",
     "LocalSearchP",
+    "ProgressiveCursor",
     "progressive_influential_communities",
     "closeness_weights",
     "reweight",

@@ -21,6 +21,7 @@ LocalSearch-P").
 from __future__ import annotations
 
 import math
+import threading
 import time
 from typing import Iterator, List, Optional, Tuple
 
@@ -32,7 +33,11 @@ from .count import construct_cvs
 from .enumerate import EnumerationState, enumerate_progressive
 from .local_search import SearchStats, TopKResult
 
-__all__ = ["LocalSearchP", "progressive_influential_communities"]
+__all__ = [
+    "LocalSearchP",
+    "ProgressiveCursor",
+    "progressive_influential_communities",
+]
 
 
 class LocalSearchP:
@@ -134,6 +139,10 @@ class LocalSearchP:
         for community in self.stream():
             yield community, time.perf_counter() - started
 
+    def cursor(self) -> "ProgressiveCursor":
+        """A resumable handle over :meth:`stream` (see ProgressiveCursor)."""
+        return ProgressiveCursor(self)
+
     # ------------------------------------------------------------------
     def run(self, k: Optional[int] = None) -> TopKResult:
         """Collect the first ``k`` communities (all of them if ``None``)."""
@@ -146,6 +155,70 @@ class LocalSearchP:
         self.stats.k = k or len(communities)
         self.stats.elapsed_seconds = time.perf_counter() - started
         return TopKResult(communities=communities, stats=self.stats)
+
+
+class ProgressiveCursor:
+    """Resumable, thread-safe cursor over :meth:`LocalSearchP.stream`.
+
+    The progressive stream yields communities in strictly decreasing
+    influence order, and the sequence does not depend on any ``k`` — a
+    ``k`` only truncates it.  The cursor exploits that: it materialises
+    communities as they are pulled and keeps them, so
+
+    * ``take(k')`` with ``k' <=`` what has been seen is a slice (no
+      recomputation at all), and
+    * ``take(k')`` with a larger ``k'`` **resumes** the underlying
+      generator exactly where the previous call stopped — the suffix
+      property (Lemma 3.1/3.2) means no prefix is ever re-peeled.
+
+    This is the primitive behind the service layer's result cache and
+    progressive sessions: one cursor amortises a whole family of
+    ``(gamma, k)`` queries over the same graph.
+    """
+
+    def __init__(self, searcher: LocalSearchP) -> None:
+        self.searcher = searcher
+        self._stream = searcher.stream()
+        self._seen: List[Community] = []
+        self._exhausted = False
+        self._lock = threading.Lock()
+
+    @property
+    def materialized(self) -> int:
+        """Number of communities pulled from the stream so far."""
+        return len(self._seen)
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the stream has ended (all communities are known)."""
+        return self._exhausted
+
+    def _advance_to(self, k: int) -> None:
+        while not self._exhausted and len(self._seen) < k:
+            try:
+                self._seen.append(next(self._stream))
+            except StopIteration:
+                self._exhausted = True
+
+    def ensure(self, k: int) -> int:
+        """Materialise at least ``k`` communities (fewer if exhausted).
+
+        Returns the number of communities now materialised.
+        """
+        with self._lock:
+            self._advance_to(k)
+            return len(self._seen)
+
+    def take(self, k: int) -> List[Community]:
+        """The top-``k`` communities, resuming the stream if needed."""
+        with self._lock:
+            self._advance_to(k)
+            return list(self._seen[:k])
+
+    def peek_all(self) -> List[Community]:
+        """All communities materialised so far (no stream advance)."""
+        with self._lock:
+            return list(self._seen)
 
 
 def progressive_influential_communities(

@@ -18,6 +18,9 @@ __all__ = [
     "QueryParameterError",
     "StorageError",
     "DatasetError",
+    "ServiceError",
+    "UnknownGraphError",
+    "UnknownSessionError",
 ]
 
 
@@ -77,3 +80,26 @@ class StorageError(ReproError):
 
 class DatasetError(ReproError):
     """Raised by the workload/dataset registry for unknown dataset names."""
+
+
+class ServiceError(ReproError):
+    """Base class for errors raised by the query-serving layer."""
+
+
+class UnknownGraphError(ServiceError):
+    """Raised when a graph name is not registered with the GraphRegistry."""
+
+    def __init__(self, name, available=()) -> None:
+        self.name = name
+        hint = f"; registered: {', '.join(sorted(map(str, available)))}" if available else ""
+        super().__init__(f"graph {name!r} is not registered{hint}")
+
+
+class UnknownSessionError(ServiceError):
+    """Raised for an unknown (or expired and evicted) session id."""
+
+    def __init__(self, session_id) -> None:
+        self.session_id = session_id
+        super().__init__(
+            f"session {session_id!r} does not exist (it may have expired)"
+        )

@@ -1,0 +1,190 @@
+"""ResultCache — LRU result reuse built on the paper's progressive order.
+
+Two properties of the algorithms make top-k answers unusually cacheable:
+
+* the result sequence for a given ``(graph, gamma)`` is **independent of
+  k** — ``k`` only truncates it — so a cached top-``k`` serves *any*
+  follow-up with ``k' <= k`` exactly (prefix reuse);
+* LocalSearch-P's stream can be **resumed**: a follow-up with ``k' > k``
+  continues peeling where the cached query stopped (suffix property,
+  Lemma 3.1/3.2) instead of restarting from scratch.
+
+Entries are keyed by ``(graph name, graph version, gamma, algorithm,
+delta)``; the graph version comes from the :class:`GraphRegistry`, so a
+``reload`` silently invalidates all stale answers.  Progressive entries
+hold a live :class:`~repro.core.progressive.ProgressiveCursor`; static
+entries (non-progressive algorithms) hold a frozen tuple of views and
+can only serve ``k' <= k`` (or anything, once the answer is known to be
+complete).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..core.progressive import ProgressiveCursor
+from .model import CommunityView
+
+__all__ = [
+    "CacheKey",
+    "CacheStats",
+    "ProgressiveEntry",
+    "StaticEntry",
+    "ResultCache",
+]
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    """Identity of a cached answer."""
+
+    graph: str
+    version: int
+    gamma: int
+    algorithm: str
+    delta: float
+
+
+@dataclass
+class CacheStats:
+    """Lookup counters (kept by the cache itself; latency lives in
+    :class:`~repro.service.metrics.ServiceMetrics`)."""
+
+    hits: int = 0
+    extended: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.extended + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served (fully or by resuming) from cache."""
+        total = self.lookups
+        return (self.hits + self.extended) / total if total else 0.0
+
+
+class ProgressiveEntry:
+    """A resumable cached answer: views + the live cursor behind them."""
+
+    __slots__ = ("cursor", "_views", "_lock")
+
+    def __init__(self, cursor: ProgressiveCursor) -> None:
+        self.cursor = cursor
+        self._views: List[CommunityView] = []
+        self._lock = threading.Lock()
+
+    @property
+    def materialized(self) -> int:
+        with self._lock:
+            return len(self._views)
+
+    def serve(self, k: int) -> Tuple[Tuple[CommunityView, ...], str]:
+        """Serve top-``k``, resuming the cursor when it falls short.
+
+        Returns ``(views, source)`` with source ``"cold"`` on first fill,
+        ``"cache"`` for pure prefix reuse, ``"extended"`` when the stream
+        had to be resumed.
+        """
+        with self._lock:
+            had = len(self._views)
+            if had >= k:
+                return tuple(self._views[:k]), "cache"
+            was_exhausted = self.cursor.exhausted
+            communities = self.cursor.take(k)
+            for community in communities[had:]:
+                self._views.append(CommunityView.from_community(community))
+            if had == 0:
+                source = "cold"
+            elif was_exhausted:
+                # Nothing left to resume; the cached prefix is the answer.
+                source = "cache"
+            else:
+                source = "extended"
+            return tuple(self._views[:k]), source
+
+
+class StaticEntry:
+    """A frozen cached answer from a non-resumable algorithm."""
+
+    __slots__ = ("views", "complete")
+
+    def __init__(self, views: Tuple[CommunityView, ...], complete: bool) -> None:
+        self.views = tuple(views)
+        #: True when the views are *all* communities of the graph (the
+        #: query asked for more than exist), so any k' can be served.
+        self.complete = complete
+
+    def serve(self, k: int) -> Optional[Tuple[Tuple[CommunityView, ...], str]]:
+        """Serve top-``k`` if the entry covers it, else ``None`` (miss)."""
+        if k <= len(self.views) or self.complete:
+            return self.views[:k], "cache"
+        return None
+
+
+class ResultCache:
+    """Thread-safe LRU over progressive/static entries."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be at least 1")
+        self.capacity = capacity
+        self._data: "OrderedDict[CacheKey, object]" = OrderedDict()
+        self._lock = threading.RLock()
+        self.stats = CacheStats()
+
+    def get(self, key: CacheKey):
+        """The entry for ``key`` (refreshing its LRU slot), or ``None``."""
+        with self._lock:
+            entry = self._data.get(key)
+            if entry is not None:
+                self._data.move_to_end(key)
+            return entry
+
+    def put(self, key: CacheKey, entry) -> None:
+        with self._lock:
+            self._data[key] = entry
+            self._data.move_to_end(key)
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self.stats.evictions += 1
+
+    def record(self, source: str) -> None:
+        """Count one served query by its source tag."""
+        with self._lock:
+            if source == "cache":
+                self.stats.hits += 1
+            elif source == "extended":
+                self.stats.extended += 1
+            else:
+                self.stats.misses += 1
+
+    def invalidate_graph(self, graph: str, version: Optional[int] = None) -> int:
+        """Drop all entries for ``graph`` (optionally one version only)."""
+        with self._lock:
+            doomed = [
+                key
+                for key in self._data
+                if key.graph == graph
+                and (version is None or key.version == version)
+            ]
+            for key in doomed:
+                del self._data[key]
+            return len(doomed)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def keys(self) -> List[CacheKey]:
+        with self._lock:
+            return list(self._data)

@@ -1,0 +1,177 @@
+"""QueryEngine — plan, dispatch, cache, and measure top-k queries.
+
+The engine is the service layer's front door: it resolves a
+:class:`~repro.service.model.TopKQuery` against the
+:class:`~repro.service.registry.GraphRegistry`, plans which algorithm to
+run (``"auto"`` picks LocalSearch-P: instance-optimal, progressive, and
+— crucially for a serving layer — *resumable*, so one cached cursor
+amortises a whole family of k's), consults the
+:class:`~repro.service.cache.ResultCache`, and normalises whatever the
+algorithm returns into a serializable
+:class:`~repro.service.model.QueryResult`, recording latency and cache
+provenance in :class:`~repro.service.metrics.ServiceMetrics`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from ..baselines import backward, forward, online_all
+from ..core.local_search import LocalSearch
+from ..core.noncontainment import top_k_noncontainment_communities
+from ..core.progressive import LocalSearchP
+from ..core.truss_search import top_k_truss_communities
+from ..graph.weighted_graph import WeightedGraph
+from .cache import CacheKey, ProgressiveEntry, ResultCache, StaticEntry
+from .metrics import ServiceMetrics
+from .model import AUTO, CommunityView, QueryResult, TopKQuery
+from .registry import GraphHandle, GraphRegistry
+
+__all__ = ["QueryPlan", "QueryEngine"]
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """The planner's decision for one query."""
+
+    algorithm: str
+    progressive: bool
+    reason: str
+
+
+#: Non-progressive runners: graph x query -> object with ``.communities``.
+_STATIC_RUNNERS: Dict[str, Callable[[WeightedGraph, TopKQuery], object]] = {
+    "localsearch": lambda g, q: LocalSearch(
+        g, gamma=q.gamma, delta=q.delta
+    ).search(q.k),
+    "forward": lambda g, q: forward(g, q.k, q.gamma),
+    "onlineall": lambda g, q: online_all(g, q.k, q.gamma),
+    "backward": lambda g, q: backward(g, q.k, q.gamma),
+    "truss": lambda g, q: top_k_truss_communities(g, q.k, q.gamma),
+    "noncontainment": lambda g, q: top_k_noncontainment_communities(
+        g, q.k, q.gamma, delta=q.delta
+    ),
+}
+
+
+class QueryEngine:
+    """Serve :class:`TopKQuery` objects against long-lived graphs.
+
+    Parameters
+    ----------
+    registry:
+        Source of graph handles (built once, shared across queries).
+    cache:
+        Optional result cache; pass ``None`` to disable caching (every
+        query is then a cold computation — used by tests/benchmarks as
+        the baseline).
+    metrics:
+        Optional shared metrics sink.
+    """
+
+    def __init__(
+        self,
+        registry: GraphRegistry,
+        cache: Optional[ResultCache] = None,
+        metrics: Optional[ServiceMetrics] = None,
+    ) -> None:
+        self.registry = registry
+        self.cache = cache
+        self.metrics = metrics
+
+    # ------------------------------------------------------------------
+    def plan(self, query: TopKQuery) -> QueryPlan:
+        """Resolve ``algorithm="auto"`` and classify the dispatch."""
+        algorithm = query.algorithm
+        if algorithm == AUTO:
+            return QueryPlan(
+                algorithm="localsearch-p",
+                progressive=True,
+                reason=(
+                    "auto: LocalSearch-P is instance-optimal and its "
+                    "stream resumes, so cached answers extend to larger k"
+                ),
+            )
+        if algorithm == "localsearch-p":
+            return QueryPlan(
+                algorithm, progressive=True, reason="requested explicitly"
+            )
+        return QueryPlan(
+            algorithm, progressive=False, reason="requested explicitly"
+        )
+
+    # ------------------------------------------------------------------
+    def _serve_progressive(
+        self, handle: GraphHandle, query: TopKQuery, key: CacheKey
+    ) -> Tuple[Tuple[CommunityView, ...], str, bool]:
+        entry = self.cache.get(key) if self.cache is not None else None
+        if not isinstance(entry, ProgressiveEntry):
+            cursor = LocalSearchP(
+                handle.graph, gamma=query.gamma, delta=query.delta
+            ).cursor()
+            entry = ProgressiveEntry(cursor)
+            if self.cache is not None:
+                self.cache.put(key, entry)
+        views, source = entry.serve(query.k)
+        complete = (
+            entry.cursor.exhausted and query.k >= entry.cursor.materialized
+        )
+        return views, source, complete
+
+    def _serve_static(
+        self, handle: GraphHandle, query: TopKQuery, key: CacheKey, algorithm: str
+    ) -> Tuple[Tuple[CommunityView, ...], str, bool]:
+        entry = self.cache.get(key) if self.cache is not None else None
+        if isinstance(entry, StaticEntry):
+            served = entry.serve(query.k)
+            if served is not None:
+                views, source = served
+                complete = entry.complete and query.k >= len(entry.views)
+                return views, source, complete
+        result = _STATIC_RUNNERS[algorithm](handle.graph, query)
+        views = tuple(
+            CommunityView.from_community(c) for c in result.communities
+        )
+        complete = len(views) < query.k
+        if self.cache is not None:
+            self.cache.put(key, StaticEntry(views, complete))
+        return views[: query.k], "cold", complete
+
+    # ------------------------------------------------------------------
+    def execute(self, query: TopKQuery) -> QueryResult:
+        """Serve one query end to end."""
+        started = time.perf_counter()
+        handle = self.registry.get(query.graph)
+        plan = self.plan(query)
+        key = CacheKey(
+            graph=handle.name,
+            version=handle.version,
+            gamma=query.gamma,
+            algorithm=plan.algorithm,
+            delta=query.delta,
+        )
+        if plan.progressive:
+            views, source, complete = self._serve_progressive(
+                handle, query, key
+            )
+        else:
+            views, source, complete = self._serve_static(
+                handle, query, key, plan.algorithm
+            )
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        if self.cache is not None:
+            self.cache.record(source)
+        if self.metrics is not None:
+            self.metrics.observe_query(plan.algorithm, elapsed_ms, source)
+        return QueryResult(
+            query=query,
+            algorithm=plan.algorithm,
+            graph_version=handle.version,
+            communities=views,
+            source=source,
+            elapsed_ms=elapsed_ms,
+            complete=complete,
+            plan_reason=plan.reason,
+        )

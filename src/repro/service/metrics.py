@@ -1,0 +1,129 @@
+"""Service metrics — counters and latency percentiles for the serving layer.
+
+Pure in-process instrumentation (no external dependency): monotonically
+increasing counters (queries served, per-source breakdown, session
+lifecycle), a bounded latency reservoir per algorithm, and nearest-rank
+percentiles over it.  ``snapshot()`` returns a plain dict so the shell's
+``metrics`` command and tests can consume it directly.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import defaultdict, deque
+from typing import Deque, Dict, Iterable, Optional
+
+__all__ = ["percentile", "ServiceMetrics"]
+
+
+def percentile(samples: Iterable[float], q: float) -> Optional[float]:
+    """Nearest-rank percentile (``q`` in (0, 100]); ``None`` if empty."""
+    values = sorted(samples)
+    if not values:
+        return None
+    if not 0.0 < q <= 100.0:
+        raise ValueError("percentile q must be in (0, 100]")
+    rank = max(1, math.ceil(q / 100.0 * len(values)))
+    return values[rank - 1]
+
+
+class ServiceMetrics:
+    """Thread-safe counters + per-algorithm latency reservoirs.
+
+    ``max_samples`` bounds each algorithm's reservoir (oldest samples
+    fall out first), keeping memory constant under heavy traffic.
+    """
+
+    PERCENTILES = (50.0, 90.0, 99.0)
+
+    def __init__(self, max_samples: int = 1024) -> None:
+        if max_samples < 1:
+            raise ValueError("max_samples must be at least 1")
+        self._lock = threading.Lock()
+        self._max_samples = max_samples
+        self.queries_served = 0
+        self.by_source: Dict[str, int] = defaultdict(int)
+        self.by_algorithm: Dict[str, int] = defaultdict(int)
+        self._latency_ms: Dict[str, Deque[float]] = {}
+        self.sessions_opened = 0
+        self.sessions_closed = 0
+        self.sessions_expired = 0
+        self.errors = 0
+
+    # ------------------------------------------------------------------
+    def observe_query(
+        self, algorithm: str, elapsed_ms: float, source: str
+    ) -> None:
+        """Record one served query."""
+        with self._lock:
+            self.queries_served += 1
+            self.by_source[source] += 1
+            self.by_algorithm[algorithm] += 1
+            reservoir = self._latency_ms.get(algorithm)
+            if reservoir is None:
+                reservoir = deque(maxlen=self._max_samples)
+                self._latency_ms[algorithm] = reservoir
+            reservoir.append(elapsed_ms)
+
+    def observe_error(self) -> None:
+        with self._lock:
+            self.errors += 1
+
+    def session_opened(self) -> None:
+        with self._lock:
+            self.sessions_opened += 1
+
+    def session_closed(self, expired: bool = False) -> None:
+        with self._lock:
+            self.sessions_closed += 1
+            if expired:
+                self.sessions_expired += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of queries answered from cache (fully or resumed)."""
+        with self._lock:
+            served = sum(
+                self.by_source[s] for s in ("cache", "extended", "cold")
+            )
+            if not served:
+                return 0.0
+            return (
+                self.by_source["cache"] + self.by_source["extended"]
+            ) / served
+
+    def latency_percentiles(self, algorithm: str) -> Dict[str, Optional[float]]:
+        """``{"p50": ..., "p90": ..., "p99": ...}`` for one algorithm."""
+        with self._lock:
+            samples = list(self._latency_ms.get(algorithm, ()))
+        return {
+            f"p{int(q)}": percentile(samples, q) for q in self.PERCENTILES
+        }
+
+    def snapshot(self) -> Dict[str, object]:
+        """A point-in-time, JSON-friendly view of everything."""
+        with self._lock:
+            latencies = {
+                algo: list(samples)
+                for algo, samples in self._latency_ms.items()
+            }
+            out: Dict[str, object] = {
+                "queries_served": self.queries_served,
+                "by_source": dict(self.by_source),
+                "by_algorithm": dict(self.by_algorithm),
+                "sessions_opened": self.sessions_opened,
+                "sessions_closed": self.sessions_closed,
+                "sessions_expired": self.sessions_expired,
+                "errors": self.errors,
+            }
+        out["cache_hit_rate"] = self.cache_hit_rate
+        out["latency_ms"] = {
+            algo: {
+                f"p{int(q)}": percentile(samples, q)
+                for q in self.PERCENTILES
+            }
+            for algo, samples in latencies.items()
+        }
+        return out

@@ -1,0 +1,150 @@
+"""Wire types of the service layer: queries and serializable results.
+
+The algorithm layer returns :class:`~repro.core.community.Community`
+forests that hold live references to the graph — ideal inside one query,
+wrong for a serving layer that caches answers across queries and ships
+them over a protocol.  :class:`CommunityView` is the frozen, graph-free
+projection of a community (keynode label, influence, size, sorted member
+labels); :class:`QueryResult` bundles the views with provenance (graph
+version, resolved algorithm, cache source, latency) and serialises to
+JSON.  Frozen views are what make the cache's prefix-reuse contract easy
+to state: serving ``k' <= k`` from a cached top-``k`` returns the *same
+bytes* as a fresh query.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+from ..errors import QueryParameterError
+
+__all__ = ["TopKQuery", "CommunityView", "QueryResult", "ALGORITHMS", "AUTO"]
+
+AUTO = "auto"
+
+#: Algorithms the planner can dispatch to (mirrors the CLI choices).
+ALGORITHMS = (
+    AUTO,
+    "localsearch",
+    "localsearch-p",
+    "forward",
+    "onlineall",
+    "backward",
+    "truss",
+    "noncontainment",
+)
+
+
+@dataclass(frozen=True)
+class TopKQuery:
+    """One top-k influential-community query against a registered graph."""
+
+    graph: str
+    gamma: int = 10
+    k: int = 10
+    algorithm: str = AUTO
+    delta: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise QueryParameterError("k must be at least 1")
+        if self.gamma < 1:
+            raise QueryParameterError("gamma must be at least 1")
+        if self.delta <= 1.0:
+            raise QueryParameterError("delta must be greater than 1")
+        if self.algorithm not in ALGORITHMS:
+            raise QueryParameterError(
+                f"unknown algorithm {self.algorithm!r}; "
+                f"choose from {', '.join(ALGORITHMS)}"
+            )
+
+
+@dataclass(frozen=True)
+class CommunityView:
+    """Frozen, graph-free projection of one community.
+
+    ``members`` are user-facing labels sorted by string representation, so
+    two views of the same community — however it was enumerated — compare
+    and serialise identically.
+    """
+
+    keynode: Hashable
+    influence: float
+    size: int
+    members: Tuple[Hashable, ...]
+
+    @classmethod
+    def from_community(cls, community: Any) -> "CommunityView":
+        """Project a :class:`Community` or :class:`TrussCommunity`."""
+        return cls(
+            keynode=community.keynode_label,
+            influence=community.influence,
+            size=community.num_vertices,
+            members=tuple(sorted(community.vertices, key=str)),
+        )
+
+    def to_dict(self, include_members: bool = True) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "keynode": self.keynode,
+            "influence": self.influence,
+            "size": self.size,
+        }
+        if include_members:
+            out["members"] = list(self.members)
+        return out
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """A served query: the answer plus its provenance.
+
+    ``source`` records how the answer was produced:
+
+    * ``"cold"`` — computed from scratch (cache miss);
+    * ``"cache"`` — served entirely from a cached answer (``k' <= k``);
+    * ``"extended"`` — a cached progressive cursor was *resumed* to reach
+      a larger ``k`` (the paper's suffix property: no work is repeated).
+    """
+
+    query: TopKQuery
+    algorithm: str
+    graph_version: int
+    communities: Tuple[CommunityView, ...]
+    source: str
+    elapsed_ms: float
+    complete: bool = False
+    plan_reason: Optional[str] = field(default=None, compare=False)
+
+    def __len__(self) -> int:
+        return len(self.communities)
+
+    def __iter__(self):
+        return iter(self.communities)
+
+    @property
+    def influences(self) -> Tuple[float, ...]:
+        return tuple(v.influence for v in self.communities)
+
+    def to_dict(self, include_members: bool = True) -> Dict[str, Any]:
+        return {
+            "graph": self.query.graph,
+            "graph_version": self.graph_version,
+            "gamma": self.query.gamma,
+            "k": self.query.k,
+            "delta": self.query.delta,
+            "algorithm": self.algorithm,
+            "source": self.source,
+            "elapsed_ms": self.elapsed_ms,
+            "complete": self.complete,
+            "communities": [
+                v.to_dict(include_members) for v in self.communities
+            ],
+        }
+
+    def to_json(self, include_members: bool = True) -> str:
+        """Deterministic JSON (sorted keys, no whitespace variance)."""
+        return json.dumps(
+            self.to_dict(include_members), sort_keys=True, default=str
+        )

@@ -1,0 +1,222 @@
+"""GraphRegistry — long-lived, versioned, thread-safe graph handles.
+
+The CLI's one-shot ``query`` rebuilds its graph on every invocation; a
+serving layer must pay graph construction **once** and share the built
+graph across many concurrent queries.  The registry maps names to lazy
+loaders (the Table-1 stand-in datasets are pre-registered; edge-list
+files can be added at runtime), builds each graph at most once under a
+per-entry lock — two registry clients asking for *different* graphs
+build concurrently, two asking for the *same* graph share one build —
+and hands out immutable :class:`GraphHandle` objects.
+
+Every (re)build bumps the entry's **version**.  Handles carry the
+version, and the result cache keys on it, so ``reload``/``evict``
+invalidate stale cached answers for free: the old version's keys simply
+stop being generated.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..errors import UnknownGraphError
+from ..graph.io import load_snap_graph
+from ..graph.weighted_graph import WeightedGraph
+from ..workloads.datasets import dataset_names, load_dataset
+
+__all__ = ["GraphHandle", "GraphRegistry"]
+
+
+@dataclass(frozen=True)
+class GraphHandle:
+    """An immutable, pinned reference to one built graph."""
+
+    name: str
+    version: int
+    graph: WeightedGraph
+
+    @property
+    def num_vertices(self) -> int:
+        return self.graph.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.num_edges
+
+
+@dataclass
+class _Entry:
+    loader: Callable[[], WeightedGraph]
+    description: str = ""
+    #: The current (graph, version) pair as ONE immutable reference, so
+    #: lock-free readers can never observe a graph/version mismatch
+    #: across a concurrent reload.
+    handle: Optional[GraphHandle] = None
+    version: int = 0
+    build_seconds: float = 0.0
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+class GraphRegistry:
+    """Named graphs behind lazy, versioned, thread-safe handles.
+
+    Parameters
+    ----------
+    preload_datasets:
+        When true (the default) every stand-in dataset of
+        :mod:`repro.workloads.datasets` is registered (lazily — nothing
+        is built until first use).
+    """
+
+    def __init__(self, preload_datasets: bool = True) -> None:
+        self._entries: Dict[str, _Entry] = {}
+        self._lock = threading.RLock()
+        self._builds = 0
+        if preload_datasets:
+            for name in dataset_names():
+                self.register(
+                    name,
+                    (lambda n=name: load_dataset(n)),
+                    description=f"stand-in dataset {name!r}",
+                )
+
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        loader: Callable[[], WeightedGraph],
+        description: str = "",
+        replace: bool = False,
+    ) -> None:
+        """Register a lazy loader under ``name``.
+
+        Re-registering an existing name requires ``replace=True`` and
+        keeps the version counter monotone (cached results for the old
+        definition stay invalid).
+        """
+        with self._lock:
+            existing = self._entries.get(name)
+            if existing is not None and not replace:
+                raise ValueError(
+                    f"graph {name!r} is already registered "
+                    "(pass replace=True to overwrite)"
+                )
+            entry = _Entry(loader=loader, description=description)
+            if existing is not None:
+                entry.version = existing.version
+            self._entries[name] = entry
+
+    def register_edge_list(
+        self,
+        name: str,
+        edges_path: str,
+        weights_path: Optional[str] = None,
+        replace: bool = False,
+    ) -> None:
+        """Register a SNAP-style edge-list file (PageRank weights if none)."""
+        self.register(
+            name,
+            lambda: load_snap_graph(edges_path, weights_path),
+            description=f"edge list {edges_path!r}",
+            replace=replace,
+        )
+
+    # ------------------------------------------------------------------
+    def _entry(self, name: str) -> _Entry:
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is None:
+                raise UnknownGraphError(name, available=self._entries)
+            return entry
+
+    def _build(self, name: str, entry: _Entry) -> GraphHandle:
+        """Run the loader and publish a fresh handle (entry.lock held)."""
+        started = time.perf_counter()
+        graph = entry.loader()
+        entry.build_seconds = time.perf_counter() - started
+        entry.version += 1
+        entry.handle = GraphHandle(name, entry.version, graph)
+        with self._lock:
+            self._builds += 1
+        return entry.handle
+
+    def get(self, name: str) -> GraphHandle:
+        """A handle to the built graph, building it (once) if needed."""
+        entry = self._entry(name)
+        # Single reference read: a concurrent reload can never yield a
+        # mismatched (graph, version) pair.
+        handle = entry.handle
+        if handle is not None:
+            return handle
+        # Build outside the registry lock, under the entry's own lock, so
+        # concurrent loads of different graphs do not serialise.
+        with entry.lock:
+            if entry.handle is None:
+                return self._build(name, entry)
+            return entry.handle
+
+    def reload(self, name: str) -> GraphHandle:
+        """Force a rebuild and bump the version (invalidates caches)."""
+        entry = self._entry(name)
+        with entry.lock:
+            return self._build(name, entry)
+
+    def evict(self, name: str) -> None:
+        """Drop the built graph (the loader stays; next get() rebuilds)."""
+        entry = self._entry(name)
+        with entry.lock:
+            entry.handle = None
+
+    def unregister(self, name: str) -> None:
+        """Remove ``name`` entirely."""
+        with self._lock:
+            if name not in self._entries:
+                raise UnknownGraphError(name, available=self._entries)
+            del self._entries[name]
+
+    # ------------------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._entries
+
+    def names(self) -> List[str]:
+        """All registered names, in registration order."""
+        with self._lock:
+            return list(self._entries)
+
+    def is_loaded(self, name: str) -> bool:
+        """True when the graph is currently built and pinned in memory."""
+        return self._entry(name).handle is not None
+
+    def version(self, name: str) -> int:
+        """Current version (0 = never built)."""
+        return self._entry(name).version
+
+    @property
+    def builds(self) -> int:
+        """Total number of graph builds performed (load + reload)."""
+        with self._lock:
+            return self._builds
+
+    def describe(self) -> List[Dict[str, object]]:
+        """One status row per registered graph (for `graphs` in the shell)."""
+        rows: List[Dict[str, object]] = []
+        with self._lock:
+            items = list(self._entries.items())
+        for name, entry in items:
+            handle = entry.handle
+            row: Dict[str, object] = {
+                "name": name,
+                "description": entry.description,
+                "loaded": handle is not None,
+                "version": entry.version,
+            }
+            if handle is not None:
+                row["vertices"] = handle.num_vertices
+                row["edges"] = handle.num_edges
+                row["build_seconds"] = entry.build_seconds
+            rows.append(row)
+        return rows

@@ -1,0 +1,290 @@
+"""ServiceShell — the `repro serve` line-protocol loop.
+
+A dependency-free serving frontend: one command per line on an input
+stream, human-readable responses on an output stream.  The same loop
+serves an interactive REPL (stdin on a TTY), a piped script, or a test
+feeding a ``StringIO`` — no network stack required, while exercising the
+full service stack (registry -> planner -> cache -> sessions -> metrics)
+exactly as a socket server would.
+
+Protocol (one command per line; ``key=value`` arguments in any order)::
+
+    graphs
+    load NAME EDGES_FILE [WEIGHTS_FILE]
+    query GRAPH [k=10] [gamma=10] [algorithm=auto] [delta=2.0] [members]
+    session open GRAPH [gamma=10] [delta=2.0]
+    session next SID [N]
+    session close SID
+    sessions
+    metrics
+    help
+    quit
+"""
+
+from __future__ import annotations
+
+import shlex
+from typing import Dict, List, Optional, TextIO, Tuple
+
+from ..errors import QueryParameterError, ReproError
+from .engine import QueryEngine
+from .metrics import ServiceMetrics
+from .model import CommunityView, TopKQuery
+from .sessions import SessionManager
+
+__all__ = ["ServiceShell"]
+
+_HELP = """\
+commands:
+  graphs                                list registered graphs
+  load NAME EDGES [WEIGHTS]             register an edge-list file
+  query GRAPH [k=N] [gamma=N] [algorithm=A] [delta=F] [members]
+  session open GRAPH [gamma=N] [delta=F]
+  session next SID [N]                  stream the next N communities
+  session close SID
+  sessions                              list active sessions
+  metrics                               service counters and latencies
+  help                                  this text
+  quit                                  exit the server loop\
+"""
+
+
+def _parse_kv(tokens: List[str]) -> Tuple[Dict[str, str], List[str]]:
+    """Split tokens into ``key=value`` pairs and bare flags."""
+    kv: Dict[str, str] = {}
+    flags: List[str] = []
+    for token in tokens:
+        if "=" in token:
+            key, _, value = token.partition("=")
+            kv[key] = value
+        else:
+            flags.append(token)
+    return kv, flags
+
+
+class ServiceShell:
+    """Drive a :class:`QueryEngine` + :class:`SessionManager` over text."""
+
+    def __init__(
+        self,
+        engine: QueryEngine,
+        sessions: SessionManager,
+        out: TextIO,
+        metrics: Optional[ServiceMetrics] = None,
+        prompt: str = "",
+    ) -> None:
+        self.engine = engine
+        self.sessions = sessions
+        self.out = out
+        self.metrics = metrics if metrics is not None else engine.metrics
+        self.prompt = prompt
+
+    # ------------------------------------------------------------------
+    def _print(self, text: str = "") -> None:
+        print(text, file=self.out)
+
+    def _print_views(
+        self, views: List[CommunityView], members: bool, start: int = 1
+    ) -> None:
+        for i, view in enumerate(views, start=start):
+            self._print(
+                f"top-{i}: influence={view.influence:.8g} "
+                f"keynode={view.keynode} size={view.size}"
+            )
+            if members:
+                self._print(
+                    "       members: "
+                    + ", ".join(str(v) for v in view.members)
+                )
+
+    # ------------------------------------------------------------------
+    def _cmd_graphs(self, tokens: List[str]) -> None:
+        for row in self.engine.registry.describe():
+            status = (
+                f"loaded v{row['version']} "
+                f"({row['vertices']:,} vertices, {row['edges']:,} edges)"
+                if row["loaded"]
+                else "not loaded"
+            )
+            self._print(f"{row['name']:>14}: {status} — {row['description']}")
+
+    def _cmd_load(self, tokens: List[str]) -> None:
+        if not 2 <= len(tokens) <= 3:
+            raise QueryParameterError(
+                "usage: load NAME EDGES_FILE [WEIGHTS_FILE]"
+            )
+        name, edges = tokens[0], tokens[1]
+        weights = tokens[2] if len(tokens) == 3 else None
+        self.engine.registry.register_edge_list(
+            name, edges, weights, replace=True
+        )
+        handle = self.engine.registry.get(name)
+        self._print(
+            f"loaded {name!r} v{handle.version}: "
+            f"{handle.num_vertices:,} vertices, {handle.num_edges:,} edges"
+        )
+
+    def _cmd_query(self, tokens: List[str]) -> None:
+        if not tokens:
+            raise QueryParameterError(
+                "usage: query GRAPH [k=N] [gamma=N] [algorithm=A] "
+                "[delta=F] [members]"
+            )
+        graph, rest = tokens[0], tokens[1:]
+        kv, flags = _parse_kv(rest)
+        unknown = [f for f in flags if f != "members"] + [
+            key for key in kv if key not in ("k", "gamma", "algorithm", "delta")
+        ]
+        if unknown:
+            raise QueryParameterError(
+                f"unknown query argument(s): {', '.join(unknown)}"
+            )
+        try:
+            query = TopKQuery(
+                graph=graph,
+                k=int(kv.get("k", "10")),
+                gamma=int(kv.get("gamma", "10")),
+                algorithm=kv.get("algorithm", "auto"),
+                delta=float(kv.get("delta", "2.0")),
+            )
+        except ValueError as exc:
+            raise QueryParameterError(f"bad query argument: {exc}") from exc
+        result = self.engine.execute(query)
+        self._print(
+            f"{result.algorithm}[{result.source}]: "
+            f"{len(result.communities)} communities "
+            f"(k={query.k}, gamma={query.gamma}) in {result.elapsed_ms:.2f} ms"
+        )
+        self._print_views(list(result.communities), "members" in flags)
+
+    def _cmd_session(self, tokens: List[str]) -> None:
+        if not tokens:
+            raise QueryParameterError(
+                "usage: session open|next|close|... (see help)"
+            )
+        action, rest = tokens[0], tokens[1:]
+        if action == "open":
+            if not rest:
+                raise QueryParameterError(
+                    "usage: session open GRAPH [gamma=N] [delta=F]"
+                )
+            kv, flags = _parse_kv(rest[1:])
+            unknown = flags + [
+                key for key in kv if key not in ("gamma", "delta")
+            ]
+            if unknown:
+                raise QueryParameterError(
+                    f"unknown session argument(s): {', '.join(unknown)}"
+                )
+            session = self.sessions.create(
+                rest[0],
+                gamma=int(kv.get("gamma", "10")),
+                delta=float(kv.get("delta", "2.0")),
+            )
+            self._print(
+                f"session {session.session_id} open: graph={session.graph} "
+                f"gamma={session.gamma}"
+            )
+        elif action == "next":
+            if not rest:
+                raise QueryParameterError("usage: session next SID [N]")
+            count = int(rest[1]) if len(rest) > 1 else 1
+            session = self.sessions.get(rest[0])
+            start = session.delivered
+            views, done = self.sessions.next(rest[0], count)
+            self._print_views(views, False, start=start + 1)
+            if done:
+                self._print(f"(session {rest[0]} exhausted)")
+        elif action == "close":
+            if not rest:
+                raise QueryParameterError("usage: session close SID")
+            self.sessions.close(rest[0])
+            self._print(f"session {rest[0]} closed")
+        else:
+            raise QueryParameterError(
+                f"unknown session action {action!r} (open/next/close)"
+            )
+
+    def _cmd_sessions(self, tokens: List[str]) -> None:
+        rows = self.sessions.active()
+        if not rows:
+            self._print("(no active sessions)")
+        for row in rows:
+            self._print(
+                f"{row['session_id']}: graph={row['graph']} "
+                f"gamma={row['gamma']} delivered={row['delivered']} "
+                f"exhausted={row['exhausted']}"
+            )
+
+    def _cmd_metrics(self, tokens: List[str]) -> None:
+        if self.metrics is None:
+            self._print("(metrics disabled)")
+            return
+        snap = self.metrics.snapshot()
+        self._print(f"queries_served: {snap['queries_served']}")
+        self._print(f"cache_hit_rate: {snap['cache_hit_rate']:.3f}")
+        for source, count in sorted(snap["by_source"].items()):
+            self._print(f"source[{source}]: {count}")
+        for algo, pcts in sorted(snap["latency_ms"].items()):
+            rendered = ", ".join(
+                f"{name}={value:.3f}ms" if value is not None else f"{name}=–"
+                for name, value in pcts.items()
+            )
+            self._print(f"latency[{algo}]: {rendered}")
+        self._print(
+            f"sessions: opened={snap['sessions_opened']} "
+            f"closed={snap['sessions_closed']} "
+            f"expired={snap['sessions_expired']}"
+        )
+
+    # ------------------------------------------------------------------
+    def execute_line(self, line: str) -> bool:
+        """Run one protocol line; returns False when the loop should end."""
+        try:
+            tokens = shlex.split(line, comments=True)
+        except ValueError as exc:
+            self._print(f"error: {exc}")
+            return True
+        if not tokens:
+            return True
+        command, rest = tokens[0].lower(), tokens[1:]
+        if command in ("quit", "exit"):
+            return False
+        handler = {
+            "graphs": self._cmd_graphs,
+            "load": self._cmd_load,
+            "query": self._cmd_query,
+            "session": self._cmd_session,
+            "sessions": self._cmd_sessions,
+            "metrics": self._cmd_metrics,
+            "help": lambda _tokens: self._print(_HELP),
+        }.get(command)
+        if handler is None:
+            self._print(
+                f"error: unknown command {command!r} (try 'help')"
+            )
+            return True
+        try:
+            handler(rest)
+        except (ReproError, ValueError, OSError) as exc:
+            if self.metrics is not None:
+                self.metrics.observe_error()
+            self._print(f"error: {exc}")
+        return True
+
+    def run(self, in_stream) -> int:
+        """Serve until ``quit`` or end of input; returns an exit code."""
+        self._print(
+            f"repro service: {len(self.engine.registry.names())} graphs "
+            "registered; type 'help' for the protocol"
+        )
+        while True:
+            if self.prompt:
+                self.out.write(self.prompt)
+                self.out.flush()
+            line = in_stream.readline()
+            if not line:
+                break
+            if not self.execute_line(line):
+                break
+        return 0

@@ -19,6 +19,7 @@ Table-1 benchmark can print paper-vs-stand-in side by side.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -173,6 +174,11 @@ DATASETS: Dict[str, DatasetSpec] = {
 }
 
 _CACHE: Dict[str, WeightedGraph] = {}
+#: Guards the cache dict itself; builds run outside it, under a
+#: per-dataset lock, so concurrent loads of *different* stand-ins
+#: proceed in parallel while the same stand-in is only built once.
+_CACHE_LOCK = threading.RLock()
+_BUILD_LOCKS: Dict[str, threading.Lock] = {}
 
 
 def dataset_names() -> List[str]:
@@ -181,19 +187,33 @@ def dataset_names() -> List[str]:
 
 
 def load_dataset(name: str) -> WeightedGraph:
-    """Build (or fetch from cache) the stand-in graph called ``name``."""
+    """Build (or fetch from cache) the stand-in graph called ``name``.
+
+    Thread-safe: the service layer's GraphRegistry loads stand-ins from
+    concurrent queries; double-checked locking guarantees exactly one
+    build per name even under contention.
+    """
     spec = DATASETS.get(name)
     if spec is None:
         raise DatasetError(
             f"unknown dataset {name!r}; available: {', '.join(DATASETS)}"
         )
-    graph = _CACHE.get(name)
-    if graph is None:
-        graph = spec.build()
-        _CACHE[name] = graph
+    with _CACHE_LOCK:
+        graph = _CACHE.get(name)
+        if graph is not None:
+            return graph
+        build_lock = _BUILD_LOCKS.setdefault(name, threading.Lock())
+    with build_lock:
+        with _CACHE_LOCK:
+            graph = _CACHE.get(name)
+        if graph is None:
+            graph = spec.build()
+            with _CACHE_LOCK:
+                _CACHE[name] = graph
     return graph
 
 
 def clear_cache() -> None:
     """Drop all cached stand-in graphs (tests / memory control)."""
-    _CACHE.clear()
+    with _CACHE_LOCK:
+        _CACHE.clear()

@@ -1,0 +1,172 @@
+"""GraphRegistry: lazy builds, versioning, and thread safety."""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.errors import UnknownGraphError
+from repro.graph.builder import graph_from_arrays
+from repro.graph.io import write_edge_list, write_weights
+from repro.service import GraphRegistry
+from repro.workloads import datasets
+
+
+def tiny_graph():
+    return graph_from_arrays(
+        4, [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]
+    )
+
+
+@pytest.fixture()
+def registry():
+    return GraphRegistry(preload_datasets=False)
+
+
+class TestRegistration:
+    def test_preloads_datasets_by_default(self):
+        registry = GraphRegistry()
+        assert "email" in registry
+        assert "twitter" in registry
+        assert not registry.is_loaded("email")
+
+    def test_unknown_graph_raises(self, registry):
+        with pytest.raises(UnknownGraphError):
+            registry.get("nope")
+
+    def test_duplicate_registration_requires_replace(self, registry):
+        registry.register("g", tiny_graph)
+        with pytest.raises(ValueError):
+            registry.register("g", tiny_graph)
+        registry.register("g", tiny_graph, replace=True)  # no raise
+
+    def test_register_edge_list(self, registry, tmp_path):
+        edges = tmp_path / "g.txt"
+        weights = tmp_path / "w.txt"
+        write_edge_list(edges, [(0, 1), (0, 2), (1, 2)])
+        write_weights(weights, {0: 3.0, 1: 2.0, 2: 1.0})
+        registry.register_edge_list("file-graph", str(edges), str(weights))
+        handle = registry.get("file-graph")
+        assert handle.num_vertices == 3
+        assert handle.num_edges == 3
+
+    def test_unregister(self, registry):
+        registry.register("g", tiny_graph)
+        registry.unregister("g")
+        assert "g" not in registry
+        with pytest.raises(UnknownGraphError):
+            registry.unregister("g")
+
+
+class TestLifecycle:
+    def test_lazy_build_happens_once(self, registry):
+        builds = []
+        registry.register("g", lambda: builds.append(1) or tiny_graph())
+        assert registry.version("g") == 0
+        h1 = registry.get("g")
+        h2 = registry.get("g")
+        assert len(builds) == 1
+        assert h1.graph is h2.graph
+        assert h1.version == h2.version == 1
+        assert registry.builds == 1
+
+    def test_reload_bumps_version_and_rebuilds(self, registry):
+        registry.register("g", tiny_graph)
+        h1 = registry.get("g")
+        h2 = registry.reload("g")
+        assert h2.version == h1.version + 1
+        assert h2.graph is not h1.graph
+        # Old handle still pins the old graph object (no mutation).
+        assert h1.graph.num_vertices == 4
+
+    def test_evict_then_get_rebuilds_with_new_version(self, registry):
+        registry.register("g", tiny_graph)
+        v1 = registry.get("g").version
+        registry.evict("g")
+        assert not registry.is_loaded("g")
+        assert registry.get("g").version == v1 + 1
+
+    def test_describe_reports_load_state(self, registry):
+        registry.register("g", tiny_graph, description="a test graph")
+        (row,) = registry.describe()
+        assert row["loaded"] is False
+        registry.get("g")
+        (row,) = registry.describe()
+        assert row["loaded"] is True
+        assert row["vertices"] == 4
+
+
+class TestConcurrency:
+    def test_concurrent_get_builds_once(self, registry):
+        builds = []
+        gate = threading.Barrier(8)
+
+        def loader():
+            builds.append(1)
+            return tiny_graph()
+
+        registry.register("g", loader)
+
+        def hammer():
+            gate.wait()
+            return registry.get("g")
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            handles = list(pool.map(lambda _: hammer(), range(8)))
+        assert len(builds) == 1
+        assert all(h.graph is handles[0].graph for h in handles)
+
+    def test_concurrent_distinct_graphs(self, registry):
+        for i in range(4):
+            registry.register(f"g{i}", tiny_graph)
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            handles = list(pool.map(registry.get, [f"g{i}" for i in range(4)]))
+        assert sorted(h.name for h in handles) == [f"g{i}" for i in range(4)]
+
+
+class TestDatasetCacheThreadSafety:
+    """The satellite: workloads.datasets must survive concurrent use."""
+
+    def test_concurrent_load_same_dataset_builds_once(self):
+        datasets.clear_cache()
+        gate = threading.Barrier(6)
+
+        def load():
+            gate.wait()
+            return datasets.load_dataset("email")
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            graphs = list(pool.map(lambda _: load(), range(6)))
+        assert all(g is graphs[0] for g in graphs)
+
+    def test_concurrent_load_and_clear_does_not_corrupt(self):
+        datasets.clear_cache()
+        stop = threading.Event()
+        errors = []
+
+        def loader():
+            try:
+                while not stop.is_set():
+                    g = datasets.load_dataset("email")
+                    assert g.num_vertices == 2_000
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def clearer():
+            try:
+                for _ in range(5):
+                    datasets.clear_cache()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=loader) for _ in range(3)]
+        threads.append(threading.Thread(target=clearer))
+        for t in threads:
+            t.start()
+        threads[-1].join()
+        stop.set()
+        for t in threads[:-1]:
+            t.join()
+        assert errors == []

@@ -1,0 +1,150 @@
+"""SessionManager: progressive batches, TTL eviction, cursor resumption."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.progressive import LocalSearchP
+from repro.errors import UnknownSessionError
+from repro.graph.builder import graph_from_arrays
+from repro.service import GraphRegistry, ServiceMetrics, SessionManager
+
+
+def layered_cliques(num_cliques=5):
+    edges = []
+    for c in range(num_cliques):
+        base = 4 * c
+        for i in range(4):
+            for j in range(i + 1, 4):
+                edges.append((base + i, base + j))
+    return graph_from_arrays(4 * num_cliques, edges)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture()
+def registry():
+    registry = GraphRegistry(preload_datasets=False)
+    registry.register("cliques", layered_cliques)
+    return registry
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def manager(registry, clock):
+    return SessionManager(registry, ttl_seconds=60.0, clock=clock)
+
+
+class TestProgressiveCursor:
+    """The resumable stream handle added to core.progressive."""
+
+    def test_take_is_idempotent_and_resumes(self, registry):
+        graph = registry.get("cliques").graph
+        cursor = LocalSearchP(graph, gamma=3).cursor()
+        first_two = cursor.take(2)
+        assert cursor.materialized == 2
+        assert cursor.take(2) == first_two  # pure slice, no recompute
+        four = cursor.take(4)
+        assert four[:2] == first_two
+        assert cursor.materialized >= 4
+
+    def test_matches_plain_stream(self, registry):
+        graph = registry.get("cliques").graph
+        cursor = LocalSearchP(graph, gamma=3).cursor()
+        stepwise = [cursor.take(i)[-1] for i in range(1, 6)]
+        plain = list(LocalSearchP(graph, gamma=3).run(k=5).communities)
+        assert [c.keynode for c in stepwise] == [c.keynode for c in plain]
+
+    def test_exhaustion(self, registry):
+        graph = registry.get("cliques").graph
+        cursor = LocalSearchP(graph, gamma=3).cursor()
+        everything = cursor.take(100)
+        assert cursor.exhausted
+        assert len(everything) == 5
+        assert cursor.take(200) == everything
+
+
+class TestSessions:
+    def test_batches_are_disjoint_and_ordered(self, manager):
+        session = manager.create("cliques", gamma=3)
+        batch1, done1 = manager.next(session.session_id, 2)
+        batch2, done2 = manager.next(session.session_id, 2)
+        assert not done1 and not done2
+        assert len(batch1) == len(batch2) == 2
+        influences = [v.influence for v in batch1 + batch2]
+        assert influences == sorted(influences, reverse=True)
+        assert len({v.keynode for v in batch1 + batch2}) == 4
+
+    def test_exhaustion_reported(self, manager):
+        session = manager.create("cliques", gamma=3)
+        views, done = manager.next(session.session_id, 50)
+        assert len(views) == 5
+        assert done
+        more, still_done = manager.next(session.session_id, 5)
+        assert more == [] and still_done
+
+    def test_close_and_unknown(self, manager):
+        session = manager.create("cliques", gamma=3)
+        manager.close(session.session_id)
+        with pytest.raises(UnknownSessionError):
+            manager.next(session.session_id)
+        with pytest.raises(UnknownSessionError):
+            manager.close(session.session_id)
+
+    def test_session_ids_are_unique(self, manager):
+        ids = {manager.create("cliques", gamma=3).session_id for _ in range(5)}
+        assert len(ids) == 5
+
+
+class TestTTL:
+    def test_idle_session_expires(self, manager, clock, registry):
+        metrics = ServiceMetrics()
+        manager.metrics = metrics
+        session = manager.create("cliques", gamma=3)
+        clock.advance(61.0)
+        assert manager.active() == []
+        with pytest.raises(UnknownSessionError):
+            manager.next(session.session_id)
+        assert metrics.snapshot()["sessions_expired"] == 1
+
+    def test_activity_refreshes_ttl(self, manager, clock):
+        session = manager.create("cliques", gamma=3)
+        for _ in range(4):
+            clock.advance(45.0)
+            manager.next(session.session_id, 1)
+        assert session.session_id in manager
+
+    def test_touch_refreshes_without_advancing(self, manager, clock):
+        session = manager.create("cliques", gamma=3)
+        clock.advance(45.0)
+        manager.touch(session.session_id)
+        clock.advance(45.0)
+        assert session.session_id in manager
+        views, _ = manager.next(session.session_id, 1)
+        assert views[0].influence == max(
+            v.influence
+            for v in views
+        )
+        assert session.delivered == 1
+
+    def test_expiry_only_counts_idle_sessions(self, manager, clock):
+        s1 = manager.create("cliques", gamma=3)
+        clock.advance(40.0)
+        s2 = manager.create("cliques", gamma=3)
+        clock.advance(30.0)  # s1 idle 70s, s2 idle 30s
+        live = [row["session_id"] for row in manager.active()]
+        assert live == [s2.session_id]
+        assert s1.session_id not in manager
