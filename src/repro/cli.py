@@ -7,6 +7,7 @@ Four subcommands::
     repro stats  --dataset arabic
     repro stream --dataset wiki --gamma 10 --min-influence 1e-3
     repro serve  --cache-size 256
+    repro serve  --tcp 8642 --shards 4 --warmstart cache.json
 
 (also reachable as ``python -m repro`` / ``python -m repro.cli``.)
 
@@ -19,7 +20,10 @@ influence floor or count cap is hit — the "no k needed" workflow of
 Section 4.  ``serve`` starts the long-lived serving loop of
 :mod:`repro.service`: graphs are built once and pinned, answers are
 cached and reused across queries, and progressive sessions stream
-results on demand (type ``help`` at its prompt for the protocol).
+results on demand (type ``help`` at its prompt for the protocol).  With
+``--tcp``/``--socket`` it becomes the concurrent asyncio server of
+:mod:`repro.server` — many clients, batch-coalesced progressive
+execution, sharded workers, and warm-start cache persistence.
 """
 
 from __future__ import annotations
@@ -113,6 +117,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="result-cache capacity in entries (default 256)",
     )
     serve.add_argument(
+        "--max-cached-k", type=int, default=None,
+        help="retain at most this many communities per cache entry "
+             "(default: unbounded)",
+    )
+    serve.add_argument(
         "--session-ttl", type=float, default=300.0,
         help="idle seconds before a progressive session expires (default 300)",
     )
@@ -123,6 +132,40 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--no-datasets", action="store_true",
         help="start with an empty registry (use 'load' to add graphs)",
+    )
+    serve.add_argument(
+        "--tcp", metavar="[HOST:]PORT", default=None,
+        help="serve the line protocol over TCP (asyncio, concurrent "
+             "clients); default host 127.0.0.1",
+    )
+    serve.add_argument(
+        "--socket", metavar="PATH", default=None,
+        help="serve the line protocol over a unix domain socket",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=None,
+        help="worker threads routing CPU-bound cursor work by graph "
+             "(network mode only; default 4)",
+    )
+    serve.add_argument(
+        "--replicate", metavar="GRAPH=COPIES", action="append", default=None,
+        help="replicate a hot graph across COPIES shards "
+             "(network mode only; repeatable)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=None,
+        help="maximum queries coalesced onto one engine pass "
+             "(network mode only; default 64)",
+    )
+    serve.add_argument(
+        "--batch-window-ms", type=float, default=None,
+        help="collection pause before flushing a query batch (network "
+             "mode only; default 0: coalesce only under load)",
+    )
+    serve.add_argument(
+        "--warmstart", metavar="FILE", default=None,
+        help="restore the result cache from FILE on boot and snapshot "
+             "it back on shutdown (network mode only)",
     )
     return parser
 
@@ -170,7 +213,130 @@ def _print_community(i: int, community, show_members: bool, out) -> None:
         print(f"       members: {members}", file=out)
 
 
+def _parse_tcp(value: str):
+    """``[HOST:]PORT`` -> ``(host, port)`` (default host 127.0.0.1)."""
+    host, _, port_text = value.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise SystemExit(f"error: bad --tcp value {value!r} (want [HOST:]PORT)")
+    return (host or "127.0.0.1", port)
+
+
+def _parse_replication(values):
+    """``["wiki=2", ...]`` -> ``{"wiki": 2, ...}``."""
+    replication = {}
+    for item in values or ():
+        name, sep, copies_text = item.partition("=")
+        try:
+            copies = int(copies_text)
+        except ValueError:
+            copies = 0
+        if not sep or not name or copies < 1:
+            raise SystemExit(
+                f"error: bad --replicate value {item!r} (want GRAPH=COPIES)"
+            )
+        replication[name] = copies
+    return replication
+
+
+def _run_server_async(args: argparse.Namespace, out) -> int:
+    """The asyncio network server behind ``repro serve --tcp/--socket``."""
+    import asyncio
+    import signal
+
+    from .server import ReproServer
+
+    if args.script is not None:
+        print(
+            "error: --script drives the stdio loop and is not supported "
+            "with --tcp/--socket (use repro.server.ReproClient instead)",
+            file=out,
+        )
+        return 2
+    try:
+        server = ReproServer(
+            cache_size=args.cache_size,
+            max_cached_k=args.max_cached_k,
+            session_ttl=args.session_ttl,
+            shards=args.shards if args.shards is not None else 4,
+            replication=_parse_replication(args.replicate),
+            max_batch=args.max_batch if args.max_batch is not None else 64,
+            batch_window_ms=(
+                args.batch_window_ms
+                if args.batch_window_ms is not None
+                else 0.0
+            ),
+            warmstart_path=args.warmstart,
+            preload_datasets=not args.no_datasets,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+
+    async def _main() -> None:
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, server.request_shutdown)
+            except (NotImplementedError, RuntimeError, ValueError):
+                # Unsupported platform, or not the main thread (tests).
+                pass
+        tcp = _parse_tcp(args.tcp) if args.tcp is not None else None
+        await server.start(tcp=tcp, unix_path=args.socket)
+        if server.tcp_address is not None:
+            host, port = server.tcp_address
+            print(f"listening on tcp://{host}:{port}", file=out)
+        if server.unix_path is not None:
+            print(f"listening on unix://{server.unix_path}", file=out)
+        if server.warmstart is not None:
+            print(
+                f"warm start: {server.restored_entries} cache entries "
+                "restored",
+                file=out,
+            )
+        out.flush()
+        await server.serve_until_shutdown()
+        if server.warmstart is not None:
+            print(
+                f"warm start: {server.saved_entries} cache entries saved",
+                file=out,
+            )
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:  # pragma: no cover — signal-handler fallback
+        return 130
+    except OSError as exc:  # bind failures (port/socket in use, ...)
+        print(f"error: {exc}", file=out)
+        return 2
+    return 0
+
+
 def _run_serve(args: argparse.Namespace, out, in_stream) -> int:
+    if args.tcp is not None or args.socket is not None:
+        return _run_server_async(args, out)
+
+    ignored = [
+        flag
+        for flag, value in (
+            ("--warmstart", args.warmstart),
+            ("--shards", args.shards),
+            ("--replicate", args.replicate),
+            ("--max-batch", args.max_batch),
+            ("--batch-window-ms", args.batch_window_ms),
+        )
+        if value is not None
+    ]
+    if ignored:
+        print(
+            f"error: {', '.join(ignored)} only appl"
+            f"{'y' if len(ignored) > 1 else 'ies'} to the network server; "
+            "add --tcp PORT or --socket PATH",
+            file=out,
+        )
+        return 2
+
     from .service import (
         GraphRegistry,
         QueryEngine,
@@ -184,7 +350,9 @@ def _run_serve(args: argparse.Namespace, out, in_stream) -> int:
     metrics = ServiceMetrics()
     try:
         engine = QueryEngine(
-            registry, cache=ResultCache(args.cache_size), metrics=metrics
+            registry,
+            cache=ResultCache(args.cache_size, max_cached_k=args.max_cached_k),
+            metrics=metrics,
         )
         sessions = SessionManager(
             registry, ttl_seconds=args.session_ttl, metrics=metrics

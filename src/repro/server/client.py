@@ -1,0 +1,105 @@
+"""ReproClient — a minimal asyncio client for the server line protocol.
+
+Speaks the framing of :mod:`repro.server.transport`: one command line
+out, a block of response lines back, terminated by a single ``.`` line
+(dot-stuffed payload lines are unescaped transparently).  Used by the
+test suite, the concurrency benchmark, and ``examples/server_client.py``
+— and small enough to copy into any application that wants to talk to a
+running ``repro serve --tcp`` process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from typing import List, Optional
+
+from .transport import TERMINATOR, dot_unstuff
+
+__all__ = ["ReproClient"]
+
+
+class ReproClient:
+    """One connection to a :class:`~repro.server.transport.ReproServer`."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self.greeting: List[str] = []
+
+    #: Response lines can be long (a `members` line lists every vertex of
+    #: a community), far beyond asyncio's 64 KiB default read limit.
+    READ_LIMIT = 16 * 1024 * 1024
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        unix_path: Optional[str] = None,
+        limit: int = READ_LIMIT,
+    ) -> "ReproClient":
+        """Open a TCP (``host``/``port``) or unix-socket connection."""
+        if unix_path is not None:
+            reader, writer = await asyncio.open_unix_connection(
+                unix_path, limit=limit
+            )
+        elif port is not None:
+            reader, writer = await asyncio.open_connection(
+                host, port, limit=limit
+            )
+        else:
+            raise ValueError("need either port= or unix_path=")
+        client = cls(reader, writer)
+        client.greeting = await client._read_block()
+        return client
+
+    # ------------------------------------------------------------------
+    async def request(self, line: str) -> List[str]:
+        """Send one protocol line; return the response block's lines."""
+        self._writer.write((line.rstrip("\n") + "\n").encode("utf-8"))
+        await self._writer.drain()
+        return await self._read_block()
+
+    async def query(
+        self,
+        graph: str,
+        *,
+        k: int = 10,
+        gamma: int = 10,
+        algorithm: Optional[str] = None,
+        delta: Optional[float] = None,
+        members: bool = False,
+    ) -> List[str]:
+        """Convenience wrapper around the ``query`` command."""
+        parts = [f"query {graph}", f"k={k}", f"gamma={gamma}"]
+        if algorithm is not None:
+            parts.append(f"algorithm={algorithm}")
+        if delta is not None:
+            parts.append(f"delta={delta}")
+        if members:
+            parts.append("members")
+        return await self.request(" ".join(parts))
+
+    async def close(self) -> None:
+        """Say ``quit`` (best effort) and close the connection."""
+        with contextlib.suppress(Exception):
+            self._writer.write(b"quit\n")
+            await self._writer.drain()
+        self._writer.close()
+        with contextlib.suppress(Exception):
+            await self._writer.wait_closed()
+
+    # ------------------------------------------------------------------
+    async def _read_block(self) -> List[str]:
+        lines: List[str] = []
+        while True:
+            raw = await self._reader.readline()
+            if not raw:
+                raise ConnectionError("server closed the connection")
+            text = raw.decode("utf-8").rstrip("\n")
+            if text == TERMINATOR:
+                return lines
+            lines.append(dot_unstuff(text))

@@ -1,0 +1,122 @@
+"""ShardPool — per-graph worker executors keeping the event loop free.
+
+Cursor advances are CPU-bound Python; running them on the asyncio event
+loop would stall *every* connection while one graph peels.  The pool
+gives each shard a single-threaded executor and routes work by graph
+name (stable CRC32 hash), so
+
+* queries against one graph serialise on that graph's shard — the
+  natural unit of contention, since a ``(graph, gamma)`` family shares
+  one :class:`~repro.core.progressive.ProgressiveCursor` and its lock;
+* queries against *different* graphs land on different shards and never
+  block each other;
+* **hot graphs** can be replicated onto several consecutive shards
+  (:meth:`ShardPool.replicate`): cache-hit traffic — the dominant kind
+  on a hot graph — is lock-free slicing and parallelises across
+  replicas, round-robin.
+
+The pool is deliberately transport-agnostic: :meth:`run` is the only
+async method, and it simply awaits ``run_in_executor`` on the routed
+shard.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import zlib
+from collections import defaultdict
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, List, Mapping, Optional, TypeVar
+
+__all__ = ["ShardPool"]
+
+T = TypeVar("T")
+
+
+class ShardPool:
+    """Route CPU-bound graph work onto per-shard worker threads.
+
+    Parameters
+    ----------
+    num_shards:
+        Number of single-threaded executors.  One per expected
+        concurrently-hot graph is plenty; shards are cheap (one thread).
+    replication:
+        Optional ``{graph_name: copies}`` seed — equivalent to calling
+        :meth:`replicate` per entry.
+    """
+
+    def __init__(
+        self,
+        num_shards: int = 1,
+        replication: Optional[Mapping[str, int]] = None,
+        thread_name_prefix: str = "repro-shard",
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be at least 1")
+        self._executors = [
+            ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix=f"{thread_name_prefix}-{i}"
+            )
+            for i in range(num_shards)
+        ]
+        self._replication: Dict[str, int] = {}
+        self._rr: Dict[str, int] = defaultdict(int)
+        self._depth = [0] * num_shards
+        self._shut_down = False
+        for name, copies in dict(replication or {}).items():
+            self.replicate(name, copies)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return len(self._executors)
+
+    def replicate(self, graph: str, copies: int) -> None:
+        """Serve ``graph`` from ``copies`` consecutive shards, round-robin."""
+        if not 1 <= copies <= self.num_shards:
+            raise ValueError(
+                f"replication for {graph!r} must be in [1, {self.num_shards}]"
+            )
+        self._replication[graph] = copies
+
+    def replication_of(self, graph: str) -> int:
+        return self._replication.get(graph, 1)
+
+    def home_shard(self, graph: str) -> int:
+        """The graph's base shard (stable across processes: CRC32)."""
+        return zlib.crc32(graph.encode("utf-8")) % self.num_shards
+
+    def route(self, graph: str) -> int:
+        """The shard index the *next* unit of work for ``graph`` goes to."""
+        base = self.home_shard(graph)
+        copies = self._replication.get(graph, 1)
+        if copies <= 1:
+            return base
+        turn = self._rr[graph]
+        self._rr[graph] = turn + 1
+        return (base + turn % copies) % self.num_shards
+
+    # ------------------------------------------------------------------
+    async def run(self, graph: str, fn: Callable[[], T]) -> T:
+        """Run ``fn`` on ``graph``'s shard; await the result."""
+        if self._shut_down:
+            raise RuntimeError("shard pool is shut down")
+        index = self.route(graph)
+        self._depth[index] += 1
+        try:
+            return await asyncio.get_running_loop().run_in_executor(
+                self._executors[index], fn
+            )
+        finally:
+            self._depth[index] -= 1
+
+    def depths(self) -> List[int]:
+        """In-flight work per shard (event-loop-thread view)."""
+        return list(self._depth)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop all shard executors (idempotent)."""
+        self._shut_down = True
+        for executor in self._executors:
+            executor.shutdown(wait=wait)

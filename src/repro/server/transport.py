@@ -1,0 +1,395 @@
+"""ReproServer — asyncio transport for the service line protocol.
+
+Serves the exact protocol of :class:`~repro.service.shell.ServiceShell`
+over TCP and/or a unix domain socket, many clients per process:
+
+* **framing** — one command per line in; each response is a block of
+  lines terminated by a single ``.`` line (SMTP-style; payload lines
+  starting with ``.`` are dot-stuffed), so programmatic clients know
+  exactly where a response ends;
+* **per-connection session scoping** — every connection gets its own
+  :class:`~repro.service.sessions.SessionManager`; session ids are
+  meaningless outside their connection, and a dropped connection closes
+  its sessions;
+* **query path** — ``query`` commands go through the
+  :class:`~repro.server.scheduler.BatchScheduler` (coalescing) onto the
+  :class:`~repro.server.shards.ShardPool` (CPU off the event loop);
+  every other command reuses the ServiceShell dispatch on the default
+  executor, so the two frontends can never drift apart;
+* **graceful shutdown** — the shell's ``shutdown`` command (or a
+  signal/`stop()` call) stops accepting, unblocks connected clients,
+  waits for in-flight handlers, snapshots the result cache via
+  :class:`~repro.server.warmstart.WarmStart`, and stops the shard pool.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import errno
+import io
+import os
+import shlex
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from ..errors import ReproError, UnknownSessionError
+from ..service.cache import ResultCache
+from ..service.engine import QueryEngine
+from ..service.metrics import ServiceMetrics
+from ..service.registry import GraphRegistry
+from ..service.sessions import SessionManager
+from ..service.shell import ServiceShell
+from .scheduler import BatchScheduler
+from .shards import ShardPool
+from .warmstart import WarmStart
+
+__all__ = ["ReproServer", "dot_stuff", "dot_unstuff"]
+
+#: End-of-response sentinel line.
+TERMINATOR = "."
+
+
+def dot_stuff(line: str) -> str:
+    """Escape a payload line so it can never read as the terminator."""
+    return "." + line if line.startswith(".") else line
+
+
+def dot_unstuff(line: str) -> str:
+    """Inverse of :func:`dot_stuff` (client side)."""
+    return line[1:] if line.startswith("..") else line
+
+
+class ReproServer:
+    """The concurrent serving tier over one shared service stack.
+
+    Parameters
+    ----------
+    registry:
+        Optional pre-built graph registry (a fresh one, with the
+        stand-in datasets pre-registered, is created by default).
+    cache_size / max_cached_k:
+        Result cache geometry (see :class:`ResultCache`).
+    session_ttl:
+        Idle seconds before a progressive session expires.
+    shards / replication:
+        Worker pool geometry (see :class:`ShardPool`).
+    max_batch / batch_window_ms:
+        Coalescing knobs (see :class:`BatchScheduler`).
+    warmstart_path:
+        When set, the result cache is restored from this snapshot on
+        :meth:`start` and saved back on :meth:`stop`.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[GraphRegistry] = None,
+        *,
+        cache_size: int = 256,
+        max_cached_k: Optional[int] = None,
+        session_ttl: float = 300.0,
+        shards: int = 1,
+        replication: Optional[Mapping[str, int]] = None,
+        max_batch: int = 64,
+        batch_window_ms: float = 0.0,
+        warmstart_path: Optional[str] = None,
+        metrics: Optional[ServiceMetrics] = None,
+        preload_datasets: bool = True,
+    ) -> None:
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.registry = (
+            registry
+            if registry is not None
+            else GraphRegistry(preload_datasets=preload_datasets)
+        )
+        self.cache = ResultCache(cache_size, max_cached_k=max_cached_k)
+        self.engine = QueryEngine(
+            self.registry, cache=self.cache, metrics=self.metrics
+        )
+        self.shards = ShardPool(shards, replication=replication)
+        self.scheduler = BatchScheduler(
+            self.engine,
+            self.shards,
+            metrics=self.metrics,
+            max_batch=max_batch,
+            window_s=batch_window_ms / 1000.0,
+        )
+        self.session_ttl = session_ttl
+        self.warmstart = (
+            WarmStart(warmstart_path) if warmstart_path is not None else None
+        )
+        self.restored_entries = 0
+        self.saved_entries = 0
+        self.tcp_address: Optional[Tuple[str, int]] = None
+        self.unix_path: Optional[str] = None
+        self._servers: List[asyncio.AbstractServer] = []
+        self._connections: Dict["asyncio.Task[None]", asyncio.StreamWriter] = {}
+        self._busy: Set["asyncio.Task[None]"] = set()
+        self._shutdown_requested: Optional[asyncio.Event] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    async def start(
+        self,
+        tcp: Optional[Tuple[str, int]] = None,
+        unix_path: Optional[str] = None,
+    ) -> None:
+        """Bind listeners (TCP ``(host, port)`` — port 0 for ephemeral —
+        and/or a unix socket path) and restore the warm-start snapshot."""
+        if tcp is None and unix_path is None:
+            raise ValueError("need at least one of tcp=(host, port), unix_path")
+        self._loop = asyncio.get_running_loop()
+        self._shutdown_requested = asyncio.Event()
+        if self.warmstart is not None:
+            # Graph builds during restore are CPU-bound: off the loop.
+            self.restored_entries = await self._loop.run_in_executor(
+                None, self.warmstart.load, self.cache, self.registry
+            )
+        if tcp is not None:
+            host, port = tcp
+            server = await asyncio.start_server(self._handle, host, port)
+            self._servers.append(server)
+            self.tcp_address = server.sockets[0].getsockname()[:2]
+        if unix_path is not None:
+            await self._guard_live_socket(unix_path)
+            server = await asyncio.start_unix_server(
+                self._handle, path=unix_path
+            )
+            self._servers.append(server)
+            self.unix_path = unix_path
+
+    @staticmethod
+    async def _guard_live_socket(path: str) -> None:
+        """Refuse to bind over a unix socket a live server still answers.
+
+        asyncio's unix bind *unconditionally* removes an existing socket
+        file before binding — which conveniently clears the leftover of
+        a ``kill -9``'d predecessor, but would also silently steal the
+        path from a running server.  Probe first: a dead leftover is
+        left for the bind to clear; a responding one is an error.
+        """
+        if not os.path.exists(path):
+            return
+        try:
+            _, writer = await asyncio.open_unix_connection(path)
+        except OSError:
+            return  # stale leftover: the bind will remove and replace it
+        writer.close()
+        with contextlib.suppress(Exception):
+            await writer.wait_closed()
+        raise OSError(
+            errno.EADDRINUSE,
+            f"unix socket {path!r} is in use by a live server",
+        )
+
+    def request_shutdown(self) -> None:
+        """Ask for a graceful stop.  Thread-safe: the shell's ``shutdown``
+        command runs on an executor thread, signal handlers on the loop."""
+        loop, event = self._loop, self._shutdown_requested
+        if loop is None or event is None:
+            return
+        loop.call_soon_threadsafe(event.set)
+
+    async def serve_until_shutdown(self) -> None:
+        """Block until a shutdown is requested, then stop gracefully."""
+        assert self._shutdown_requested is not None, "call start() first"
+        await self._shutdown_requested.wait()
+        await self.stop()
+
+    async def stop(self) -> None:
+        """Graceful stop: close listeners, drain handlers, snapshot, halt."""
+        if self._stopped:
+            return
+        self._stopped = True
+        if self._shutdown_requested is not None:
+            self._shutdown_requested.set()
+        for server in self._servers:
+            server.close()
+        for server in self._servers:
+            with contextlib.suppress(Exception):
+                await server.wait_closed()
+        # Unblock handlers parked on readline.  Handlers that are mid-
+        # command keep their transports so the in-flight response still
+        # reaches the client (e.g. the `shutdown` acknowledgement).
+        current = asyncio.current_task()
+        for task, writer in list(self._connections.items()):
+            if task not in self._busy:
+                writer.close()
+        pending = [
+            task
+            for task in self._connections
+            if task is not current and not task.done()
+        ]
+        if pending:
+            await asyncio.wait(pending, timeout=5.0)
+        for writer in self._connections.values():  # stragglers, if any
+            writer.close()
+        pending = [
+            task
+            for task in self._connections
+            if task is not current and not task.done()
+        ]
+        if pending:
+            await asyncio.wait(pending, timeout=2.0)
+        if self.warmstart is not None and self._loop is not None:
+            self.saved_entries = await self._loop.run_in_executor(
+                None, self.warmstart.save, self.cache, self.registry
+            )
+        self.shards.shutdown(wait=False)
+        if self.unix_path is not None:
+            with contextlib.suppress(OSError):
+                os.unlink(self.unix_path)
+
+    # ------------------------------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        assert task is not None
+        self._connections[task] = writer
+        self.metrics.connection_opened()
+        sessions = SessionManager(
+            self.registry, ttl_seconds=self.session_ttl, metrics=self.metrics
+        )
+        buffer = io.StringIO()
+        shell = ServiceShell(
+            self.engine,
+            sessions,
+            buffer,
+            metrics=self.metrics,
+            on_shutdown=self.request_shutdown,
+        )
+        loop = asyncio.get_running_loop()
+        try:
+            await self._send(
+                writer,
+                [
+                    f"repro server: {len(self.registry.names())} graphs "
+                    "registered; type 'help' for the protocol"
+                ],
+            )
+            while not (
+                self._shutdown_requested is not None
+                and self._shutdown_requested.is_set()
+            ):
+                # readuntil (not readline) so an over-limit line leaves
+                # the buffer intact: LimitOverrunError does not consume,
+                # which makes the discard below deterministic whether the
+                # oversized line is fully buffered or still arriving.
+                try:
+                    raw = await reader.readuntil(b"\n")
+                except asyncio.IncompleteReadError as eof:
+                    raw = eof.partial  # final unterminated line, if any
+                    if not raw:
+                        break
+                except asyncio.LimitOverrunError:
+                    # The rest of the line is unrecoverable: consume it
+                    # (closing with unread data would RST away our
+                    # response), answer, and hang up.  If the peer is
+                    # streaming beyond any reasonable line (discard cap
+                    # hit), skip the courtesy reply — it could not
+                    # survive the RST anyway.
+                    if await self._discard_partial_line(reader):
+                        with contextlib.suppress(Exception):
+                            await self._send(
+                                writer, ["error: protocol line too long"]
+                            )
+                    break
+                # Busy = mid-command: stop() will let the response flush
+                # before tearing this connection down.
+                self._busy.add(task)
+                try:
+                    try:
+                        line = raw.decode("utf-8")
+                    except UnicodeDecodeError:
+                        await self._send(writer, ["error: lines must be utf-8"])
+                        continue
+                    head = line.split(maxsplit=1)
+                    command = head[0].lower() if head else ""
+                    if command == "query":
+                        await self._send(writer, await self._serve_query(line))
+                    elif command in ("quit", "exit"):
+                        await self._send(writer, ["bye"])
+                        break
+                    else:
+                        # Everything else (load/session/metrics/help/
+                        # shutdown) reuses the shell dispatch, off the
+                        # event loop.
+                        keep_going = await loop.run_in_executor(
+                            None, shell.execute_line, line
+                        )
+                        await self._send(writer, self._drain(buffer))
+                        if not keep_going:
+                            break
+                finally:
+                    self._busy.discard(task)
+        except (
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.IncompleteReadError,
+        ):
+            pass
+        finally:
+            self._connections.pop(task, None)
+            self.metrics.connection_closed()
+            self._close_sessions(sessions)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _serve_query(self, line: str) -> List[str]:
+        """Parse + schedule one ``query`` line; render shell-identical."""
+        try:
+            tokens = shlex.split(line, comments=True)[1:]
+            query, members = ServiceShell.parse_query(tokens)
+            result = await self.scheduler.submit(query)
+            return ServiceShell.render_result(result, members)
+        except (ReproError, ValueError, OSError) as exc:
+            self.metrics.observe_error()
+            return [f"error: {exc}"]
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    async def _discard_partial_line(
+        reader: asyncio.StreamReader, cap: int = 8 * 1024 * 1024
+    ) -> bool:
+        """Swallow the remainder of an oversized line (bounded by ``cap``).
+
+        Returns True when the line was fully consumed (newline or EOF
+        reached) — i.e. a response sent now can actually be delivered —
+        and False when the cap was exhausted with the peer still
+        streaming.
+        """
+        discarded = 0
+        while discarded < cap:
+            chunk = await reader.read(64 * 1024)
+            if not chunk or b"\n" in chunk:
+                return True
+            discarded += len(chunk)
+        return False
+
+    @staticmethod
+    def _drain(buffer: io.StringIO) -> List[str]:
+        text = buffer.getvalue()
+        buffer.seek(0)
+        buffer.truncate(0)
+        if not text:
+            return []
+        return text.split("\n")[:-1] if text.endswith("\n") else text.split("\n")
+
+    @staticmethod
+    def _close_sessions(sessions: SessionManager) -> None:
+        for row in sessions.active():
+            with contextlib.suppress(UnknownSessionError):
+                sessions.close(str(row["session_id"]))
+
+    async def _send(
+        self, writer: asyncio.StreamWriter, lines: Iterable[str]
+    ) -> None:
+        payload: List[str] = []
+        for line in lines:
+            for part in line.split("\n"):
+                payload.append(dot_stuff(part))
+        payload.append(TERMINATOR)
+        writer.write(("\n".join(payload) + "\n").encode("utf-8"))
+        await writer.drain()

@@ -23,9 +23,10 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Callable, Iterable, List, Optional, Tuple
 
 from ..core.progressive import ProgressiveCursor
+from ..errors import ServiceError
 from .model import CommunityView
 
 __all__ = [
@@ -70,43 +71,132 @@ class CacheStats:
 
 
 class ProgressiveEntry:
-    """A resumable cached answer: views + the live cursor behind them."""
+    """A resumable cached answer: views + the (re)buildable cursor behind them.
 
-    __slots__ = ("cursor", "_views", "_lock")
+    Three lifecycles share this class:
 
-    def __init__(self, cursor: ProgressiveCursor) -> None:
-        self.cursor = cursor
-        self._views: List[CommunityView] = []
+    * the engine's hot path holds a **live cursor** and materialises views
+      as queries pull on it;
+    * a **warm-start restore** seeds the entry with frozen views only
+      (plus a ``cursor_factory``); small ``k`` is a slice, a larger ``k``
+      rebuilds the cursor and re-peels — the stream is deterministic, so
+      the recomputed prefix matches the restored views exactly;
+    * the **k-truncation policy** (``max_cached_k``): once more than
+      ``max_cached_k`` views have been materialised, the tail views *and*
+      the cursor (whose internal list of live ``Community`` objects is the
+      real memory hog) are released, bounding what a long-running server
+      retains per entry.  Queries above the cap recompute via the factory.
+    """
+
+    __slots__ = (
+        "_cursor",
+        "cursor_factory",
+        "max_cached_k",
+        "_views",
+        "_exhausted",
+        "_lock",
+    )
+
+    def __init__(
+        self,
+        cursor: Optional[ProgressiveCursor] = None,
+        *,
+        cursor_factory: Optional[Callable[[], ProgressiveCursor]] = None,
+        views: Iterable[CommunityView] = (),
+        exhausted: bool = False,
+        max_cached_k: Optional[int] = None,
+    ) -> None:
+        if cursor is None and cursor_factory is None and not exhausted:
+            raise ValueError(
+                "ProgressiveEntry needs a cursor, a cursor_factory, or "
+                "exhausted=True (a complete set of restored views)"
+            )
+        if max_cached_k is not None:
+            if max_cached_k < 1:
+                raise ValueError("max_cached_k must be at least 1")
+            if cursor_factory is None:
+                raise ValueError(
+                    "max_cached_k requires a cursor_factory (truncation "
+                    "releases the cursor; extension must rebuild it)"
+                )
+        self._cursor = cursor
+        self.cursor_factory = cursor_factory
+        self.max_cached_k = max_cached_k
+        self._views: List[CommunityView] = list(views)
+        self._exhausted = exhausted
         self._lock = threading.Lock()
+        self._trim()  # seeded views (warm-start restore) respect the cap
+
+    @property
+    def cursor(self) -> Optional[ProgressiveCursor]:
+        """The live cursor, if one is attached (``None`` after truncation
+        released it, or for warm-start restored entries)."""
+        return self._cursor
 
     @property
     def materialized(self) -> int:
         with self._lock:
             return len(self._views)
 
-    def serve(self, k: int) -> Tuple[Tuple[CommunityView, ...], str]:
-        """Serve top-``k``, resuming the cursor when it falls short.
+    @property
+    def exhausted(self) -> bool:
+        """True when ``views`` is known to be the *complete* answer."""
+        return self._exhausted
 
-        Returns ``(views, source)`` with source ``"cold"`` on first fill,
-        ``"cache"`` for pure prefix reuse, ``"extended"`` when the stream
-        had to be resumed.
+    @property
+    def views(self) -> Tuple[CommunityView, ...]:
+        """Snapshot of the materialised views (for warm-start persistence)."""
+        with self._lock:
+            return tuple(self._views)
+
+    def _trim(self) -> None:
+        """Enforce ``max_cached_k`` (lock held): drop tail views + cursor."""
+        cap = self.max_cached_k
+        if cap is None or len(self._views) <= cap:
+            return
+        del self._views[cap:]
+        self._cursor = None
+        # The tail is gone; only the retained prefix is known complete.
+        self._exhausted = False
+
+    def serve(self, k: int) -> Tuple[Tuple[CommunityView, ...], str, bool]:
+        """Serve top-``k``, resuming (or rebuilding) the cursor as needed.
+
+        Returns ``(views, source, complete)``: source is ``"cold"`` on
+        first fill, ``"cache"`` for pure prefix reuse, ``"extended"``
+        when the stream had to be resumed; ``complete`` is True when the
+        served views are the *entire* answer (computed before any
+        ``max_cached_k`` truncation, which may forget exhaustion).
         """
         with self._lock:
             had = len(self._views)
-            if had >= k:
-                return tuple(self._views[:k]), "cache"
-            was_exhausted = self.cursor.exhausted
-            communities = self.cursor.take(k)
+            if had >= k or self._exhausted:
+                complete = self._exhausted and k >= len(self._views)
+                return tuple(self._views[:k]), "cache", complete
+            cursor = self._cursor
+            if cursor is None:
+                if self.cursor_factory is None:
+                    raise ServiceError(
+                        "progressive cache entry cannot be extended: no "
+                        "cursor and no cursor_factory"
+                    )
+                cursor = self.cursor_factory()
+                self._cursor = cursor
+            communities = cursor.take(k)
             for community in communities[had:]:
                 self._views.append(CommunityView.from_community(community))
+            self._exhausted = cursor.exhausted
             if had == 0:
                 source = "cold"
-            elif was_exhausted:
+            elif len(self._views) == had:
                 # Nothing left to resume; the cached prefix is the answer.
                 source = "cache"
             else:
                 source = "extended"
-            return tuple(self._views[:k]), source
+            out = tuple(self._views[:k])
+            complete = self._exhausted and k >= len(self._views)
+            self._trim()
+            return out, source, complete
 
 
 class StaticEntry:
@@ -120,6 +210,23 @@ class StaticEntry:
         #: query asked for more than exist), so any k' can be served.
         self.complete = complete
 
+    @classmethod
+    def capped(
+        cls,
+        views: Tuple[CommunityView, ...],
+        complete: bool,
+        max_cached_k: Optional[int],
+    ) -> "StaticEntry":
+        """Build an entry honouring a retention cap.
+
+        The one rule for cap semantics — shared by the engine's put path
+        and the warm-start restore, so a restored entry can never carry
+        different completeness semantics than a live-computed one:
+        truncated views stop being ``complete`` (the tail is gone).
+        """
+        stored = views if max_cached_k is None else views[:max_cached_k]
+        return cls(stored, complete and len(stored) == len(views))
+
     def serve(self, k: int) -> Optional[Tuple[Tuple[CommunityView, ...], str]]:
         """Serve top-``k`` if the entry covers it, else ``None`` (miss)."""
         if k <= len(self.views) or self.complete:
@@ -128,12 +235,29 @@ class StaticEntry:
 
 
 class ResultCache:
-    """Thread-safe LRU over progressive/static entries."""
+    """Thread-safe LRU over progressive/static entries.
 
-    def __init__(self, capacity: int = 256) -> None:
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries (LRU eviction beyond it).
+    max_cached_k:
+        Per-entry retention cap: progressive entries release views and
+        cursors beyond the top-``max_cached_k`` (long-running servers
+        answering the occasional huge ``k`` would otherwise pin unbounded
+        community lists); static entries are stored pre-truncated.
+        ``None`` (the default) retains everything.
+    """
+
+    def __init__(
+        self, capacity: int = 256, max_cached_k: Optional[int] = None
+    ) -> None:
         if capacity < 1:
             raise ValueError("cache capacity must be at least 1")
+        if max_cached_k is not None and max_cached_k < 1:
+            raise ValueError("max_cached_k must be at least 1")
         self.capacity = capacity
+        self.max_cached_k = max_cached_k
         self._data: "OrderedDict[CacheKey, object]" = OrderedDict()
         self._lock = threading.RLock()
         self.stats = CacheStats()

@@ -21,7 +21,7 @@ from typing import Callable, Dict, Optional, Tuple
 from ..baselines import backward, forward, online_all
 from ..core.local_search import LocalSearch
 from ..core.noncontainment import top_k_noncontainment_communities
-from ..core.progressive import LocalSearchP
+from ..core.progressive import LocalSearchP, ProgressiveCursor
 from ..core.truss_search import top_k_truss_communities
 from ..graph.weighted_graph import WeightedGraph
 from .cache import CacheKey, ProgressiveEntry, ResultCache, StaticEntry
@@ -29,7 +29,23 @@ from .metrics import ServiceMetrics
 from .model import AUTO, CommunityView, QueryResult, TopKQuery
 from .registry import GraphHandle, GraphRegistry
 
-__all__ = ["QueryPlan", "QueryEngine"]
+__all__ = ["QueryPlan", "QueryEngine", "progressive_cursor_factory"]
+
+
+def progressive_cursor_factory(
+    graph: WeightedGraph, gamma: int, delta: float
+) -> Callable[[], ProgressiveCursor]:
+    """The one recipe for (re)building a progressive cursor.
+
+    Shared by the engine's hot path and the warm-start restore so a
+    rebuilt cursor always re-peels with semantics identical to the one
+    whose views it is extending.
+    """
+
+    def factory():
+        return LocalSearchP(graph, gamma=gamma, delta=delta).cursor()
+
+    return factory
 
 
 @dataclass(frozen=True)
@@ -108,17 +124,19 @@ class QueryEngine:
     ) -> Tuple[Tuple[CommunityView, ...], str, bool]:
         entry = self.cache.get(key) if self.cache is not None else None
         if not isinstance(entry, ProgressiveEntry):
-            cursor = LocalSearchP(
-                handle.graph, gamma=query.gamma, delta=query.delta
-            ).cursor()
-            entry = ProgressiveEntry(cursor)
+            cursor_factory = progressive_cursor_factory(
+                handle.graph, query.gamma, query.delta
+            )
+            entry = ProgressiveEntry(
+                cursor_factory(),
+                cursor_factory=cursor_factory,
+                max_cached_k=(
+                    self.cache.max_cached_k if self.cache is not None else None
+                ),
+            )
             if self.cache is not None:
                 self.cache.put(key, entry)
-        views, source = entry.serve(query.k)
-        complete = (
-            entry.cursor.exhausted and query.k >= entry.cursor.materialized
-        )
-        return views, source, complete
+        return entry.serve(query.k)
 
     def _serve_static(
         self, handle: GraphHandle, query: TopKQuery, key: CacheKey, algorithm: str
@@ -136,7 +154,10 @@ class QueryEngine:
         )
         complete = len(views) < query.k
         if self.cache is not None:
-            self.cache.put(key, StaticEntry(views, complete))
+            self.cache.put(
+                key,
+                StaticEntry.capped(views, complete, self.cache.max_cached_k),
+            )
         return views[: query.k], "cold", complete
 
     # ------------------------------------------------------------------

@@ -50,6 +50,15 @@ class ServiceMetrics:
         self.sessions_closed = 0
         self.sessions_expired = 0
         self.errors = 0
+        # Server tier (repro.server): connection lifecycle, batch
+        # coalescing, and scheduler queue pressure.
+        self.connections_opened = 0
+        self.connections_closed = 0
+        self.batches = 0
+        self.batched_queries = 0
+        self.max_batch_width = 0
+        self.queue_depth = 0
+        self.queue_depth_peak = 0
 
     # ------------------------------------------------------------------
     def observe_query(
@@ -80,19 +89,55 @@ class ServiceMetrics:
             if expired:
                 self.sessions_expired += 1
 
+    def connection_opened(self) -> None:
+        with self._lock:
+            self.connections_opened += 1
+
+    def connection_closed(self) -> None:
+        with self._lock:
+            self.connections_closed += 1
+
+    def observe_batch(self, width: int) -> None:
+        """Record one coalesced engine pass serving ``width`` queries."""
+        with self._lock:
+            self.batches += 1
+            self.batched_queries += width
+            if width > self.max_batch_width:
+                self.max_batch_width = width
+
+    def observe_queue_depth(self, depth: int) -> None:
+        """Record the scheduler's current pending-query depth."""
+        with self._lock:
+            self.queue_depth = depth
+            if depth > self.queue_depth_peak:
+                self.queue_depth_peak = depth
+
     # ------------------------------------------------------------------
     @property
     def cache_hit_rate(self) -> float:
-        """Fraction of queries answered from cache (fully or resumed)."""
+        """Fraction of queries answered without a fresh computation
+        (cache slice, resumed cursor, or coalesced onto a shared batch)."""
         with self._lock:
             served = sum(
-                self.by_source[s] for s in ("cache", "extended", "cold")
+                self.by_source[s]
+                for s in ("cache", "extended", "cold", "coalesced")
             )
             if not served:
                 return 0.0
             return (
-                self.by_source["cache"] + self.by_source["extended"]
+                self.by_source["cache"]
+                + self.by_source["extended"]
+                + self.by_source["coalesced"]
             ) / served
+
+    @property
+    def coalesce_rate(self) -> float:
+        """Fraction of scheduler-served queries that shared another
+        query's engine pass (0.0 when batching never ran)."""
+        with self._lock:
+            if not self.batched_queries:
+                return 0.0
+            return 1.0 - self.batches / self.batched_queries
 
     def latency_percentiles(self, algorithm: str) -> Dict[str, Optional[float]]:
         """``{"p50": ..., "p90": ..., "p99": ...}`` for one algorithm."""
@@ -117,7 +162,17 @@ class ServiceMetrics:
                 "sessions_closed": self.sessions_closed,
                 "sessions_expired": self.sessions_expired,
                 "errors": self.errors,
+                "server": {
+                    "connections_opened": self.connections_opened,
+                    "connections_closed": self.connections_closed,
+                    "batches": self.batches,
+                    "batched_queries": self.batched_queries,
+                    "max_batch_width": self.max_batch_width,
+                    "queue_depth": self.queue_depth,
+                    "queue_depth_peak": self.queue_depth_peak,
+                },
             }
+        out["server"]["coalesce_rate"] = self.coalesce_rate  # type: ignore[index]
         out["cache_hit_rate"] = self.cache_hit_rate
         out["latency_ms"] = {
             algo: {

@@ -95,6 +95,23 @@ class CommunityView:
             out["members"] = list(self.members)
         return out
 
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "CommunityView":
+        """Inverse of :meth:`to_dict` (the warm-start restore path).
+
+        Labels survive a JSON round-trip unchanged for the common cases
+        (ints, strings); exotic hashable labels (tuples, frozensets)
+        would come back as their JSON projections and should not be
+        persisted.
+        """
+        members = tuple(payload.get("members", ()))
+        return cls(
+            keynode=payload["keynode"],
+            influence=float(payload["influence"]),
+            size=int(payload.get("size", len(members))),
+            members=members,
+        )
+
 
 @dataclass(frozen=True)
 class QueryResult:

@@ -24,12 +24,12 @@ Protocol (one command per line; ``key=value`` arguments in any order)::
 from __future__ import annotations
 
 import shlex
-from typing import Dict, List, Optional, TextIO, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, TextIO, Tuple
 
 from ..errors import QueryParameterError, ReproError
 from .engine import QueryEngine
 from .metrics import ServiceMetrics
-from .model import CommunityView, TopKQuery
+from .model import CommunityView, QueryResult, TopKQuery
 from .sessions import SessionManager
 
 __all__ = ["ServiceShell"]
@@ -45,7 +45,8 @@ commands:
   sessions                              list active sessions
   metrics                               service counters and latencies
   help                                  this text
-  quit                                  exit the server loop\
+  quit                                  close this connection / loop
+  shutdown                              stop the whole server gracefully\
 """
 
 
@@ -63,7 +64,13 @@ def _parse_kv(tokens: List[str]) -> Tuple[Dict[str, str], List[str]]:
 
 
 class ServiceShell:
-    """Drive a :class:`QueryEngine` + :class:`SessionManager` over text."""
+    """Drive a :class:`QueryEngine` + :class:`SessionManager` over text.
+
+    ``on_shutdown`` is the hook behind the ``shutdown`` command: the
+    asyncio server passes a (thread-safe) callback requesting a graceful
+    whole-server stop, so the same command dispatch serves stdio and
+    network transports without anyone calling ``sys.exit`` mid-loop.
+    """
 
     def __init__(
         self,
@@ -72,12 +79,77 @@ class ServiceShell:
         out: TextIO,
         metrics: Optional[ServiceMetrics] = None,
         prompt: str = "",
+        on_shutdown: Optional[Callable[[], None]] = None,
     ) -> None:
         self.engine = engine
         self.sessions = sessions
         self.out = out
         self.metrics = metrics if metrics is not None else engine.metrics
         self.prompt = prompt
+        self.on_shutdown = on_shutdown
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def parse_query(tokens: Sequence[str]) -> Tuple[TopKQuery, bool]:
+        """Parse the tokens after ``query`` into ``(TopKQuery, members)``.
+
+        Exposed for transports that dispatch queries asynchronously (the
+        asyncio server) so every frontend accepts the identical syntax.
+        """
+        if not tokens:
+            raise QueryParameterError(
+                "usage: query GRAPH [k=N] [gamma=N] [algorithm=A] "
+                "[delta=F] [members]"
+            )
+        graph, rest = tokens[0], list(tokens[1:])
+        kv, flags = _parse_kv(rest)
+        unknown = [f for f in flags if f != "members"] + [
+            key for key in kv if key not in ("k", "gamma", "algorithm", "delta")
+        ]
+        if unknown:
+            raise QueryParameterError(
+                f"unknown query argument(s): {', '.join(unknown)}"
+            )
+        try:
+            query = TopKQuery(
+                graph=graph,
+                k=int(kv.get("k", "10")),
+                gamma=int(kv.get("gamma", "10")),
+                algorithm=kv.get("algorithm", "auto"),
+                delta=float(kv.get("delta", "2.0")),
+            )
+        except ValueError as exc:
+            raise QueryParameterError(f"bad query argument: {exc}") from exc
+        return query, "members" in flags
+
+    @staticmethod
+    def format_views(
+        views: Sequence[CommunityView], members: bool, start: int = 1
+    ) -> List[str]:
+        """Render community views as protocol lines."""
+        lines: List[str] = []
+        for i, view in enumerate(views, start=start):
+            lines.append(
+                f"top-{i}: influence={view.influence:.8g} "
+                f"keynode={view.keynode} size={view.size}"
+            )
+            if members:
+                lines.append(
+                    "       members: "
+                    + ", ".join(str(v) for v in view.members)
+                )
+        return lines
+
+    @classmethod
+    def render_result(cls, result: QueryResult, members: bool) -> List[str]:
+        """Render one served query exactly as the ``query`` command does."""
+        header = (
+            f"{result.algorithm}[{result.source}]: "
+            f"{len(result.communities)} communities "
+            f"(k={result.query.k}, gamma={result.query.gamma}) "
+            f"in {result.elapsed_ms:.2f} ms"
+        )
+        return [header] + cls.format_views(list(result.communities), members)
 
     # ------------------------------------------------------------------
     def _print(self, text: str = "") -> None:
@@ -86,16 +158,8 @@ class ServiceShell:
     def _print_views(
         self, views: List[CommunityView], members: bool, start: int = 1
     ) -> None:
-        for i, view in enumerate(views, start=start):
-            self._print(
-                f"top-{i}: influence={view.influence:.8g} "
-                f"keynode={view.keynode} size={view.size}"
-            )
-            if members:
-                self._print(
-                    "       members: "
-                    + ", ".join(str(v) for v in view.members)
-                )
+        for line in self.format_views(views, members, start=start):
+            self._print(line)
 
     # ------------------------------------------------------------------
     def _cmd_graphs(self, tokens: List[str]) -> None:
@@ -125,37 +189,10 @@ class ServiceShell:
         )
 
     def _cmd_query(self, tokens: List[str]) -> None:
-        if not tokens:
-            raise QueryParameterError(
-                "usage: query GRAPH [k=N] [gamma=N] [algorithm=A] "
-                "[delta=F] [members]"
-            )
-        graph, rest = tokens[0], tokens[1:]
-        kv, flags = _parse_kv(rest)
-        unknown = [f for f in flags if f != "members"] + [
-            key for key in kv if key not in ("k", "gamma", "algorithm", "delta")
-        ]
-        if unknown:
-            raise QueryParameterError(
-                f"unknown query argument(s): {', '.join(unknown)}"
-            )
-        try:
-            query = TopKQuery(
-                graph=graph,
-                k=int(kv.get("k", "10")),
-                gamma=int(kv.get("gamma", "10")),
-                algorithm=kv.get("algorithm", "auto"),
-                delta=float(kv.get("delta", "2.0")),
-            )
-        except ValueError as exc:
-            raise QueryParameterError(f"bad query argument: {exc}") from exc
+        query, members = self.parse_query(tokens)
         result = self.engine.execute(query)
-        self._print(
-            f"{result.algorithm}[{result.source}]: "
-            f"{len(result.communities)} communities "
-            f"(k={query.k}, gamma={query.gamma}) in {result.elapsed_ms:.2f} ms"
-        )
-        self._print_views(list(result.communities), "members" in flags)
+        for line in self.render_result(result, members):
+            self._print(line)
 
     def _cmd_session(self, tokens: List[str]) -> None:
         if not tokens:
@@ -236,6 +273,22 @@ class ServiceShell:
             f"closed={snap['sessions_closed']} "
             f"expired={snap['sessions_expired']}"
         )
+        server = snap.get("server") or {}
+        if server.get("connections_opened") or server.get("batches"):
+            self._print(
+                f"connections: opened={server['connections_opened']} "
+                f"closed={server['connections_closed']}"
+            )
+            self._print(
+                f"batches: {server['batches']} "
+                f"(queries={server['batched_queries']}, "
+                f"max_width={server['max_batch_width']}, "
+                f"coalesce_rate={server['coalesce_rate']:.3f})"
+            )
+            self._print(
+                f"queue_depth: now={server['queue_depth']} "
+                f"peak={server['queue_depth_peak']}"
+            )
 
     # ------------------------------------------------------------------
     def execute_line(self, line: str) -> bool:
@@ -249,6 +302,11 @@ class ServiceShell:
             return True
         command, rest = tokens[0].lower(), tokens[1:]
         if command in ("quit", "exit"):
+            return False
+        if command == "shutdown":
+            self._print("shutting down")
+            if self.on_shutdown is not None:
+                self.on_shutdown()
             return False
         handler = {
             "graphs": self._cmd_graphs,
@@ -273,18 +331,31 @@ class ServiceShell:
         return True
 
     def run(self, in_stream) -> int:
-        """Serve until ``quit`` or end of input; returns an exit code."""
-        self._print(
-            f"repro service: {len(self.engine.registry.names())} graphs "
-            "registered; type 'help' for the protocol"
-        )
-        while True:
-            if self.prompt:
-                self.out.write(self.prompt)
-                self.out.flush()
-            line = in_stream.readline()
-            if not line:
-                break
-            if not self.execute_line(line):
-                break
+        """Serve until ``quit``/``shutdown`` or end of input.
+
+        EOF on the input stream and a vanished peer (broken pipe /
+        connection reset / a stream closed under us) all end the loop
+        cleanly with exit code 0 — a piped client hanging up is a normal
+        way for a serving process to stop, not a crash.
+        """
+        try:
+            self._print(
+                f"repro service: {len(self.engine.registry.names())} graphs "
+                "registered; type 'help' for the protocol"
+            )
+            while True:
+                if self.prompt:
+                    self.out.write(self.prompt)
+                    self.out.flush()
+                line = in_stream.readline()
+                if not line:
+                    break
+                if not self.execute_line(line):
+                    break
+        except (BrokenPipeError, ConnectionResetError):
+            return 0
+        except ValueError:
+            # "I/O operation on closed file": the in/out stream was
+            # closed mid-loop (e.g. the transport tearing down).
+            return 0
         return 0

@@ -147,3 +147,193 @@ class TestStream:
         ]
         assert values == sorted(values, reverse=True)
         assert len(values) == 2
+
+
+class TestServe:
+    """The stdio serving loop (`repro serve`) and its shell behaviours."""
+
+    def run_serve(self, script: str, *extra_args):
+        out = io.StringIO()
+        code = main(
+            ["serve", "--no-datasets", *extra_args],
+            out=out,
+            in_stream=io.StringIO(script),
+        )
+        return code, out.getvalue()
+
+    def test_load_query_quit(self, edge_file, weight_file):
+        code, text = self.run_serve(
+            f"load g {edge_file} {weight_file}\n"
+            "query g k=2 gamma=3\n"
+            "quit\n"
+        )
+        assert code == 0
+        assert "loaded 'g' v1" in text
+        assert "top-1:" in text
+
+    def test_eof_without_quit_is_clean(self, edge_file):
+        code, text = self.run_serve(f"load g {edge_file}\n")
+        assert code == 0
+
+    def test_shutdown_command_ends_loop_and_fires_callback(self, edge_file):
+        from repro.service import (
+            GraphRegistry,
+            QueryEngine,
+            ServiceShell,
+            SessionManager,
+        )
+
+        registry = GraphRegistry(preload_datasets=False)
+        engine = QueryEngine(registry)
+        sessions = SessionManager(registry)
+        out = io.StringIO()
+        fired = []
+        shell = ServiceShell(
+            engine, sessions, out, on_shutdown=lambda: fired.append(True)
+        )
+        code = shell.run(io.StringIO("shutdown\nquery g\n"))
+        assert code == 0
+        assert fired == [True]
+        assert "shutting down" in out.getvalue()
+        # The loop ended at `shutdown`: the next command never ran.
+        assert "error" not in out.getvalue()
+
+    def test_broken_pipe_mid_loop_is_clean(self, edge_file):
+        from repro.service import (
+            GraphRegistry,
+            QueryEngine,
+            ServiceShell,
+            SessionManager,
+        )
+
+        class BrokenOut(io.StringIO):
+            def write(self, text):
+                if "top-" in text:
+                    raise BrokenPipeError("peer went away")
+                return super().write(text)
+
+        registry = GraphRegistry(preload_datasets=False)
+        registry.register_edge_list("g", edge_file)
+        engine = QueryEngine(registry)
+        shell = ServiceShell(engine, SessionManager(registry), BrokenOut())
+        code = shell.run(io.StringIO("query g k=1 gamma=3\nquery g\n"))
+        assert code == 0
+
+    def test_script_flag(self, tmp_path, edge_file):
+        script = tmp_path / "commands.txt"
+        script.write_text(
+            f"load g {edge_file}\nquery g k=1 gamma=3\nquit\n",
+            encoding="utf-8",
+        )
+        code, text = run_cli(["serve", "--no-datasets", "--script", str(script)])
+        assert code == 0
+        assert "top-1:" in text
+
+    def test_max_cached_k_flag_accepted(self, edge_file):
+        code, text = self.run_serve(
+            f"load g {edge_file}\nquery g k=2 gamma=3\nquit\n",
+            "--max-cached-k", "1",
+        )
+        assert code == 0
+        assert "top-2:" in text  # served in full despite the retention cap
+
+
+class TestServerFlags:
+    """Parsing of the asyncio-server flags (the server itself is covered
+    in tests/test_server_transport.py)."""
+
+    def test_parser_accepts_network_flags(self):
+        args = build_parser().parse_args([
+            "serve", "--tcp", "0.0.0.0:8642", "--socket", "/tmp/x.sock",
+            "--shards", "2", "--replicate", "wiki=2", "--max-batch", "16",
+            "--batch-window-ms", "2.5", "--warmstart", "cache.json",
+            "--max-cached-k", "64",
+        ])
+        assert args.tcp == "0.0.0.0:8642"
+        assert args.shards == 2
+        assert args.replicate == ["wiki=2"]
+
+    def test_parse_tcp(self):
+        from repro.cli import _parse_tcp
+
+        assert _parse_tcp("8642") == ("127.0.0.1", 8642)
+        assert _parse_tcp("0.0.0.0:9000") == ("0.0.0.0", 9000)
+        with pytest.raises(SystemExit):
+            _parse_tcp("not-a-port")
+
+    def test_parse_replication(self):
+        from repro.cli import _parse_replication
+
+        assert _parse_replication(None) == {}
+        assert _parse_replication(["wiki=2", "email=1"]) == {
+            "wiki": 2, "email": 1,
+        }
+        for bad in ("wiki", "wiki=", "wiki=0", "=2"):
+            with pytest.raises(SystemExit):
+                _parse_replication([bad])
+
+    def test_tcp_serve_roundtrip(self, tmp_path, edge_file):
+        """`repro serve --socket` end to end through the CLI entry point."""
+        import asyncio
+        import threading
+
+        from repro.server import ReproClient
+
+        sock = str(tmp_path / "cli.sock")
+        out = io.StringIO()
+        done = []
+
+        def serve():
+            done.append(main(["serve", "--socket", sock, "--no-datasets"], out=out))
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+
+        async def drive():
+            for _ in range(200):
+                try:
+                    return await ReproClient.connect(unix_path=sock)
+                except (ConnectionError, FileNotFoundError, OSError):
+                    await asyncio.sleep(0.02)
+            raise AssertionError("server never came up")
+
+        async def session():
+            client = await drive()
+            response = await client.request(f"load g {edge_file}")
+            assert "loaded 'g' v1" in response[0]
+            lines = await client.query("g", k=1, gamma=3)
+            assert lines[1].startswith("top-1:")
+            assert (await client.request("shutdown")) == ["shutting down"]
+
+        asyncio.run(session())
+        thread.join(timeout=15)
+        assert not thread.is_alive()
+        assert done == [0]
+        assert "listening on unix://" in out.getvalue()
+
+    def test_script_rejected_in_network_mode(self, tmp_path):
+        script = tmp_path / "s.txt"
+        script.write_text("quit\n", encoding="utf-8")
+        code, text = run_cli([
+            "serve", "--tcp", "0", "--script", str(script), "--no-datasets",
+        ])
+        assert code == 2
+        assert "error: --script" in text
+
+    def test_replication_beyond_shards_fails_cleanly(self):
+        code, text = run_cli([
+            "serve", "--tcp", "0", "--no-datasets",
+            "--shards", "2", "--replicate", "wiki=4",
+        ])
+        assert code == 2
+        assert text.startswith("error: replication")
+
+    def test_server_only_flags_rejected_in_stdio_mode(self):
+        code, text = run_cli([
+            "serve", "--no-datasets", "--warmstart", "cache.json",
+        ])
+        assert code == 2
+        assert "--warmstart" in text and "network server" in text
+        code, text = run_cli(["serve", "--no-datasets", "--shards", "2"])
+        assert code == 2
+        assert "--shards" in text

@@ -196,3 +196,100 @@ class TestLRUAndInvalidation:
         assert engine.execute(
             TopKQuery(graph="two-k4s", gamma=3, k=2)
         ).source == "cold"
+
+
+class TestKTruncationPolicy:
+    """ISSUE 2 satellite: `max_cached_k` bounds per-entry retention
+    without ever changing what a query receives."""
+
+    def test_cache_validates_max_cached_k(self):
+        with pytest.raises(ValueError):
+            ResultCache(max_cached_k=0)
+
+    def test_entry_requires_factory_with_cap(self, registry):
+        from repro.core.progressive import LocalSearchP
+
+        cursor = LocalSearchP(layered_cliques(), gamma=3).cursor()
+        with pytest.raises(ValueError):
+            ProgressiveEntry(cursor, max_cached_k=2)
+
+    def test_served_in_full_but_retained_capped(self, registry):
+        engine = QueryEngine(registry, cache=ResultCache(max_cached_k=3))
+        big = engine.execute(TopKQuery(graph="cliques", gamma=3, k=6))
+        assert len(big) == 6
+        key = CacheKey("cliques", 1, 3, "localsearch-p", 2.0)
+        entry = engine.cache.get(key)
+        assert isinstance(entry, ProgressiveEntry)
+        assert entry.materialized == 3
+        # The cursor (holding live Community objects) was released too.
+        assert entry.cursor is None
+
+    def test_prefix_within_cap_is_a_hit_beyond_recomputes(self, registry):
+        capped = QueryEngine(registry, cache=ResultCache(max_cached_k=3))
+        fresh = QueryEngine(registry, cache=None)
+        capped.execute(TopKQuery(graph="cliques", gamma=3, k=6))
+
+        small = capped.execute(TopKQuery(graph="cliques", gamma=3, k=2))
+        assert small.source == "cache"
+        assert communities_json(small) == communities_json(
+            fresh.execute(TopKQuery(graph="cliques", gamma=3, k=2))
+        )
+
+        # Beyond the cap: the factory rebuilds a cursor and the stream
+        # (deterministic) reproduces the identical answer.
+        large = capped.execute(TopKQuery(graph="cliques", gamma=3, k=5))
+        assert large.source == "extended"
+        assert communities_json(large) == communities_json(
+            fresh.execute(TopKQuery(graph="cliques", gamma=3, k=5))
+        )
+
+    def test_queries_within_cap_never_truncate(self, registry):
+        engine = QueryEngine(registry, cache=ResultCache(max_cached_k=10))
+        engine.execute(TopKQuery(graph="cliques", gamma=3, k=4))
+        key = CacheKey("cliques", 1, 3, "localsearch-p", 2.0)
+        entry = engine.cache.get(key)
+        assert entry.materialized == 4
+        assert entry.cursor is not None  # still resumable in place
+
+    def test_static_entries_stored_pre_truncated(self, registry):
+        engine = QueryEngine(registry, cache=ResultCache(max_cached_k=2))
+        first = engine.execute(
+            TopKQuery(graph="cliques", gamma=3, k=4, algorithm="localsearch")
+        )
+        assert len(first) == 4  # the caller sees everything
+        key = CacheKey("cliques", 1, 3, "localsearch", 2.0)
+        entry = engine.cache.get(key)
+        assert isinstance(entry, StaticEntry)
+        assert len(entry.views) == 2
+        assert not entry.complete
+        # Within the retained prefix: still a byte-identical hit.
+        again = engine.execute(
+            TopKQuery(graph="cliques", gamma=3, k=2, algorithm="localsearch")
+        )
+        assert again.source == "cache"
+        assert communities_json(again) == communities_json(
+            QueryEngine(registry, cache=None).execute(
+                TopKQuery(graph="cliques", gamma=3, k=2, algorithm="localsearch")
+            )
+        )
+
+    def test_exhaustion_flag_survives_only_below_cap(self, registry):
+        # two-k4s has exactly 2 communities; cap 3 never truncates them.
+        engine = QueryEngine(registry, cache=ResultCache(max_cached_k=3))
+        done = engine.execute(TopKQuery(graph="two-k4s", gamma=3, k=10))
+        assert done.complete
+        again = engine.execute(TopKQuery(graph="two-k4s", gamma=3, k=50))
+        assert again.source == "cache"
+        assert again.complete
+
+    def test_complete_survives_truncation_crossing_exhaustion(self, registry):
+        # 6 communities total, cap 5: the exhausting query is truncated
+        # in retention but must still be reported complete.
+        capped = QueryEngine(registry, cache=ResultCache(max_cached_k=5))
+        result = capped.execute(TopKQuery(graph="cliques", gamma=3, k=100))
+        assert len(result) == 6
+        assert result.complete
+        reference = QueryEngine(registry, cache=None).execute(
+            TopKQuery(graph="cliques", gamma=3, k=100)
+        )
+        assert reference.complete
