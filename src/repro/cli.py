@@ -91,6 +91,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--members", action="store_true",
         help="print full member lists (default: sizes only)",
     )
+    query.add_argument(
+        "--kernel", choices=("auto", "python", "array", "numpy"),
+        default=None,
+        help="peel kernel (default: $REPRO_KERNEL, then auto — numpy "
+             "when available, the stdlib array kernel otherwise)",
+    )
 
     stats = sub.add_parser("stats", help="print Table-1 statistics")
     add_graph_source(stats)
@@ -100,6 +106,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_graph_source(stream)
     stream.add_argument("--gamma", type=int, default=10)
+    stream.add_argument(
+        "--kernel", choices=("auto", "python", "array", "numpy"),
+        default=None,
+        help="peel kernel (default: $REPRO_KERNEL, then auto)",
+    )
     stream.add_argument(
         "--min-influence", type=float, default=None,
         help="stop once influence drops below this value",
@@ -176,16 +187,35 @@ def _load_graph(args: argparse.Namespace) -> WeightedGraph:
     return load_snap_graph(args.edges, args.weights)
 
 
+def _apply_kernel_choice(args: argparse.Namespace) -> Optional[str]:
+    """Honour ``--kernel`` for the whole process.
+
+    Exported via ``REPRO_KERNEL`` so algorithms that reach the peel only
+    through their own internal ``construct_cvs`` calls (forward, the
+    index baselines) respect the choice too, not just the searchers that
+    take an explicit ``kernel=`` argument.
+    """
+    kernel = getattr(args, "kernel", None)
+    if kernel is not None:
+        import os
+
+        from .core.fastpeel import KERNEL_ENV_VAR
+
+        os.environ[KERNEL_ENV_VAR] = kernel
+    return kernel
+
+
 def _run_query(graph: WeightedGraph, args: argparse.Namespace):
     algorithm = args.algorithm
+    kernel = _apply_kernel_choice(args)
     if algorithm == "localsearch":
-        return LocalSearch(graph, gamma=args.gamma, delta=args.delta).search(
-            args.k
-        )
+        return LocalSearch(
+            graph, gamma=args.gamma, delta=args.delta, kernel=kernel
+        ).search(args.k)
     if algorithm == "localsearch-p":
-        return LocalSearchP(graph, gamma=args.gamma, delta=args.delta).run(
-            k=args.k
-        )
+        return LocalSearchP(
+            graph, gamma=args.gamma, delta=args.delta, kernel=kernel
+        ).run(k=args.k)
     if algorithm == "forward":
         return forward(graph, args.k, args.gamma)
     if algorithm == "onlineall":
@@ -196,7 +226,7 @@ def _run_query(graph: WeightedGraph, args: argparse.Namespace):
         return top_k_truss_communities(graph, args.k, args.gamma)
     if algorithm == "noncontainment":
         return top_k_noncontainment_communities(
-            graph, args.k, args.gamma, delta=args.delta
+            graph, args.k, args.gamma, delta=args.delta, kernel=kernel
         )
     raise AssertionError(f"unhandled algorithm {algorithm!r}")
 
@@ -405,7 +435,10 @@ def main(argv: Optional[List[str]] = None, out=None, in_stream=None) -> int:
 
     if args.command == "stream":
         printed = 0
-        for community in LocalSearchP(graph, gamma=args.gamma).stream():
+        searcher = LocalSearchP(
+            graph, gamma=args.gamma, kernel=_apply_kernel_choice(args)
+        )
+        for community in searcher.stream():
             if (
                 args.min_influence is not None
                 and community.influence < args.min_influence

@@ -20,6 +20,13 @@ from .enumerate import (
     enumerate_progressive,
     enumerate_top_k,
 )
+from .fastpeel import (
+    KERNELS,
+    PeelScratch,
+    fast_construct_cvs,
+    numpy_available,
+    resolve_kernel,
+)
 from .general import (
     CohesivenessMeasure,
     EdgeConnectivityMeasure,
@@ -67,6 +74,11 @@ __all__ = [
     "EnumerationState",
     "enumerate_top_k",
     "enumerate_progressive",
+    "KERNELS",
+    "PeelScratch",
+    "fast_construct_cvs",
+    "numpy_available",
+    "resolve_kernel",
     "CohesivenessMeasure",
     "MinDegreeMeasure",
     "TrussMeasure",

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..graph.subgraph import PrefixView
 
@@ -66,9 +66,11 @@ class CVSRecord:
         The progressive early-stop boundary that was applied (0 = none):
         only keynodes with rank >= ``stop_rank`` were extracted.
     nbrs:
-        The materialised prefix adjacency used by the peel; EnumIC reuses
-        it for its neighbour scans ("neighbours of v in g", Line 10 of
-        Algorithm 3).
+        The prefix adjacency used by the peel — a materialised
+        list-of-lists (python kernel) or a shared-buffer
+        :class:`~repro.graph.csr.PrefixAdjacency` (array/numpy kernels);
+        either way ``nbrs[v]`` is the in-prefix neighbour row EnumIC
+        scans ("neighbours of v in g", Line 10 of Algorithm 3).
     noncontainment:
         When non-containment tracking was requested: one flag per keynode,
         true iff the keynode is a non-containment keynode (Section 5.1).
@@ -80,8 +82,13 @@ class CVSRecord:
     p: int
     gamma: int
     stop_rank: int = 0
-    nbrs: Optional[List[List[int]]] = None
+    nbrs: Optional[Sequence[Sequence[int]]] = None
     noncontainment: Optional[List[bool]] = None
+    #: Lazily-filled ``group(i)`` tuples; groups are immutable, so the
+    #: slices are computed once and shared by every caller thereafter.
+    _group_cache: Dict[int, Tuple[int, ...]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     @property
     def num_communities(self) -> int:
@@ -97,11 +104,22 @@ class CVSRecord:
             )
         return sum(self.noncontainment)
 
-    def group(self, i: int) -> List[int]:
-        """The ``gp(keys[i])`` vertex group (keynode first)."""
-        start = self.starts[i]
-        stop = self.starts[i + 1] if i + 1 < len(self.starts) else len(self.cvs)
-        return self.cvs[start:stop]
+    def group(self, i: int) -> Tuple[int, ...]:
+        """The ``gp(keys[i])`` vertex group (keynode first).
+
+        Returned as a cached, immutable tuple: the serving tier hands
+        groups out per request, and groups never change once peeled, so
+        repeat calls must not re-copy the ``cvs`` slice.
+        """
+        cached = self._group_cache.get(i)
+        if cached is None:
+            start = self.starts[i]
+            stop = (
+                self.starts[i + 1] if i + 1 < len(self.starts) else len(self.cvs)
+            )
+            cached = tuple(self.cvs[start:stop])
+            self._group_cache[i] = cached
+        return cached
 
     def group_bounds(self, i: int) -> Tuple[int, int]:
         """Half-open ``cvs`` bounds of group ``i``."""
@@ -215,13 +233,36 @@ def construct_cvs(
     gamma: int,
     stop_rank: int = 0,
     track_noncontainment: bool = False,
+    kernel: Optional[str] = None,
+    scratch=None,
 ) -> CVSRecord:
-    """ConstructCVS over a prefix view (materialises adjacency, then peels).
+    """ConstructCVS over a prefix view — the kernel dispatcher.
 
     This is the entry point used by LocalSearch (Algorithm 1, via
     ``CountIC``) and LocalSearch-P (Algorithm 4, with ``stop_rank`` set to
     the previous round's prefix length).
+
+    ``kernel`` selects the peel implementation (``python`` / ``array`` /
+    ``numpy`` / ``auto``); ``None`` defers to the ``REPRO_KERNEL``
+    environment variable, then ``auto``.  All kernels produce identical
+    records (:mod:`repro.core.fastpeel`); the ``python`` kernel — this
+    module's :func:`peel_cvs` over a materialised adjacency — is the
+    differential-testing oracle.  ``scratch`` optionally carries a
+    :class:`~repro.core.fastpeel.PeelScratch` across the rounds of one
+    progressive query so buffers and down-cuts are reused.
     """
+    from .fastpeel import fast_construct_cvs, resolve_kernel
+
+    resolved = resolve_kernel(kernel)
+    if resolved != "python":
+        return fast_construct_cvs(
+            view,
+            gamma,
+            stop_rank=stop_rank,
+            track_noncontainment=track_noncontainment,
+            kernel=resolved,
+            scratch=scratch,
+        )
     nbrs = view.neighbor_lists()
     return peel_cvs(
         nbrs,
@@ -231,9 +272,11 @@ def construct_cvs(
     )
 
 
-def count_communities(view: PrefixView, gamma: int) -> int:
+def count_communities(
+    view: PrefixView, gamma: int, kernel: Optional[str] = None
+) -> int:
     """``CountIC(g, gamma)`` — the number of influential γ-communities.
 
     Linear in ``size(view)`` (Theorem 3.2).
     """
-    return construct_cvs(view, gamma).num_communities
+    return construct_cvs(view, gamma, kernel=kernel).num_communities

@@ -38,6 +38,7 @@ from ..graph.weighted_graph import WeightedGraph
 from .community import Community
 from .count import CVSRecord, construct_cvs
 from .enumerate import enumerate_top_k
+from .fastpeel import PeelScratch, resolve_kernel
 
 __all__ = [
     "SearchStats",
@@ -65,6 +66,8 @@ class SearchStats:
     counts: List[int] = field(default_factory=list)
     graph_size: int = 0
     elapsed_seconds: float = 0.0
+    #: Which peel kernel served the run (resolved name, never "auto").
+    kernel: Optional[str] = None
 
     @property
     def rounds(self) -> int:
@@ -144,6 +147,7 @@ class LocalSearch:
         growth: str = "exponential",
         linear_increment: Optional[int] = None,
         counting: str = "countic",
+        kernel: Optional[str] = None,
     ) -> None:
         if gamma < 1:
             raise QueryParameterError("gamma must be at least 1")
@@ -159,6 +163,7 @@ class LocalSearch:
         self.growth = growth
         self.linear_increment = linear_increment
         self.counting = counting
+        self.kernel = kernel
 
     # ------------------------------------------------------------------
     def initial_prefix(self, k: int) -> int:
@@ -195,17 +200,25 @@ class LocalSearch:
             raise QueryParameterError("k must be at least 1")
         graph, gamma = self.graph, self.gamma
         started = time.perf_counter()
+        kernel = resolve_kernel(self.kernel)
         stats = SearchStats(
-            gamma=gamma, k=k, delta=self.delta, graph_size=graph.size
+            gamma=gamma, k=k, delta=self.delta, graph_size=graph.size,
+            kernel=kernel,
         )
 
         p = self.initial_prefix(k)
         initial_size = graph.prefix_size(p)
         record: Optional[CVSRecord] = None
+        # One scratch and one chained view family per search: every
+        # growth round reuses the previous round's buffers and down-cuts.
+        scratch = PeelScratch() if kernel != "python" else None
+        view: Optional[PrefixView] = None
         while True:
-            view = PrefixView(graph, p)
+            view = PrefixView(graph, p) if view is None else view.extend(p)
             if self.counting == "countic":
-                record = construct_cvs(view, gamma)
+                record = construct_cvs(
+                    view, gamma, kernel=kernel, scratch=scratch
+                )
                 count = record.num_communities
             else:
                 record = None
@@ -219,7 +232,9 @@ class LocalSearch:
 
         if record is None:
             # LocalSearch-OA still enumerates through keys/cvs at the end.
-            record = construct_cvs(PrefixView(graph, p), gamma)
+            record = construct_cvs(
+                PrefixView(graph, p), gamma, kernel=kernel, scratch=scratch
+            )
         communities = enumerate_top_k(graph, record, k)
         stats.elapsed_seconds = time.perf_counter() - started
         return TopKResult(communities=communities, stats=stats, record=record)
@@ -230,6 +245,7 @@ def top_k_influential_communities(
     k: int,
     gamma: int,
     delta: float = 2.0,
+    kernel: Optional[str] = None,
 ) -> TopKResult:
     """Top-``k`` influential γ-communities of ``graph`` via LocalSearch.
 
@@ -243,4 +259,4 @@ def top_k_influential_communities(
     >>> result.communities[0].influence > 0
     True
     """
-    return LocalSearch(graph, gamma=gamma, delta=delta).search(k)
+    return LocalSearch(graph, gamma=gamma, delta=delta, kernel=kernel).search(k)

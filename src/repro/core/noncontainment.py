@@ -28,6 +28,7 @@ from ..graph.subgraph import PrefixView
 from ..graph.weighted_graph import WeightedGraph
 from .community import Community
 from .count import CVSRecord, construct_cvs
+from .fastpeel import PeelScratch, resolve_kernel
 from .local_search import SearchStats, TopKResult
 
 __all__ = [
@@ -72,6 +73,7 @@ def top_k_noncontainment_communities(
     k: int,
     gamma: int,
     delta: float = 2.0,
+    kernel: Optional[str] = None,
 ) -> TopKResult:
     """Top-``k`` non-containment influential γ-communities (LocalSearch loop).
 
@@ -88,12 +90,23 @@ def top_k_noncontainment_communities(
         raise QueryParameterError("delta must be greater than 1")
 
     started = time.perf_counter()
-    stats = SearchStats(gamma=gamma, k=k, delta=delta, graph_size=graph.size)
+    resolved = resolve_kernel(kernel)
+    stats = SearchStats(
+        gamma=gamma, k=k, delta=delta, graph_size=graph.size, kernel=resolved
+    )
     n = graph.num_vertices
     p = min(n, k + gamma)
+    scratch = PeelScratch() if resolved != "python" else None
+    view: Optional[PrefixView] = None
     while True:
-        view = PrefixView(graph, p)
-        record = construct_cvs(view, gamma, track_noncontainment=True)
+        view = PrefixView(graph, p) if view is None else view.extend(p)
+        record = construct_cvs(
+            view,
+            gamma,
+            track_noncontainment=True,
+            kernel=resolved,
+            scratch=scratch,
+        )
         count = record.num_noncontainment
         stats.prefixes.append(p)
         stats.prefix_sizes.append(view.size)

@@ -31,6 +31,7 @@ from ..graph.weighted_graph import WeightedGraph
 from .community import Community
 from .count import construct_cvs
 from .enumerate import EnumerationState, enumerate_progressive
+from .fastpeel import PeelScratch, resolve_kernel
 from .local_search import SearchStats, TopKResult
 
 __all__ = [
@@ -56,6 +57,10 @@ class LocalSearchP:
         When true, only *non-containment* communities are yielded
         (Section 5.1): communities containing no other influential
         γ-community; each is exactly its keynode's ``cvs`` group.
+    kernel:
+        Peel kernel (``python`` / ``array`` / ``numpy`` / ``auto``);
+        ``None`` defers to ``REPRO_KERNEL`` / ``auto`` (see
+        :mod:`repro.core.fastpeel`).
     """
 
     def __init__(
@@ -64,6 +69,7 @@ class LocalSearchP:
         gamma: int,
         delta: float = 2.0,
         noncontainment: bool = False,
+        kernel: Optional[str] = None,
     ) -> None:
         if gamma < 1:
             raise QueryParameterError("gamma must be at least 1")
@@ -73,6 +79,7 @@ class LocalSearchP:
         self.gamma = gamma
         self.delta = delta
         self.noncontainment = noncontainment
+        self.kernel = kernel
         self.stats = SearchStats(gamma=gamma, delta=delta, graph_size=graph.size)
 
     # ------------------------------------------------------------------
@@ -94,13 +101,23 @@ class LocalSearchP:
         p = self.initial_prefix()
         if n == 0:
             return
+        # One resolved kernel, one reusable scratch and one chained view
+        # family per stream: round i+1 reuses round i's buffers and
+        # down-cuts (allocation-free steady state for the fast kernels,
+        # seeded bisects for the python one).
+        kernel = resolve_kernel(self.kernel)
+        self.stats.kernel = kernel
+        scratch = PeelScratch() if kernel != "python" else None
+        view: Optional[PrefixView] = None
         while True:
-            view = PrefixView(graph, p)
+            view = PrefixView(graph, p) if view is None else view.extend(p)
             record = construct_cvs(
                 view,
                 gamma,
                 stop_rank=p_prev,
                 track_noncontainment=self.noncontainment,
+                kernel=kernel,
+                scratch=scratch,
             )
             self.stats.prefixes.append(p)
             self.stats.prefix_sizes.append(view.size)
@@ -209,11 +226,19 @@ class ProgressiveCursor:
             self._advance_to(k)
             return len(self._seen)
 
-    def take(self, k: int) -> List[Community]:
-        """The top-``k`` communities, resuming the stream if needed."""
+    def take(self, k: int) -> Tuple[Community, ...]:
+        """The top-``k`` communities, resuming the stream if needed.
+
+        Returns an immutable tuple.  The stream is append-only, so the
+        returned slice can never change once ``k`` communities are
+        materialised; the serving tier's repeat-hit path memoises these
+        answers per ``k`` one level up, in
+        :class:`~repro.service.cache.ProgressiveEntry`, which is where
+        repeated same-``k`` requests actually land.
+        """
         with self._lock:
             self._advance_to(k)
-            return list(self._seen[:k])
+            return tuple(self._seen[:k])
 
     def peek_all(self) -> List[Community]:
         """All communities materialised so far (no stream advance)."""
@@ -222,7 +247,10 @@ class ProgressiveCursor:
 
 
 def progressive_influential_communities(
-    graph: WeightedGraph, gamma: int, delta: float = 2.0
+    graph: WeightedGraph,
+    gamma: int,
+    delta: float = 2.0,
+    kernel: Optional[str] = None,
 ) -> Iterator[Community]:
     """Convenience generator over :meth:`LocalSearchP.stream`.
 
@@ -233,4 +261,4 @@ def progressive_influential_communities(
     >>> influences == sorted(influences, reverse=True)
     True
     """
-    return LocalSearchP(graph, gamma=gamma, delta=delta).stream()
+    return LocalSearchP(graph, gamma=gamma, delta=delta, kernel=kernel).stream()

@@ -19,6 +19,7 @@ algorithms (DESIGN.md systems S1–S5 and S15-storage):
 
 from .builder import GraphBuilder, graph_from_arrays
 from .connectivity import component_of, connected_components, is_connected_subset
+from .csr import CSRAdjacency, PrefixAdjacency
 from .core_decomposition import (
     core_decomposition,
     degeneracy,
@@ -43,6 +44,8 @@ __all__ = [
     "GraphBuilder",
     "graph_from_arrays",
     "PrefixView",
+    "CSRAdjacency",
+    "PrefixAdjacency",
     "DisjointSet",
     "KeyedDisjointSet",
     "gamma_core",

@@ -1,0 +1,218 @@
+"""Flat-array CSR mirror of a :class:`WeightedGraph` (the kernel substrate).
+
+:class:`~repro.graph.weighted_graph.WeightedGraph` stores adjacency as a
+Python list of lists — ideal for incremental construction and for the
+bisect-based prefix queries, but with a pointer-chasing memory layout
+that dominates the constant factor of the hot peel
+(:mod:`repro.core.fastpeel`).  :class:`CSRAdjacency` is an immutable
+**compressed-sparse-row** mirror of the same ``N>=`` / ``N<`` partition:
+
+* ``up_targets`` — every ``adj_up`` row concatenated, each row sorted
+  ascending; ``up_offsets[u] : up_offsets[u + 1]`` bounds row ``u``;
+* ``down_targets`` / ``down_offsets`` — the same for ``adj_down``.
+
+The canonical buffers are :class:`array.array` (``'i'`` targets, ``'q'``
+offsets): contiguous, picklable, and shareable across processes — the
+prerequisite for promoting the thread-based
+:class:`~repro.server.shards.ShardPool` to a process pool (dict/list
+graphs cannot be shared without a serialise-and-copy per worker).  Two
+derived views are built lazily and cached:
+
+* :meth:`lists` — plain Python-list mirrors, because CPython iterates a
+  list of (cached small) ints faster than it can box values out of an
+  ``array``; the pure-stdlib ``array`` kernel's inner loop runs on these;
+* :meth:`numpy_views` — **zero-copy** ``numpy.frombuffer`` views over
+  the canonical buffers, for the vectorised γ-core reduction of the
+  ``numpy`` kernel.
+
+Because every threshold subgraph ``G>=tau`` is a rank prefix, the CSR
+needs no per-view rebuild: a prefix is fully described by the shared
+buffers plus one *down-cut* per vertex (the end of the row's in-prefix
+part — rows are sorted, so it is a single bound).  :class:`PrefixAdjacency`
+packages exactly that as a read-only sequence of neighbour rows, which
+is what the fast peel records as :attr:`CVSRecord.nbrs` in place of the
+materialised list-of-lists.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from .weighted_graph import WeightedGraph
+
+__all__ = ["CSRAdjacency", "PrefixAdjacency"]
+
+
+class CSRAdjacency:
+    """Immutable flat-array (CSR) form of a graph's up/down adjacency."""
+
+    __slots__ = (
+        "num_vertices",
+        "num_edges",
+        "up_offsets",
+        "up_targets",
+        "down_offsets",
+        "down_targets",
+        "_lists",
+        "_numpy",
+    )
+
+    def __init__(
+        self,
+        num_vertices: int,
+        up_offsets: array,
+        up_targets: array,
+        down_offsets: array,
+        down_targets: array,
+    ) -> None:
+        self.num_vertices = num_vertices
+        self.num_edges = len(up_targets)
+        self.up_offsets = up_offsets
+        self.up_targets = up_targets
+        self.down_offsets = down_offsets
+        self.down_targets = down_targets
+        self._lists: Optional[
+            Tuple[List[int], List[int], List[int], List[int]]
+        ] = None
+        self._numpy = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(cls, graph: "WeightedGraph") -> "CSRAdjacency":
+        """Flatten ``graph``'s adjacency into contiguous buffers (O(n + m))."""
+        n = graph.num_vertices
+        up_offsets = array("q", [0])
+        down_offsets = array("q", [0])
+        up_targets = array("i")
+        down_targets = array("i")
+        up_total = down_total = 0
+        for u in range(n):
+            row = graph.neighbors_up(u)
+            up_targets.extend(row)
+            up_total += len(row)
+            up_offsets.append(up_total)
+            row = graph.neighbors_down(u)
+            down_targets.extend(row)
+            down_total += len(row)
+            down_offsets.append(down_total)
+        return cls(n, up_offsets, up_targets, down_offsets, down_targets)
+
+    # ------------------------------------------------------------------
+    @property
+    def nbytes(self) -> int:
+        """Size of the canonical buffers in bytes (derived views excluded)."""
+        return (
+            self.up_offsets.itemsize * len(self.up_offsets)
+            + self.up_targets.itemsize * len(self.up_targets)
+            + self.down_offsets.itemsize * len(self.down_offsets)
+            + self.down_targets.itemsize * len(self.down_targets)
+        )
+
+    def lists(self) -> Tuple[List[int], List[int], List[int], List[int]]:
+        """Python-list mirrors ``(up_off, up_tgt, down_off, down_tgt)``.
+
+        Built once (C-level ``list(array)``) and cached: CPython's inner
+        loops iterate and subscript lists measurably faster than
+        ``array`` objects, which must box every element on access.
+        """
+        mirrors = self._lists
+        if mirrors is None:
+            mirrors = (
+                list(self.up_offsets),
+                list(self.up_targets),
+                list(self.down_offsets),
+                list(self.down_targets),
+            )
+            self._lists = mirrors
+        return mirrors
+
+    def numpy_views(self):
+        """Zero-copy numpy views ``(up_off, up_tgt, down_off, down_tgt)``.
+
+        Raises ``ImportError`` when numpy is unavailable; callers gate on
+        :func:`repro.core.fastpeel.numpy_available`.
+        """
+        views = self._numpy
+        if views is None:
+            import numpy as np
+
+            views = (
+                np.frombuffer(self.up_offsets, dtype=np.int64),
+                np.frombuffer(self.up_targets, dtype=np.int32),
+                np.frombuffer(self.down_offsets, dtype=np.int64),
+                np.frombuffer(self.down_targets, dtype=np.int32),
+            )
+            self._numpy = views
+        return views
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"CSRAdjacency(n={self.num_vertices}, m={self.num_edges}, "
+            f"{self.nbytes / 1e6:.2f} MB)"
+        )
+
+    # ------------------------------------------------------------------
+    # pickling: drop the derived caches (cheap to rebuild, numpy views
+    # are process-local buffer aliases anyway).
+    def __reduce__(self):
+        return (
+            self.__class__,
+            (
+                self.num_vertices,
+                self.up_offsets,
+                self.up_targets,
+                self.down_offsets,
+                self.down_targets,
+            ),
+        )
+
+
+class PrefixAdjacency(Sequence):
+    """Read-only neighbour rows of a rank prefix, backed by shared CSR.
+
+    ``rows[v]`` is the list of ``v``'s neighbours inside the prefix, in
+    the same order the materialised
+    :meth:`~repro.graph.subgraph.PrefixView.neighbor_lists` produces
+    (up-neighbours ascending, then in-prefix down-neighbours ascending),
+    so :mod:`repro.core.enumerate` consumes either representation
+    interchangeably.  Rows are assembled on access from two C-level list
+    slices — no O(size) materialisation ever happens.
+    """
+
+    __slots__ = ("p", "_up_off", "_up_tgt", "_down_off", "_down_tgt", "_cuts")
+
+    def __init__(
+        self,
+        csr: CSRAdjacency,
+        p: int,
+        cuts: List[int],
+    ) -> None:
+        up_off, up_tgt, down_off, down_tgt = csr.lists()
+        self.p = p
+        self._up_off = up_off
+        self._up_tgt = up_tgt
+        self._down_off = down_off
+        self._down_tgt = down_tgt
+        #: Absolute end index of each vertex's in-prefix down-row part.
+        self._cuts = cuts
+
+    def __len__(self) -> int:
+        return self.p
+
+    def __getitem__(self, v: int) -> List[int]:
+        if isinstance(v, slice):  # pragma: no cover - sequence protocol
+            return [self[i] for i in range(*v.indices(self.p))]
+        if v < 0:
+            v += self.p
+        if not 0 <= v < self.p:
+            raise IndexError(f"vertex {v} outside prefix [0, {self.p})")
+        up_off = self._up_off
+        return (
+            self._up_tgt[up_off[v]:up_off[v + 1]]
+            + self._down_tgt[self._down_off[v]:self._cuts[v]]
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"PrefixAdjacency(p={self.p})"

@@ -18,7 +18,10 @@ from __future__ import annotations
 import os
 from typing import Dict, IO, Iterable, List, Optional, Tuple, Union
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised in numpy-less CI
+    np = None
 
 from ..errors import GraphConstructionError
 from .builder import GraphBuilder
@@ -139,6 +142,11 @@ def load_snap_graph(
 
 def save_npz(path: Union[str, os.PathLike], graph: WeightedGraph) -> None:
     """Save a graph to a compact numpy ``.npz`` container."""
+    if np is None:
+        raise GraphConstructionError(
+            "the .npz container format requires numpy (the edge-list "
+            "format works without it)"
+        )
     edges = np.asarray(list(graph.iter_edges()), dtype=np.int64)
     if edges.size == 0:
         edges = edges.reshape(0, 2)
@@ -153,6 +161,11 @@ def save_npz(path: Union[str, os.PathLike], graph: WeightedGraph) -> None:
 
 def load_npz(path: Union[str, os.PathLike]) -> WeightedGraph:
     """Load a graph saved by :func:`save_npz`."""
+    if np is None:
+        raise GraphConstructionError(
+            "the .npz container format requires numpy (the edge-list "
+            "format works without it)"
+        )
     with np.load(path, allow_pickle=True) as data:
         edges = data["edges"]
         weights = data["weights"]

@@ -6,15 +6,21 @@ standard power iteration on the (symmetric) adjacency of an undirected
 graph, treating each undirected edge as two directed ones, with uniform
 teleportation.  Dangling (isolated) vertices redistribute uniformly.
 
-The implementation is numpy-vectorised (CSR-style gather) so weight
-assignment stays fast even for the larger synthetic stand-ins.
+The implementation is numpy-vectorised (CSR-style gather) when numpy is
+importable, with a pure-stdlib power iteration fallback, so weight
+assignment stays fast for the larger synthetic stand-ins while numpy
+remains an accelerator, never a dependency (the same contract as the
+peel kernels of :mod:`repro.core.fastpeel`).
 """
 
 from __future__ import annotations
 
 from typing import Dict, Hashable, Iterable, List, Sequence, Tuple
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised in numpy-less CI
+    np = None
 
 __all__ = ["pagerank_from_edges", "pagerank_weights"]
 
@@ -25,11 +31,12 @@ def pagerank_from_edges(
     damping: float = 0.85,
     tol: float = 1e-10,
     max_iter: int = 200,
-) -> np.ndarray:
+):
     """PageRank scores for an undirected edge list over ``0..n-1``.
 
-    Returns an array summing to 1.  Power iteration until the L1 change is
-    below ``tol`` or ``max_iter`` sweeps.
+    Returns a sequence summing to 1 (a numpy array when numpy is
+    available, a plain list otherwise).  Power iteration until the L1
+    change is below ``tol`` or ``max_iter`` sweeps.
 
     >>> scores = pagerank_from_edges(3, [(0, 1), (1, 2)])
     >>> bool(scores[1] > scores[0])
@@ -38,6 +45,8 @@ def pagerank_from_edges(
     if not 0.0 < damping < 1.0:
         raise ValueError("damping must lie strictly between 0 and 1")
     n = num_vertices
+    if np is None:
+        return _pagerank_pure(n, edges, damping, tol, max_iter)
     if n == 0:
         return np.zeros(0)
 
@@ -63,6 +72,44 @@ def pagerank_from_edges(
             break
         rank = new_rank
     return rank / rank.sum()
+
+
+def _pagerank_pure(
+    n: int,
+    edges: Iterable[Tuple[int, int]],
+    damping: float,
+    tol: float,
+    max_iter: int,
+) -> List[float]:
+    """Stdlib power iteration, semantics identical to the numpy path."""
+    if n == 0:
+        return []
+    adjacency: List[List[int]] = [[] for _ in range(n)]
+    for u, v in edges:
+        adjacency[u].append(v)
+        adjacency[v].append(u)
+    out_deg = [len(row) for row in adjacency]
+    dangling = [u for u in range(n) if not out_deg[u]]
+
+    rank = [1.0 / n] * n
+    teleport = (1.0 - damping) / n
+    for _ in range(max_iter):
+        spread = [0.0] * n
+        for u, row in enumerate(adjacency):
+            if row:
+                share = rank[u] / out_deg[u]
+                for v in row:
+                    spread[v] += share
+        dangling_mass = sum(rank[u] for u in dangling) / n
+        new_rank = [
+            teleport + damping * (s + dangling_mass) for s in spread
+        ]
+        delta = sum(abs(a - b) for a, b in zip(new_rank, rank))
+        rank = new_rank
+        if delta < tol:
+            break
+    total = sum(rank)
+    return [r / total for r in rank]
 
 
 def pagerank_weights(

@@ -15,6 +15,7 @@ O(size(view)).
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Iterator, List, Tuple
 
 from .weighted_graph import WeightedGraph
@@ -32,7 +33,7 @@ class PrefixView:
     (2, 1)
     """
 
-    __slots__ = ("graph", "p", "_down_cuts")
+    __slots__ = ("graph", "p", "_down_cuts", "_seed_cuts", "_seed_len")
 
     def __init__(self, graph: WeightedGraph, p: int) -> None:
         if p < 0 or p > graph.num_vertices:
@@ -44,6 +45,10 @@ class PrefixView:
         # Cache of bisect cuts into adj_down, computed lazily per vertex:
         # index of the first down-neighbour outside the prefix.
         self._down_cuts: List[int] = []
+        # Cuts inherited from a smaller view of the same graph (see
+        # extend()): each is a lower bound for this view's bisect.
+        self._seed_cuts: List[int] = []
+        self._seed_len = 0
 
     # ------------------------------------------------------------------
     @classmethod
@@ -55,6 +60,31 @@ class PrefixView:
     def whole(cls, graph: WeightedGraph) -> "PrefixView":
         """The view covering the entire graph."""
         return cls(graph, graph.num_vertices)
+
+    def extend(self, p: int) -> "PrefixView":
+        """A larger view of the same graph, inheriting this view's cuts.
+
+        Progressive rounds grow the prefix monotonically; because the
+        down-rows are sorted, a smaller prefix's cut is a *lower bound*
+        for the larger prefix's, so the new view's bisects start from
+        the inherited cuts instead of the row heads.  This is how
+        :class:`~repro.core.progressive.LocalSearchP` chains its rounds
+        so no bisect ground is ever re-covered.
+        """
+        if p < self.p:
+            raise ValueError(
+                f"extend() must not shrink the prefix ({p} < {self.p})"
+            )
+        view = PrefixView(self.graph, p)
+        # Prefer our computed cuts; fall back to the seeds we inherited
+        # (both are valid lower bounds for the larger prefix).
+        if len(self._down_cuts) >= self._seed_len:
+            view._seed_cuts = self._down_cuts
+            view._seed_len = len(self._down_cuts)
+        else:
+            view._seed_cuts = self._seed_cuts
+            view._seed_len = self._seed_len
+        return view
 
     @property
     def is_whole_graph(self) -> bool:
@@ -86,12 +116,20 @@ class PrefixView:
 
     # ------------------------------------------------------------------
     def down_cut(self, u: int) -> int:
-        """Number of down-neighbours of ``u`` inside the prefix (cached)."""
+        """Number of down-neighbours of ``u`` inside the prefix (cached).
+
+        When the view was created through :meth:`extend`, each bisect
+        starts from the smaller view's cut for that vertex.
+        """
         cuts = self._down_cuts
         if len(cuts) <= u:
             graph, p = self.graph, self.p
+            seeds, seed_len = self._seed_cuts, self._seed_len
+            adj_down = graph.neighbors_down
             for v in range(len(cuts), u + 1):
-                cuts.append(graph.down_cut(v, p))
+                row = adj_down(v)
+                lo = seeds[v] if v < seed_len else 0
+                cuts.append(bisect_left(row, p, lo))
         return cuts[u]
 
     def degree(self, u: int) -> int:

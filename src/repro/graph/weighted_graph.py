@@ -34,6 +34,7 @@ from __future__ import annotations
 
 from bisect import bisect_left
 from typing import (
+    TYPE_CHECKING,
     Dict,
     Hashable,
     Iterable,
@@ -44,6 +45,9 @@ from typing import (
     Sequence,
     Tuple,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .csr import CSRAdjacency
 
 from ..errors import GraphConstructionError, UnknownVertexError
 
@@ -81,6 +85,7 @@ class WeightedGraph:
         "_rank_of",
         "_num_edges",
         "_prefix_sizes",
+        "_csr",
     )
 
     def __init__(
@@ -114,6 +119,8 @@ class WeightedGraph:
         # Lazily-extended cumulative prefix sizes; see prefix_size().
         # _prefix_sizes[p] = size(G_p) = p + |edges among ranks < p|.
         self._prefix_sizes: List[int] = [0]
+        # Lazily-built flat-array mirror of the adjacency; see csr().
+        self._csr = None
         if validate:
             self._validate()
 
@@ -272,6 +279,23 @@ class WeightedGraph:
     def degree(self, u: int) -> int:
         """Degree of rank ``u`` in the full graph."""
         return len(self._adj_up[u]) + len(self._adj_down[u])
+
+    def csr(self) -> "CSRAdjacency":
+        """The flat-array CSR mirror of the adjacency, built once and cached.
+
+        The peel kernels of :mod:`repro.core.fastpeel` run on this; the
+        service registry pre-builds it at graph registration so the first
+        query pays no flattening cost.  The graph is immutable, so the
+        mirror never invalidates (a benign double-build can occur under
+        concurrent first calls; both results are identical and one wins).
+        """
+        csr = self._csr
+        if csr is None:
+            from .csr import CSRAdjacency
+
+            csr = CSRAdjacency.from_graph(self)
+            self._csr = csr
+        return csr
 
     def iter_neighbors(self, u: int) -> Iterator[int]:
         """All neighbours of rank ``u`` (up-part first)."""

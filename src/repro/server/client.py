@@ -12,7 +12,8 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
-from typing import List, Optional
+import json
+from typing import Any, Dict, List, Optional, Union
 
 from .transport import TERMINATOR, dot_unstuff
 
@@ -72,8 +73,17 @@ class ReproClient:
         algorithm: Optional[str] = None,
         delta: Optional[float] = None,
         members: bool = False,
-    ) -> List[str]:
-        """Convenience wrapper around the ``query`` command."""
+        mode: str = "text",
+    ) -> Union[List[str], Dict[str, Any]]:
+        """Convenience wrapper around the ``query`` command.
+
+        ``mode="text"`` (default) returns the rendered response lines;
+        ``mode="json"`` requests the structured wire mode and returns
+        the parsed :meth:`QueryResult.to_dict` payload — no text
+        scraping required.
+        """
+        if mode not in ("text", "json"):
+            raise ValueError(f"unknown query mode {mode!r} (text/json)")
         parts = [f"query {graph}", f"k={k}", f"gamma={gamma}"]
         if algorithm is not None:
             parts.append(f"algorithm={algorithm}")
@@ -81,7 +91,17 @@ class ReproClient:
             parts.append(f"delta={delta}")
         if members:
             parts.append("members")
-        return await self.request(" ".join(parts))
+        if mode == "json":
+            parts.append("json")
+        lines = await self.request(" ".join(parts))
+        if mode == "text":
+            return lines
+        if len(lines) != 1 or lines[0].startswith("error:"):
+            raise ValueError(
+                "server did not return a JSON response: "
+                + (" / ".join(lines) or "(empty)")
+            )
+        return json.loads(lines[0])
 
     async def close(self) -> None:
         """Say ``quit`` (best effort) and close the connection."""

@@ -190,7 +190,10 @@ class BatchScheduler:
                 future.set_result(self._slice(result, query))
                 if self.metrics is not None:
                     self.metrics.observe_query(
-                        result.algorithm, elapsed_ms, COALESCED
+                        result.algorithm,
+                        elapsed_ms,
+                        COALESCED,
+                        kernel=result.kernel,
                     )
 
     @staticmethod
@@ -209,4 +212,5 @@ class BatchScheduler:
                 "coalesced onto a concurrent batch sharing "
                 "(graph, gamma, algorithm, delta)"
             ),
+            kernel=result.kernel,
         )

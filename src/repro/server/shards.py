@@ -13,7 +13,9 @@ name (stable CRC32 hash), so
 * **hot graphs** can be replicated onto several consecutive shards
   (:meth:`ShardPool.replicate`): cache-hit traffic — the dominant kind
   on a hot graph — is lock-free slicing and parallelises across
-  replicas, round-robin.
+  replicas, round-robin.  Replicas share the one graph object, and with
+  it the one immutable :class:`~repro.graph.csr.CSRAdjacency` the peel
+  kernels run on — replication adds workers, not memory.
 
 The pool is deliberately transport-agnostic: :meth:`run` is the only
 async method, and it simply awaits ``run_in_executor`` on the routed

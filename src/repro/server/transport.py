@@ -338,12 +338,16 @@ class ReproServer:
                 await writer.wait_closed()
 
     async def _serve_query(self, line: str) -> List[str]:
-        """Parse + schedule one ``query`` line; render shell-identical."""
+        """Parse + schedule one ``query`` line; render shell-identical.
+
+        The ``json`` flag selects the structured one-line response mode
+        (same syntax and bytes as the stdio shell's).
+        """
         try:
             tokens = shlex.split(line, comments=True)[1:]
-            query, members = ServiceShell.parse_query(tokens)
+            query, members, as_json = ServiceShell.parse_query(tokens)
             result = await self.scheduler.submit(query)
-            return ServiceShell.render_result(result, members)
+            return ServiceShell.render_result(result, members, as_json)
         except (ReproError, ValueError, OSError) as exc:
             self.metrics.observe_error()
             return [f"error: {exc}"]

@@ -93,9 +93,13 @@ class ProgressiveEntry:
         "cursor_factory",
         "max_cached_k",
         "_views",
+        "_served",
         "_exhausted",
         "_lock",
     )
+
+    #: Cap on memoised per-k answer tuples (distinct k's per entry).
+    _MAX_CACHED_SLICES = 128
 
     def __init__(
         self,
@@ -123,6 +127,10 @@ class ProgressiveEntry:
         self.cursor_factory = cursor_factory
         self.max_cached_k = max_cached_k
         self._views: List[CommunityView] = list(views)
+        #: Memoised answer tuples by k: the view sequence is append-only,
+        #: so a fully-materialised top-k prefix never changes and repeat
+        #: hits (the dominant server-tier traffic) allocate nothing.
+        self._served: dict = {}
         self._exhausted = exhausted
         self._lock = threading.Lock()
         self._trim()  # seeded views (warm-start restore) respect the cap
@@ -156,8 +164,30 @@ class ProgressiveEntry:
             return
         del self._views[cap:]
         self._cursor = None
-        # The tail is gone; only the retained prefix is known complete.
+        # The tail is gone; only the retained prefix is known complete,
+        # and memoised answers beyond the cap are no longer servable.
         self._exhausted = False
+        for k in [k for k in self._served if k > cap]:
+            del self._served[k]
+
+    def _answer(self, k: int) -> Tuple[CommunityView, ...]:
+        """The (memoised) top-``k`` tuple (lock held)."""
+        have = len(self._views)
+        # Once the stream is exhausted, every k >= have yields the same
+        # full answer: normalise the memo key so oversized k's share one
+        # entry instead of crowding out the hot small-k slots.
+        key = min(k, have) if self._exhausted else k
+        cached = self._served.get(key)
+        if cached is not None:
+            return cached
+        out = tuple(self._views[:k])
+        # Only memoise slices that can never change: k fully covered by
+        # the materialised views, or the stream known exhausted.
+        if (
+            have >= k or self._exhausted
+        ) and len(self._served) < self._MAX_CACHED_SLICES:
+            self._served[key] = out
+        return out
 
     def serve(self, k: int) -> Tuple[Tuple[CommunityView, ...], str, bool]:
         """Serve top-``k``, resuming (or rebuilding) the cursor as needed.
@@ -172,7 +202,7 @@ class ProgressiveEntry:
             had = len(self._views)
             if had >= k or self._exhausted:
                 complete = self._exhausted and k >= len(self._views)
-                return tuple(self._views[:k]), "cache", complete
+                return self._answer(k), "cache", complete
             cursor = self._cursor
             if cursor is None:
                 if self.cursor_factory is None:
@@ -193,7 +223,7 @@ class ProgressiveEntry:
                 source = "cache"
             else:
                 source = "extended"
-            out = tuple(self._views[:k])
+            out = self._answer(k)
             complete = self._exhausted and k >= len(self._views)
             self._trim()
             return out, source, complete

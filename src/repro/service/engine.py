@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
 from ..baselines import backward, forward, online_all
+from ..core.fastpeel import resolve_kernel
 from ..core.local_search import LocalSearch
 from ..core.noncontainment import top_k_noncontainment_communities
 from ..core.progressive import LocalSearchP, ProgressiveCursor
@@ -56,6 +57,13 @@ class QueryPlan:
     progressive: bool
     reason: str
 
+
+#: Algorithms whose peel runs through the kernel dispatcher
+#: (:func:`repro.core.count.construct_cvs`); onlineall/backward/truss
+#: use their own peels and report no kernel.
+_KERNEL_ALGORITHMS = frozenset(
+    {"localsearch", "localsearch-p", "forward", "noncontainment"}
+)
 
 #: Non-progressive runners: graph x query -> object with ``.communities``.
 _STATIC_RUNNERS: Dict[str, Callable[[WeightedGraph, TopKQuery], object]] = {
@@ -166,6 +174,15 @@ class QueryEngine:
         started = time.perf_counter()
         handle = self.registry.get(query.graph)
         plan = self.plan(query)
+        # The peel kernel in effect for this query: any fresh peel work
+        # (cold fill or cursor resume) runs on it; pure cache hits report
+        # it as the configured kernel.  Algorithms that never reach the
+        # kernel dispatcher report none.
+        kernel = (
+            resolve_kernel()
+            if plan.algorithm in _KERNEL_ALGORITHMS
+            else None
+        )
         key = CacheKey(
             graph=handle.name,
             version=handle.version,
@@ -185,7 +202,9 @@ class QueryEngine:
         if self.cache is not None:
             self.cache.record(source)
         if self.metrics is not None:
-            self.metrics.observe_query(plan.algorithm, elapsed_ms, source)
+            self.metrics.observe_query(
+                plan.algorithm, elapsed_ms, source, kernel=kernel
+            )
         return QueryResult(
             query=query,
             algorithm=plan.algorithm,
@@ -195,4 +214,5 @@ class QueryEngine:
             elapsed_ms=elapsed_ms,
             complete=complete,
             plan_reason=plan.reason,
+            kernel=kernel,
         )

@@ -45,6 +45,7 @@ class ServiceMetrics:
         self.queries_served = 0
         self.by_source: Dict[str, int] = defaultdict(int)
         self.by_algorithm: Dict[str, int] = defaultdict(int)
+        self.by_kernel: Dict[str, int] = defaultdict(int)
         self._latency_ms: Dict[str, Deque[float]] = {}
         self.sessions_opened = 0
         self.sessions_closed = 0
@@ -62,13 +63,19 @@ class ServiceMetrics:
 
     # ------------------------------------------------------------------
     def observe_query(
-        self, algorithm: str, elapsed_ms: float, source: str
+        self,
+        algorithm: str,
+        elapsed_ms: float,
+        source: str,
+        kernel: Optional[str] = None,
     ) -> None:
-        """Record one served query."""
+        """Record one served query (``kernel`` = the peel kernel used)."""
         with self._lock:
             self.queries_served += 1
             self.by_source[source] += 1
             self.by_algorithm[algorithm] += 1
+            if kernel is not None:
+                self.by_kernel[kernel] += 1
             reservoir = self._latency_ms.get(algorithm)
             if reservoir is None:
                 reservoir = deque(maxlen=self._max_samples)
@@ -158,6 +165,7 @@ class ServiceMetrics:
                 "queries_served": self.queries_served,
                 "by_source": dict(self.by_source),
                 "by_algorithm": dict(self.by_algorithm),
+                "by_kernel": dict(self.by_kernel),
                 "sessions_opened": self.sessions_opened,
                 "sessions_closed": self.sessions_closed,
                 "sessions_expired": self.sessions_expired,

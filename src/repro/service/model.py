@@ -133,6 +133,11 @@ class QueryResult:
     elapsed_ms: float
     complete: bool = False
     plan_reason: Optional[str] = field(default=None, compare=False)
+    #: Peel kernel in effect when the query was served (resolved name —
+    #: ``python`` / ``array`` / ``numpy``); cache hits report the kernel
+    #: any fresh work would have used.  Excluded from equality so cached
+    #: answers compare identical across kernel reconfigurations.
+    kernel: Optional[str] = field(default=None, compare=False)
 
     def __len__(self) -> int:
         return len(self.communities)
@@ -155,6 +160,7 @@ class QueryResult:
             "source": self.source,
             "elapsed_ms": self.elapsed_ms,
             "complete": self.complete,
+            "kernel": self.kernel,
             "communities": [
                 v.to_dict(include_members) for v in self.communities
             ],

@@ -38,7 +38,7 @@ _HELP = """\
 commands:
   graphs                                list registered graphs
   load NAME EDGES [WEIGHTS]             register an edge-list file
-  query GRAPH [k=N] [gamma=N] [algorithm=A] [delta=F] [members]
+  query GRAPH [k=N] [gamma=N] [algorithm=A] [delta=F] [members] [json]
   session open GRAPH [gamma=N] [delta=F]
   session next SID [N]                  stream the next N communities
   session close SID
@@ -90,20 +90,24 @@ class ServiceShell:
 
     # ------------------------------------------------------------------
     @staticmethod
-    def parse_query(tokens: Sequence[str]) -> Tuple[TopKQuery, bool]:
-        """Parse the tokens after ``query`` into ``(TopKQuery, members)``.
+    def parse_query(tokens: Sequence[str]) -> Tuple[TopKQuery, bool, bool]:
+        """Parse the tokens after ``query``: ``(TopKQuery, members, json)``.
 
         Exposed for transports that dispatch queries asynchronously (the
         asyncio server) so every frontend accepts the identical syntax.
+        The ``json`` flag selects the structured response mode: one
+        :meth:`~repro.service.model.QueryResult.to_json` line instead of
+        the rendered text block, so programmatic clients stop parsing
+        human-oriented output.
         """
         if not tokens:
             raise QueryParameterError(
                 "usage: query GRAPH [k=N] [gamma=N] [algorithm=A] "
-                "[delta=F] [members]"
+                "[delta=F] [members] [json]"
             )
         graph, rest = tokens[0], list(tokens[1:])
         kv, flags = _parse_kv(rest)
-        unknown = [f for f in flags if f != "members"] + [
+        unknown = [f for f in flags if f not in ("members", "json")] + [
             key for key in kv if key not in ("k", "gamma", "algorithm", "delta")
         ]
         if unknown:
@@ -120,7 +124,7 @@ class ServiceShell:
             )
         except ValueError as exc:
             raise QueryParameterError(f"bad query argument: {exc}") from exc
-        return query, "members" in flags
+        return query, "members" in flags, "json" in flags
 
     @staticmethod
     def format_views(
@@ -141,8 +145,17 @@ class ServiceShell:
         return lines
 
     @classmethod
-    def render_result(cls, result: QueryResult, members: bool) -> List[str]:
-        """Render one served query exactly as the ``query`` command does."""
+    def render_result(
+        cls, result: QueryResult, members: bool, as_json: bool = False
+    ) -> List[str]:
+        """Render one served query exactly as the ``query`` command does.
+
+        With ``as_json`` the response is a single deterministic JSON
+        line (the structured wire mode shared by the stdio shell and
+        the network transport).
+        """
+        if as_json:
+            return [result.to_json(include_members=members)]
         header = (
             f"{result.algorithm}[{result.source}]: "
             f"{len(result.communities)} communities "
@@ -189,9 +202,9 @@ class ServiceShell:
         )
 
     def _cmd_query(self, tokens: List[str]) -> None:
-        query, members = self.parse_query(tokens)
+        query, members, as_json = self.parse_query(tokens)
         result = self.engine.execute(query)
-        for line in self.render_result(result, members):
+        for line in self.render_result(result, members, as_json):
             self._print(line)
 
     def _cmd_session(self, tokens: List[str]) -> None:
@@ -262,6 +275,8 @@ class ServiceShell:
         self._print(f"cache_hit_rate: {snap['cache_hit_rate']:.3f}")
         for source, count in sorted(snap["by_source"].items()):
             self._print(f"source[{source}]: {count}")
+        for kernel, count in sorted(snap.get("by_kernel", {}).items()):
+            self._print(f"kernel[{kernel}]: {count}")
         for algo, pcts in sorted(snap["latency_ms"].items()):
             rendered = ", ".join(
                 f"{name}={value:.3f}ms" if value is not None else f"{name}=–"

@@ -119,7 +119,14 @@ class TestRecordAccessors:
         record = construct_cvs(PrefixView.whole(fig3), 3)
         for i in range(len(record.keys)):
             start, stop = record.group_bounds(i)
-            assert record.cvs[start:stop] == record.group(i)
+            assert tuple(record.cvs[start:stop]) == record.group(i)
+
+    def test_group_is_cached_tuple(self, fig3):
+        record = construct_cvs(PrefixView.whole(fig3), 3)
+        first = record.group(0)
+        assert isinstance(first, tuple)
+        # Groups are immutable once peeled: repeat calls must not copy.
+        assert record.group(0) is first
 
     def test_nc_requires_tracking(self, fig3):
         record = construct_cvs(PrefixView.whole(fig3), 3)

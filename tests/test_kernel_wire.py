@@ -1,0 +1,186 @@
+"""Serving-tier integration of the kernel layer and the JSON wire mode.
+
+Covers the pieces the flat-array refactor threads through the service
+stack: CSR pre-build at registration, per-query kernel provenance
+(QueryResult.kernel / ServiceMetrics.by_kernel), the allocation-free
+cache-hit paths (memoised cursor slices and cache-entry answers), and
+the structured ``json`` response mode across the stdio shell, the
+asyncio transport and ReproClient.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import json
+
+import pytest
+
+from repro.core.fastpeel import resolve_kernel
+from repro.core.progressive import LocalSearchP
+from repro.graph.builder import graph_from_arrays
+from repro.server import ReproClient, ReproServer
+from repro.service import (
+    GraphRegistry,
+    QueryEngine,
+    ResultCache,
+    ServiceMetrics,
+    ServiceShell,
+    SessionManager,
+    TopKQuery,
+)
+
+
+def two_k4s():
+    return graph_from_arrays(
+        8,
+        [
+            (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3),
+            (4, 5), (4, 6), (4, 7), (5, 6), (5, 7), (6, 7),
+            (3, 4),
+        ],
+    )
+
+
+def make_registry(**kwargs):
+    registry = GraphRegistry(preload_datasets=False, **kwargs)
+    registry.register("g", two_k4s)
+    return registry
+
+
+def make_shell(registry=None, cache=True):
+    registry = registry if registry is not None else make_registry()
+    metrics = ServiceMetrics()
+    engine = QueryEngine(
+        registry,
+        cache=ResultCache(16) if cache else None,
+        metrics=metrics,
+    )
+    out = io.StringIO()
+    shell = ServiceShell(
+        engine, SessionManager(registry, metrics=metrics), out, metrics=metrics
+    )
+    return shell, out, metrics
+
+
+# ----------------------------------------------------------------------
+class TestRegistryPrebuild:
+    def test_csr_built_at_registration(self):
+        registry = make_registry()
+        handle = registry.get("g")
+        # The CSR mirror (and its kernel-side list views) is already
+        # cached on the instance: no flattening on the first query.
+        assert handle.graph._csr is not None
+        assert handle.graph._csr._lists is not None
+        row = registry.describe()[0]
+        assert row["loaded"] and "csr_seconds" in row
+
+    def test_prebuild_can_be_disabled(self):
+        registry = make_registry(prebuild_csr=False)
+        handle = registry.get("g")
+        assert handle.graph._csr is None
+
+
+class TestKernelProvenance:
+    def test_query_result_reports_kernel(self):
+        registry = make_registry()
+        engine = QueryEngine(registry, cache=ResultCache(4))
+        result = engine.execute(TopKQuery(graph="g", k=2, gamma=3))
+        assert result.kernel == resolve_kernel()
+        assert result.to_dict()["kernel"] == result.kernel
+
+    def test_metrics_count_by_kernel(self):
+        shell, out, metrics = make_shell()
+        shell.execute_line("query g k=2 gamma=3")
+        shell.execute_line("query g k=2 gamma=3")
+        snap = metrics.snapshot()
+        assert snap["by_kernel"] == {resolve_kernel(): 2}
+        shell.execute_line("metrics")
+        assert f"kernel[{resolve_kernel()}]" in out.getvalue()
+
+
+class TestAllocationFreeHits:
+    def test_cursor_take_returns_stable_tuples(self):
+        cursor = LocalSearchP(two_k4s(), gamma=3).cursor()
+        first = cursor.take(2)
+        assert isinstance(first, tuple)
+        assert cursor.take(2) == first  # pure slice, no recompute
+        bigger = cursor.take(50)  # exhausts the stream
+        assert bigger[:2] == first
+
+    def test_entry_serve_memoises_answers(self):
+        registry = make_registry()
+        engine = QueryEngine(registry, cache=ResultCache(4))
+        query = TopKQuery(graph="g", k=2, gamma=3)
+        cold = engine.execute(query)
+        assert cold.source == "cold"
+        hit1 = engine.execute(query)
+        hit2 = engine.execute(query)
+        assert hit1.source == hit2.source == "cache"
+        # The served tuple is memoised per k: identical object, no copy.
+        assert hit1.communities is hit2.communities
+        assert hit1.communities == cold.communities
+
+
+class TestJsonWireMode:
+    def test_shell_json_response(self):
+        shell, out, _ = make_shell()
+        shell.execute_line("query g k=2 gamma=3 json")
+        payload = json.loads(out.getvalue().strip())
+        assert payload["graph"] == "g"
+        assert payload["k"] == 2
+        assert payload["algorithm"] == "localsearch-p"
+        assert payload["kernel"] == resolve_kernel()
+        assert len(payload["communities"]) == 2
+        # members elided unless requested
+        assert "members" not in payload["communities"][0]
+
+    def test_shell_json_with_members(self):
+        shell, out, _ = make_shell()
+        shell.execute_line("query g k=1 gamma=3 json members")
+        payload = json.loads(out.getvalue().strip())
+        assert sorted(payload["communities"][0]["members"]) == [0, 1, 2, 3]
+
+    def test_json_bytes_identical_between_cold_and_cache(self):
+        """The cache contract, restated for the wire: same bytes."""
+        shell, out, _ = make_shell()
+        shell.execute_line("query g k=3 gamma=3 json")
+        cold = json.loads(out.getvalue().strip())
+        out.seek(0); out.truncate(0)
+        shell.execute_line("query g k=2 gamma=3 json")
+        cached = json.loads(out.getvalue().strip())
+        assert cached["source"] == "cache"
+        assert cached["communities"] == cold["communities"][:2]
+
+    def test_transport_and_client_json_mode(self):
+        async def main():
+            server = ReproServer(make_registry(), shards=1)
+            await server.start(tcp=("127.0.0.1", 0))
+            host, port = server.tcp_address
+            client = await ReproClient.connect(host, port=port)
+            try:
+                payload = await client.query(
+                    "g", k=2, gamma=3, mode="json"
+                )
+                assert payload["graph"] == "g"
+                assert payload["source"] in ("cold", "cache", "extended")
+                assert len(payload["communities"]) == 2
+                # text mode unchanged
+                lines = await client.query("g", k=2, gamma=3)
+                assert lines[0].startswith("localsearch-p[")
+                with pytest.raises(ValueError):
+                    await client.query("g", mode="xml")
+                # a JSON response is exactly one line, parseable by any
+                # client speaking the framing — not just ours
+                raw = await client.request("query g k=1 gamma=3 json")
+                assert len(raw) == 1
+                json.loads(raw[0])
+            finally:
+                await client.close()
+                await server.stop()
+        asyncio.run(main())
+
+    def test_unknown_flag_still_rejected(self):
+        shell, out, _ = make_shell()
+        shell.execute_line("query g k=2 gamma=3 yaml")
+        assert "unknown query argument" in out.getvalue()
