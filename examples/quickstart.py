@@ -64,6 +64,14 @@ def main() -> None:
     for community in nc:
         print(f"  {describe(community)}")
 
+    # ------------------------------------------------------------------
+    # For the serving API — cached repeat queries, lazy ResultSets, and
+    # the repro.open()/repro.connect() facade that runs the same query
+    # in-process or against a `repro serve` server — see
+    # examples/api_quickstart.py.
+    # ------------------------------------------------------------------
+    print("\n(serving API tour: python examples/api_quickstart.py)")
+
 
 if __name__ == "__main__":
     main()

@@ -23,6 +23,16 @@ Progressive search (no ``k`` needed)::
     for community in LocalSearchP(graph, gamma=10).stream():
         ...  # communities arrive in decreasing influence order
 
+The serving API — one typed :class:`QuerySpec`, one lazy
+:class:`ResultSet`, the same surface in-process and over the wire::
+
+    import repro
+
+    with repro.open() as rp:                     # or repro.connect(port=...)
+        rs = rp.graph("email").topk(k=10, gamma=5)
+        top3 = rs[:3]                            # cache slice
+        rs.extend_to(20)                         # cursor resume, no rework
+
 See ``DESIGN.md`` for the full system inventory and ``EXPERIMENTS.md`` for
 the paper-versus-measured record of every table and figure.
 """
@@ -63,8 +73,12 @@ from .service import (
     SessionManager,
     TopKQuery,
 )
+from .core.count import construct_cvs
+from .api import QuerySpec, ResultSet
+from .api.facade import Graph, Repro, connect
+from .api.facade import open  # noqa: A004 — the facade entry point deliberately mirrors the builtin's name
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -79,6 +93,7 @@ __all__ = [
     "top_k_noncontainment_communities",
     "top_k_truss_communities",
     "global_search_truss",
+    "construct_cvs",
     "LocalSearch",
     "LocalSearchP",
     "LocalSearchTruss",
@@ -87,6 +102,13 @@ __all__ = [
     "TopKResult",
     "TrussResult",
     "SearchStats",
+    # public query API (repro.api)
+    "QuerySpec",
+    "ResultSet",
+    "Repro",
+    "Graph",
+    "open",
+    "connect",
     # service layer
     "GraphRegistry",
     "QueryEngine",

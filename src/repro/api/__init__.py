@@ -1,0 +1,77 @@
+"""repro.api — the one public query surface.
+
+The pieces:
+
+* :class:`~repro.api.spec.QuerySpec` — the single typed representation
+  of a query; every layer (CLI, shell, engine, scheduler, cache, wire
+  protocol) consumes and produces it.  Versioned ``to_wire`` /
+  ``from_wire`` codecs; canonical :meth:`~repro.api.spec.QuerySpec.
+  cache_key` shared by the result cache and the batch scheduler.
+* :class:`~repro.api.resultset.ResultSet` — the lazy answer: iterate,
+  slice (``rs[:k']`` is a cache hit), :meth:`~repro.api.resultset.
+  ResultSet.extend_to` (cursor resume, not recompute), ``.stats`` /
+  ``.kernel`` provenance.
+* :func:`~repro.api.facade.open` / :func:`~repro.api.facade.connect` —
+  the same ``Repro -> Graph -> topk(spec) -> ResultSet`` surface over
+  an in-process engine or a remote ``repro serve`` process.
+
+The facade (which pulls in the service/server stacks) loads lazily so
+that ``repro.service`` modules can import :mod:`repro.api.spec` without
+an import cycle.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .resultset import ResultSet
+from .spec import (
+    ALGORITHMS,
+    AUTO,
+    COHESIONS,
+    KERNEL_ALGORITHMS,
+    MODES,
+    WIRE_VERSION,
+    FamilyKey,
+    QuerySpec,
+    parse_spec_tokens,
+    parse_wire_query,
+)
+
+if TYPE_CHECKING:  # pragma: no cover — for static analyzers only
+    from .facade import Graph, Repro, connect, open
+
+__all__ = [
+    "ALGORITHMS",
+    "AUTO",
+    "COHESIONS",
+    "KERNEL_ALGORITHMS",
+    "MODES",
+    "WIRE_VERSION",
+    "FamilyKey",
+    "Graph",
+    "QuerySpec",
+    "Repro",
+    "ResultSet",
+    "connect",
+    "open",
+    "parse_spec_tokens",
+    "parse_wire_query",
+]
+
+#: Facade symbols resolved on first access (PEP 562): the facade imports
+#: the service/server stacks, which themselves import repro.api.spec —
+#: eager loading here would cycle.
+_LAZY = ("Graph", "Repro", "connect", "open")
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from . import facade
+
+        return getattr(facade, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

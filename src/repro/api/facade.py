@@ -1,0 +1,352 @@
+"""The ``repro.open(...)`` / ``repro.connect(...)`` facade.
+
+One public entry point, two backends, the same API::
+
+    import repro
+
+    with repro.open() as rp:                      # in-process engine
+        rs = rp.graph("email").topk(k=10, gamma=5)
+
+    with repro.connect(port=8642) as rp:          # remote server
+        rs = rp.graph("email").topk(k=10, gamma=5)
+
+Both paths return :class:`~repro.api.resultset.ResultSet` objects built
+from the same :class:`~repro.api.spec.QuerySpec`; the only difference is
+whether ``fetch(k)`` dispatches to an in-process
+:class:`~repro.service.engine.QueryEngine` or ships the spec's wire
+encoding to a running :class:`~repro.server.transport.ReproServer`.
+The remote backend runs a private asyncio loop on a daemon thread, so
+the facade is synchronous in both cases — callers never touch asyncio.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import replace
+from typing import Any, List, Optional
+
+from ..errors import ServiceError
+from ..service.cache import ResultCache
+from ..service.engine import QueryEngine
+from ..service.metrics import ServiceMetrics
+from ..service.registry import GraphRegistry
+from .resultset import ResultSet
+from .spec import QuerySpec
+
+__all__ = ["Graph", "Repro", "open", "connect"]
+
+
+class Graph:
+    """A named graph under a :class:`Repro` facade — the query surface.
+
+    The same object fronts a local registry entry or a remote server's
+    graph; :meth:`topk` is the one query method either way.
+    """
+
+    def __init__(self, repro: "Repro", name: str) -> None:
+        self._repro = repro
+        self.name = name
+        self._fetch = repro._backend.fetch  # bound once, per-query cost: 0
+
+    def spec(self, **params: Any) -> QuerySpec:
+        """A :class:`QuerySpec` against this graph (kwargs = fields)."""
+        return QuerySpec(graph=self.name, **params)
+
+    def topk(
+        self, spec: Optional[QuerySpec] = None, **params: Any
+    ) -> ResultSet:
+        """The lazy top-k answer for ``spec`` (or for field kwargs).
+
+        ``g.topk(k=5, gamma=10)`` and ``g.topk(QuerySpec(...))`` are
+        equivalent; a spec naming a different graph is re-pointed at
+        this one.
+        """
+        if spec is None:
+            spec = self.spec(**params)
+        elif params:
+            raise TypeError("pass either a QuerySpec or field kwargs, not both")
+        elif spec.graph != self.name:
+            spec = replace(spec, graph=self.name)
+        return ResultSet(spec, self._fetch)
+
+    def __repr__(self) -> str:
+        return f"<Graph {self.name!r} via {self._repro!r}>"
+
+
+class Repro:
+    """The facade over one backend (in-process engine or remote client).
+
+    Obtain one via :func:`open` or :func:`connect`; both give the same
+    surface: :meth:`graph` -> :class:`Graph` -> ``topk(spec)`` ->
+    :class:`ResultSet`.
+    """
+
+    def __init__(self, backend: "_Backend") -> None:
+        self._backend = backend
+        self._fetch = backend.fetch  # bound once, shared by every query
+
+    # ------------------------------------------------------------------
+    def graph(self, name: Optional[str] = None) -> Graph:
+        """A handle on graph ``name`` (or the backend's default graph,
+        e.g. the edge list :func:`open` was pointed at)."""
+        if name is None:
+            name = self._backend.default_graph
+            if name is None:
+                raise ServiceError(
+                    "no default graph: pass a name to .graph(...) or "
+                    "open(...) an edge list"
+                )
+        return Graph(self, name)
+
+    def graphs(self) -> List[str]:
+        """Names of every graph the backend can serve."""
+        return self._backend.graphs()
+
+    def topk(self, spec: Optional[QuerySpec] = None, **params: Any) -> ResultSet:
+        """The lazy answer for ``spec`` (which names its own graph)."""
+        if spec is None:
+            spec = QuerySpec(**params)
+        elif params:
+            raise TypeError("pass either a QuerySpec or field kwargs, not both")
+        # A pre-bound method, not a closure: the whole facade cost per
+        # query is one ResultSet allocation (see bench_api_overhead.py).
+        return ResultSet(spec, self._fetch)
+
+    # ------------------------------------------------------------------
+    @property
+    def engine(self) -> QueryEngine:
+        """The in-process engine (local backends only)."""
+        return self._backend.engine_or_raise()
+
+    @property
+    def metrics(self) -> Optional[ServiceMetrics]:
+        return getattr(self._backend, "metrics", None)
+
+    def close(self) -> None:
+        """Release the backend (closes the remote connection/loop)."""
+        self._backend.close()
+
+    def __enter__(self) -> "Repro":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"<Repro {self._backend.describe()}>"
+
+
+# ----------------------------------------------------------------------
+# Backends
+# ----------------------------------------------------------------------
+
+
+class _Backend:
+    """What a :class:`Repro` needs from its implementation.
+
+    ``fetch`` may be an instance attribute (the local backend points it
+    straight at ``QueryEngine.execute``), so always access it through
+    the instance.
+    """
+
+    default_graph: Optional[str] = None
+
+    def fetch(self, spec: QuerySpec):  # -> QueryResult
+        raise NotImplementedError
+
+    def graphs(self) -> List[str]:
+        raise NotImplementedError
+
+    def engine_or_raise(self) -> QueryEngine:
+        raise ServiceError("this Repro is remote; it has no local engine")
+
+    def close(self) -> None:
+        pass
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class _LocalBackend(_Backend):
+    """In-process serving stack: registry + cache + engine."""
+
+    def __init__(
+        self,
+        registry: GraphRegistry,
+        cache: Optional[ResultCache],
+        metrics: ServiceMetrics,
+        default_graph: Optional[str] = None,
+    ) -> None:
+        self.registry = registry
+        self.cache = cache
+        self.metrics = metrics
+        self.engine = QueryEngine(registry, cache=cache, metrics=metrics)
+        self.default_graph = default_graph
+        # The facade's whole query path IS the engine call: no wrapper
+        # frame between ResultSet._fetch and QueryEngine.execute.
+        self.fetch = self.engine.execute
+
+    def graphs(self) -> List[str]:
+        return self.registry.names()
+
+    def engine_or_raise(self) -> QueryEngine:
+        return self.engine
+
+    def describe(self) -> str:
+        return f"local: {len(self.registry.names())} graphs"
+
+
+class _RemoteBackend(_Backend):
+    """A sync veneer over :class:`~repro.server.client.ReproClient`.
+
+    Owns a private event loop on a daemon thread; every facade call
+    round-trips one wire request through it.  ``fetch`` ships the
+    spec's versioned wire encoding (``mode=json``, members included so
+    views rebuild faithfully) and decodes the response into the same
+    :class:`~repro.service.model.QueryResult` shape the local engine
+    returns — the ResultSet cannot tell the difference.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        unix_path: Optional[str] = None,
+        timeout: float = 60.0,
+    ) -> None:
+        import asyncio
+
+        from ..server.client import ReproClient
+
+        self.timeout = timeout
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="repro-api-client", daemon=True
+        )
+        self._thread.start()
+        self._closed = False
+        try:
+            self._client = self._run(
+                ReproClient.connect(host, port=port, unix_path=unix_path)
+            )
+        except BaseException:
+            self._stop_loop()
+            raise
+        self._where = unix_path if unix_path else f"{host}:{port}"
+
+    def _run(self, coro):
+        import asyncio
+
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result(
+            self.timeout
+        )
+
+    def _stop_loop(self) -> None:
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=5.0)
+        self._loop.close()
+
+    # ------------------------------------------------------------------
+    def fetch(self, spec: QuerySpec):
+        return self._run(self._client.execute(spec, members=True))
+
+    def graphs(self) -> List[str]:
+        lines = self._run(self._client.request("graphs"))
+        names = []
+        for line in lines:
+            name, sep, _ = line.partition(":")
+            if sep:
+                names.append(name.strip())
+        return names
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._run(self._client.close())
+        finally:
+            self._stop_loop()
+
+    def describe(self) -> str:
+        return f"remote: {self._where}"
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+
+
+def open(
+    edges: Optional[str] = None,
+    weights: Optional[str] = None,
+    *,
+    name: Optional[str] = None,
+    datasets: bool = True,
+    registry: Optional[GraphRegistry] = None,
+    cache_size: int = 256,
+    max_cached_k: Optional[int] = None,
+    metrics: Optional[ServiceMetrics] = None,
+) -> Repro:
+    """An in-process :class:`Repro` facade.
+
+    Parameters
+    ----------
+    edges / weights:
+        Optional SNAP-style edge-list (and weight) file to register;
+        it becomes the facade's *default graph* (``rp.graph()`` with no
+        name).  Without it the stand-in datasets are the whole registry.
+    name:
+        Registration name for ``edges`` (default: the file's basename
+        without extension).
+    datasets:
+        Preload the stand-in dataset loaders (lazy — nothing is built
+        until first query).
+    registry:
+        Bring your own :class:`GraphRegistry` instead (e.g. one shared
+        with a server); ``datasets`` is then ignored.
+    cache_size / max_cached_k:
+        Result-cache geometry; ``cache_size=0`` disables caching
+        entirely (every query recomputes — benchmarking baseline).
+    """
+    if registry is None:
+        registry = GraphRegistry(preload_datasets=datasets)
+    default_graph: Optional[str] = None
+    if edges is not None:
+        if name is None:
+            name = os.path.splitext(os.path.basename(edges))[0] or "graph"
+        registry.register_edge_list(name, edges, weights, replace=True)
+        default_graph = name
+    elif weights is not None:
+        raise ValueError("weights= requires edges=")
+    cache = (
+        ResultCache(cache_size, max_cached_k=max_cached_k)
+        if cache_size
+        else None
+    )
+    backend = _LocalBackend(
+        registry,
+        cache,
+        metrics if metrics is not None else ServiceMetrics(),
+        default_graph=default_graph,
+    )
+    return Repro(backend)
+
+
+def connect(
+    host: str = "127.0.0.1",
+    port: Optional[int] = None,
+    unix_path: Optional[str] = None,
+    timeout: float = 60.0,
+) -> Repro:
+    """A :class:`Repro` facade over a running ``repro serve`` process.
+
+    Mirrors :func:`open`: the returned object exposes the identical
+    ``graph(...).topk(spec)`` surface, backed by the server's shared
+    cache, batch coalescing, and shard pool instead of a private
+    engine.
+    """
+    return Repro(
+        _RemoteBackend(host, port=port, unix_path=unix_path, timeout=timeout)
+    )

@@ -1,0 +1,425 @@
+"""QuerySpec — the one typed representation of a top-k community query.
+
+Every layer of the system used to re-parse and re-thread the same
+parameter tuple (graph, gamma, k, delta, algorithm, ...) in its own
+shape: the CLI as argparse attributes, the shell as a positional
+3-tuple, the scheduler as an ad-hoc coalesce key, the transports as raw
+``key=value`` tokens.  :class:`QuerySpec` replaces all of them: a frozen
+dataclass that validates on construction, resolves ``auto`` choices
+canonically (:meth:`QuerySpec.resolved_algorithm`,
+:meth:`QuerySpec.cache_key`), and round-trips through a **versioned**
+wire schema (:meth:`QuerySpec.to_wire` / :meth:`QuerySpec.from_wire`)
+that also accepts the legacy pre-versioned payload shape, so old wire
+clients keep working.
+
+The canonical :meth:`cache_key` is what the result cache and the batch
+scheduler key off: it is ``k``-independent (the progressive order only
+truncates at ``k``) and **includes the resolved peel kernel**, so a
+``kernel=python`` query can never be served another kernel's cursor
+slices with wrong provenance.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.fastpeel import KERNELS, resolve_kernel
+from ..errors import QueryParameterError
+
+__all__ = [
+    "ALGORITHMS",
+    "AUTO",
+    "COHESIONS",
+    "KERNEL_ALGORITHMS",
+    "MODES",
+    "WIRE_VERSION",
+    "FamilyKey",
+    "QuerySpec",
+    "parse_spec_tokens",
+    "parse_wire_query",
+]
+
+AUTO = "auto"
+
+#: Algorithms the planner can dispatch to (mirrors the CLI choices).
+ALGORITHMS = (
+    AUTO,
+    "localsearch",
+    "localsearch-p",
+    "forward",
+    "onlineall",
+    "backward",
+    "truss",
+    "noncontainment",
+)
+
+#: Cohesiveness families a spec can ask for.  ``core`` is the paper's
+#: minimum-degree (γ-core) definition; ``truss`` the Section-6 k-truss
+#: variant.  ``auto`` + ``cohesion="truss"`` resolves to the truss
+#: searcher without the caller naming an algorithm.
+COHESIONS = ("core", "truss")
+
+#: Output modes a spec can request over the wire: human-rendered text
+#: lines, or one deterministic JSON document.
+MODES = ("text", "json")
+
+#: Algorithms whose peel runs through the kernel dispatcher
+#: (:func:`repro.core.count.construct_cvs`); onlineall/backward/truss
+#: use their own peels and report no kernel.
+KERNEL_ALGORITHMS = frozenset(
+    {"localsearch", "localsearch-p", "forward", "noncontainment"}
+)
+
+#: Wire-schema version emitted by :meth:`QuerySpec.to_wire`.  Bump only
+#: on incompatible changes; :meth:`QuerySpec.from_wire` keeps accepting
+#: every version it knows (including the legacy pre-versioned shape).
+WIRE_VERSION = 1
+
+_KERNEL_CHOICES = (AUTO,) + KERNELS
+
+_TRUE_WORDS = frozenset({"1", "true", "yes", "on"})
+_FALSE_WORDS = frozenset({"0", "false", "no", "off"})
+
+
+@dataclass(frozen=True)
+class FamilyKey:
+    """The canonical, ``k``-independent identity of a query family.
+
+    Two queries sharing a FamilyKey share one result stream: the cache
+    stores one (resumable) entry per family, and the batch scheduler
+    coalesces concurrent queries of a family onto one engine pass.
+    ``algorithm`` and ``kernel`` are *resolved* (no ``auto``/``None``),
+    so provenance can never be mixed across kernels.
+    """
+
+    graph: str
+    gamma: int
+    algorithm: str
+    delta: float
+    kernel: Optional[str]
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One top-k influential-community query, fully specified.
+
+    This is the only query-parameter representation that crosses layer
+    boundaries: the CLI, the stdio shell, the network transports, the
+    batch scheduler, the result cache, and the engine all consume and
+    produce it.
+
+    Parameters
+    ----------
+    graph:
+        Registered graph name the query runs against.
+    gamma:
+        Minimum-degree (or truss) cohesiveness parameter, >= 1.
+    k:
+        Number of communities requested, >= 1.
+    algorithm:
+        One of :data:`ALGORITHMS`; ``auto`` lets the planner pick
+        (LocalSearch-P, or the truss/non-containment searcher when
+        ``cohesion``/``containment`` say so).
+    delta:
+        Progressive growth ratio, > 1.
+    kernel:
+        Peel kernel (``auto``/``python``/``array``/``numpy``); ``None``
+        defers to ``$REPRO_KERNEL`` and then ``auto``.
+    containment:
+        ``False`` restricts the answer to non-containment communities
+        (Section 5.1); only valid with ``algorithm`` ``auto`` or
+        ``noncontainment``.
+    cohesion:
+        ``core`` (default) or ``truss``; ``truss`` is only valid with
+        ``algorithm`` ``auto`` or ``truss``.
+    mode:
+        Response rendering over the wire: ``text`` lines or one
+        ``json`` document.  Not part of the query identity.
+    """
+
+    graph: str
+    gamma: int = 10
+    k: int = 10
+    algorithm: str = AUTO
+    delta: float = 2.0
+    kernel: Optional[str] = None
+    containment: bool = True
+    cohesion: str = "core"
+    mode: str = "text"
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise :class:`QueryParameterError` unless the spec is coherent."""
+        if not self.graph:
+            raise QueryParameterError("graph name must be non-empty")
+        if self.k < 1:
+            raise QueryParameterError("k must be at least 1")
+        if self.gamma < 1:
+            raise QueryParameterError("gamma must be at least 1")
+        if self.delta <= 1.0:
+            raise QueryParameterError("delta must be greater than 1")
+        if self.algorithm not in ALGORITHMS:
+            raise QueryParameterError(
+                f"unknown algorithm {self.algorithm!r}; "
+                f"choose from {', '.join(ALGORITHMS)}"
+            )
+        if self.kernel is not None and self.kernel not in _KERNEL_CHOICES:
+            raise QueryParameterError(
+                f"unknown kernel {self.kernel!r}; "
+                f"choose from {', '.join(_KERNEL_CHOICES)}"
+            )
+        if self.cohesion not in COHESIONS:
+            raise QueryParameterError(
+                f"unknown cohesion {self.cohesion!r}; "
+                f"choose from {', '.join(COHESIONS)}"
+            )
+        if self.mode not in MODES:
+            raise QueryParameterError(
+                f"unknown mode {self.mode!r}; choose from {', '.join(MODES)}"
+            )
+        if self.cohesion == "truss":
+            if self.algorithm not in (AUTO, "truss"):
+                raise QueryParameterError(
+                    f"cohesion='truss' conflicts with "
+                    f"algorithm={self.algorithm!r} (use 'auto' or 'truss')"
+                )
+            if not self.containment:
+                raise QueryParameterError(
+                    "non-containment search is not defined for "
+                    "cohesion='truss'"
+                )
+        if not self.containment and self.algorithm not in (
+            AUTO,
+            "noncontainment",
+        ):
+            raise QueryParameterError(
+                f"containment=False conflicts with "
+                f"algorithm={self.algorithm!r} (use 'auto' or "
+                "'noncontainment')"
+            )
+
+    # ------------------------------------------------------------------
+    def resolved_algorithm(self) -> str:
+        """The concrete algorithm this spec runs (``auto`` resolved).
+
+        ``auto`` resolves by declared intent: ``cohesion='truss'`` ->
+        the truss searcher, ``containment=False`` -> the non-containment
+        searcher, otherwise LocalSearch-P (instance-optimal and
+        resumable, which is what makes the serving tier's caching and
+        coalescing pay off).
+        """
+        if self.algorithm != AUTO:
+            return self.algorithm
+        if self.cohesion == "truss":
+            return "truss"
+        if not self.containment:
+            return "noncontainment"
+        return "localsearch-p"
+
+    def resolved_kernel(self) -> Optional[str]:
+        """The peel kernel actually in effect, or ``None`` when the
+        resolved algorithm never reaches the kernel dispatcher."""
+        if self.resolved_algorithm() not in KERNEL_ALGORITHMS:
+            return None
+        return resolve_kernel(self.kernel)
+
+    def cache_key(self) -> FamilyKey:
+        """The canonical cache / coalesce identity of this query.
+
+        ``k`` and ``mode`` are excluded (the result stream does not
+        depend on them); ``algorithm`` and ``kernel`` are resolved, so
+        e.g. ``kernel=None`` under ``REPRO_KERNEL=numpy`` and an
+        explicit ``kernel='numpy'`` share one entry, while
+        ``kernel='python'`` can never be served a numpy cursor's
+        slices.
+        """
+        return FamilyKey(
+            graph=self.graph,
+            gamma=self.gamma,
+            algorithm=self.resolved_algorithm(),
+            delta=self.delta,
+            kernel=self.resolved_kernel(),
+        )
+
+    def with_k(self, k: int) -> "QuerySpec":
+        """This spec asking for ``k`` communities (same family)."""
+        return self if k == self.k else replace(self, k=k)
+
+    # ------------------------------------------------------------------
+    def to_wire_dict(self) -> Dict[str, Any]:
+        """The versioned wire projection (plain JSON types only)."""
+        return {
+            "v": WIRE_VERSION,
+            "graph": self.graph,
+            "gamma": self.gamma,
+            "k": self.k,
+            "algorithm": self.algorithm,
+            "delta": self.delta,
+            "kernel": self.kernel,
+            "containment": self.containment,
+            "cohesion": self.cohesion,
+            "mode": self.mode,
+        }
+
+    def to_wire(self) -> str:
+        """Deterministic JSON encoding (sorted keys, no whitespace)."""
+        return json.dumps(
+            self.to_wire_dict(), sort_keys=True, separators=(",", ":")
+        )
+
+    @classmethod
+    def from_wire(
+        cls, payload: Union[str, bytes, Dict[str, Any]]
+    ) -> "QuerySpec":
+        """Decode a wire payload (versioned or legacy) into a spec.
+
+        Accepts the :data:`WIRE_VERSION` schema, and — for
+        compatibility with pre-versioned clients and with recorded
+        :meth:`~repro.service.model.QueryResult.to_dict` documents —
+        any dict carrying the classic ``graph``/``gamma``/``k``/
+        ``delta``/``algorithm`` keys without a ``"v"`` marker.  Unknown
+        keys are ignored (a v1 decoder stays forward-compatible with
+        additive v1 extensions).
+        """
+        if isinstance(payload, (str, bytes)):
+            try:
+                payload = json.loads(payload)
+            except json.JSONDecodeError as exc:
+                raise QueryParameterError(
+                    f"bad wire payload: {exc}"
+                ) from exc
+        if not isinstance(payload, dict):
+            raise QueryParameterError(
+                "wire payload must be a JSON object"
+            )
+        version = payload.get("v")
+        if version is not None and version != WIRE_VERSION:
+            raise QueryParameterError(
+                f"unsupported wire version {version!r} "
+                f"(this build speaks v{WIRE_VERSION})"
+            )
+        if "graph" not in payload:
+            raise QueryParameterError("wire payload is missing 'graph'")
+        kernel = payload.get("kernel")
+        try:
+            return cls(
+                graph=str(payload["graph"]),
+                gamma=int(payload.get("gamma", 10)),
+                k=int(payload.get("k", 10)),
+                algorithm=str(payload.get("algorithm", AUTO)),
+                delta=float(payload.get("delta", 2.0)),
+                kernel=None if kernel is None else str(kernel),
+                containment=bool(payload.get("containment", True)),
+                cohesion=str(payload.get("cohesion", "core")),
+                mode=str(payload.get("mode", "text")),
+            )
+        except (TypeError, ValueError) as exc:
+            raise QueryParameterError(
+                f"bad wire payload field: {exc}"
+            ) from exc
+
+
+# ----------------------------------------------------------------------
+# Token / wire request parsing — the shared grammar of every frontend.
+# ----------------------------------------------------------------------
+
+_USAGE = (
+    "usage: query GRAPH [k=N] [gamma=N] [algorithm=A] [delta=F] "
+    "[kernel=K] [cohesion=core|truss] [containment=BOOL] [members] [json]"
+)
+
+_KV_KEYS = (
+    "k",
+    "gamma",
+    "algorithm",
+    "delta",
+    "kernel",
+    "cohesion",
+    "containment",
+    "mode",
+)
+_FLAG_WORDS = ("members", "json", "nc")
+
+
+def _parse_bool(key: str, value: str) -> bool:
+    lowered = value.lower()
+    if lowered in _TRUE_WORDS:
+        return True
+    if lowered in _FALSE_WORDS:
+        return False
+    raise QueryParameterError(
+        f"bad query argument: {key}={value!r} is not a boolean "
+        "(true/false)"
+    )
+
+
+def parse_spec_tokens(tokens: Sequence[str]) -> Tuple[QuerySpec, bool]:
+    """Parse line-protocol ``query`` tokens: ``(spec, members_flag)``.
+
+    The grammar every text frontend shares (stdio shell, TCP and unix
+    transports): a graph name followed by ``key=value`` pairs in any
+    order plus bare flags.  ``json`` selects ``mode="json"``; ``nc`` is
+    shorthand for ``containment=false``.
+    """
+    if not tokens:
+        raise QueryParameterError(_USAGE)
+    graph, rest = tokens[0], list(tokens[1:])
+    kv: Dict[str, str] = {}
+    flags: List[str] = []
+    for token in rest:
+        if "=" in token:
+            key, _, value = token.partition("=")
+            kv[key] = value
+        else:
+            flags.append(token)
+    unknown = [flag for flag in flags if flag not in _FLAG_WORDS] + [
+        key for key in kv if key not in _KV_KEYS
+    ]
+    if unknown:
+        raise QueryParameterError(
+            f"unknown query argument(s): {', '.join(unknown)}"
+        )
+    mode = kv.get("mode", "json" if "json" in flags else "text")
+    containment = not ("nc" in flags)
+    if "containment" in kv:
+        containment = _parse_bool("containment", kv["containment"])
+    try:
+        spec = QuerySpec(
+            graph=graph,
+            k=int(kv.get("k", "10")),
+            gamma=int(kv.get("gamma", "10")),
+            algorithm=kv.get("algorithm", AUTO),
+            delta=float(kv.get("delta", "2.0")),
+            kernel=kv.get("kernel"),
+            containment=containment,
+            cohesion=kv.get("cohesion", "core"),
+            mode=mode,
+        )
+    except ValueError as exc:
+        raise QueryParameterError(f"bad query argument: {exc}") from exc
+    return spec, "members" in flags
+
+
+def parse_wire_query(
+    payload: Union[str, bytes, Dict[str, Any]]
+) -> Tuple[QuerySpec, bool]:
+    """Parse a JSON *request* document: ``(spec, members_flag)``.
+
+    ``members`` is a request-rendering concern (include member lists in
+    the response), not part of the query identity, so it rides next to
+    the spec fields in the request document rather than inside the spec.
+    """
+    if isinstance(payload, (str, bytes)):
+        try:
+            payload = json.loads(payload)
+        except json.JSONDecodeError as exc:
+            raise QueryParameterError(f"bad wire payload: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise QueryParameterError("wire payload must be a JSON object")
+    spec = QuerySpec.from_wire(payload)
+    return spec, bool(payload.get("members", False))

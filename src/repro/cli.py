@@ -30,17 +30,13 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from typing import List, Optional
 
-from .baselines import backward, forward, online_all
-from .core.local_search import LocalSearch
-from .core.noncontainment import top_k_noncontainment_communities
-from .core.progressive import LocalSearchP
-from .core.truss_search import top_k_truss_communities
+from .api.facade import Repro
+from .api.facade import open as api_open
+from .api.spec import QuerySpec
 from .graph.io import load_snap_graph
 from .graph.metrics import GraphStatistics, graph_statistics
-from .graph.weighted_graph import WeightedGraph
 from .workloads.datasets import dataset_names, load_dataset
 
 __all__ = ["main", "build_parser"]
@@ -178,22 +174,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="restore the result cache from FILE on boot and snapshot "
              "it back on shutdown (network mode only)",
     )
+    serve.add_argument(
+        "--warmstart-interval", metavar="SECONDS", type=float, default=None,
+        help="also snapshot the cache every SECONDS in the background, "
+             "so a crash (not just a clean shutdown) keeps it warm "
+             "(requires --warmstart; network mode only)",
+    )
     return parser
-
-
-def _load_graph(args: argparse.Namespace) -> WeightedGraph:
-    if args.dataset:
-        return load_dataset(args.dataset)
-    return load_snap_graph(args.edges, args.weights)
 
 
 def _apply_kernel_choice(args: argparse.Namespace) -> Optional[str]:
     """Honour ``--kernel`` for the whole process.
 
-    Exported via ``REPRO_KERNEL`` so algorithms that reach the peel only
-    through their own internal ``construct_cvs`` calls (forward, the
-    index baselines) respect the choice too, not just the searchers that
-    take an explicit ``kernel=`` argument.
+    The choice rides in the :class:`QuerySpec` (so provenance and cache
+    identity are exact) *and* is exported via ``REPRO_KERNEL`` so
+    algorithms that reach the peel only through their own internal
+    ``construct_cvs`` calls (forward, the index baselines) respect it
+    too.
     """
     kernel = getattr(args, "kernel", None)
     if kernel is not None:
@@ -205,41 +202,43 @@ def _apply_kernel_choice(args: argparse.Namespace) -> Optional[str]:
     return kernel
 
 
-def _run_query(graph: WeightedGraph, args: argparse.Namespace):
-    algorithm = args.algorithm
-    kernel = _apply_kernel_choice(args)
-    if algorithm == "localsearch":
-        return LocalSearch(
-            graph, gamma=args.gamma, delta=args.delta, kernel=kernel
-        ).search(args.k)
-    if algorithm == "localsearch-p":
-        return LocalSearchP(
-            graph, gamma=args.gamma, delta=args.delta, kernel=kernel
-        ).run(k=args.k)
-    if algorithm == "forward":
-        return forward(graph, args.k, args.gamma)
-    if algorithm == "onlineall":
-        return online_all(graph, args.k, args.gamma)
-    if algorithm == "backward":
-        return backward(graph, args.k, args.gamma)
-    if algorithm == "truss":
-        return top_k_truss_communities(graph, args.k, args.gamma)
-    if algorithm == "noncontainment":
-        return top_k_noncontainment_communities(
-            graph, args.k, args.gamma, delta=args.delta, kernel=kernel
-        )
-    raise AssertionError(f"unhandled algorithm {algorithm!r}")
+def _open_facade(args: argparse.Namespace) -> "tuple[Repro, str]":
+    """An in-process facade + the graph name the command targets.
+
+    This is the CLI's whole graph-loading story now: a dataset name maps
+    to the preloaded registry, an edge-list file is registered as the
+    facade's default graph.  Either way the query subcommands build one
+    :class:`QuerySpec` and hand it to the same ``topk`` surface every
+    other frontend uses.
+    """
+    if args.dataset:
+        return api_open(), args.dataset
+    rp = api_open(args.edges, weights=args.weights, datasets=False)
+    return rp, rp.graph().name
 
 
-def _print_community(i: int, community, show_members: bool, out) -> None:
+def _build_spec(args: argparse.Namespace, graph: str, **overrides) -> QuerySpec:
+    params = dict(
+        graph=graph,
+        gamma=args.gamma,
+        k=getattr(args, "k", 10),
+        algorithm=getattr(args, "algorithm", "localsearch-p"),
+        delta=getattr(args, "delta", 2.0),
+        kernel=_apply_kernel_choice(args),
+    )
+    params.update(overrides)
+    return QuerySpec(**params)
+
+
+def _print_view(i: int, view, show_members: bool, out) -> None:
     line = (
-        f"top-{i}: influence={community.influence:.8g} "
-        f"keynode={community.keynode_label} "
-        f"size={community.num_vertices}"
+        f"top-{i}: influence={view.influence:.8g} "
+        f"keynode={view.keynode} "
+        f"size={view.size}"
     )
     print(line, file=out)
     if show_members:
-        members = ", ".join(str(v) for v in sorted(map(str, community.vertices)))
+        members = ", ".join(str(v) for v in view.members)
         print(f"       members: {members}", file=out)
 
 
@@ -298,6 +297,7 @@ def _run_server_async(args: argparse.Namespace, out) -> int:
                 else 0.0
             ),
             warmstart_path=args.warmstart,
+            warmstart_interval=args.warmstart_interval,
             preload_datasets=not args.no_datasets,
         )
     except ValueError as exc:
@@ -351,6 +351,7 @@ def _run_serve(args: argparse.Namespace, out, in_stream) -> int:
         flag
         for flag, value in (
             ("--warmstart", args.warmstart),
+            ("--warmstart-interval", args.warmstart_interval),
             ("--shards", args.shards),
             ("--replicate", args.replicate),
             ("--max-batch", args.max_batch),
@@ -409,9 +410,12 @@ def main(argv: Optional[List[str]] = None, out=None, in_stream=None) -> int:
     if args.command == "serve":
         return _run_serve(args, out, in_stream)
 
-    graph = _load_graph(args)
-
     if args.command == "stats":
+        graph = (
+            load_dataset(args.dataset)
+            if args.dataset
+            else load_snap_graph(args.edges, args.weights)
+        )
         stats = graph_statistics(
             graph, args.dataset or args.edges or "graph"
         )
@@ -420,28 +424,33 @@ def main(argv: Optional[List[str]] = None, out=None, in_stream=None) -> int:
         return 0
 
     if args.command == "query":
-        started = time.perf_counter()
-        result = _run_query(graph, args)
-        elapsed_ms = (time.perf_counter() - started) * 1000
-        communities = list(result.communities)
+        rp, graph_name = _open_facade(args)
+        spec = _build_spec(args, graph_name)
+        result_set = rp.topk(spec)
+        views = result_set.communities
         print(
-            f"{args.algorithm}: {len(communities)} communities "
-            f"(k={args.k}, gamma={args.gamma}) in {elapsed_ms:.2f} ms",
+            f"{args.algorithm}: {len(views)} communities "
+            f"(k={args.k}, gamma={args.gamma}) "
+            f"in {result_set.elapsed_ms:.2f} ms",
             file=out,
         )
-        for i, community in enumerate(communities, start=1):
-            _print_community(i, community, args.members, out)
+        for i, view in enumerate(views, start=1):
+            _print_view(i, view, args.members, out)
         return 0
 
     if args.command == "stream":
-        printed = 0
-        searcher = LocalSearchP(
-            graph, gamma=args.gamma, kernel=_apply_kernel_choice(args)
+        rp, graph_name = _open_facade(args)
+        # The stream surface is the same lazy ResultSet: communities are
+        # fetched in doubling batches only as far as the stop conditions
+        # let the iteration run.
+        spec = _build_spec(
+            args, graph_name, k=args.limit, algorithm="localsearch-p"
         )
-        for community in searcher.stream():
+        printed = 0
+        for view in rp.topk(spec).stream():
             if (
                 args.min_influence is not None
-                and community.influence < args.min_influence
+                and view.influence < args.min_influence
             ):
                 print(
                     f"(stopped: influence fell below {args.min_influence})",
@@ -449,7 +458,7 @@ def main(argv: Optional[List[str]] = None, out=None, in_stream=None) -> int:
                 )
                 break
             printed += 1
-            _print_community(printed, community, False, out)
+            _print_view(printed, view, False, out)
             if printed >= args.limit:
                 print(f"(stopped: limit {args.limit} reached)", file=out)
                 break

@@ -13,8 +13,11 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import json
+from dataclasses import replace
 from typing import Any, Dict, List, Optional, Union
 
+from ..api.spec import QuerySpec
+from ..service.model import QueryResult
 from .transport import TERMINATOR, dot_unstuff
 
 __all__ = ["ReproClient"]
@@ -96,6 +99,28 @@ class ReproClient:
         lines = await self.request(" ".join(parts))
         if mode == "text":
             return lines
+        return self._decode_json_response(lines)
+
+    async def execute(
+        self, spec: QuerySpec, members: bool = True
+    ) -> QueryResult:
+        """Run one :class:`~repro.api.spec.QuerySpec` remotely.
+
+        Ships the spec's versioned wire document (``mode`` forced to
+        ``json`` so the response is structured) and decodes the reply
+        into the same :class:`~repro.service.model.QueryResult` shape
+        the in-process engine returns — this is what backs a
+        remote :class:`~repro.api.resultset.ResultSet`.
+        """
+        doc = replace(spec, mode="json").to_wire_dict()
+        doc["members"] = bool(members)
+        lines = await self.request(
+            "query " + json.dumps(doc, sort_keys=True, separators=(",", ":"))
+        )
+        return QueryResult.from_dict(self._decode_json_response(lines))
+
+    @staticmethod
+    def _decode_json_response(lines: List[str]) -> Dict[str, Any]:
         if len(lines) != 1 or lines[0].startswith("error:"):
             raise ValueError(
                 "server did not return a JSON response: "

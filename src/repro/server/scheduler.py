@@ -24,9 +24,10 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..api.spec import FamilyKey, QuerySpec
 from ..service.engine import QueryEngine
 from ..service.metrics import ServiceMetrics
-from ..service.model import QueryResult, TopKQuery
+from ..service.model import QueryResult
 from .shards import ShardPool
 
 __all__ = ["BatchKey", "CoalesceStats", "BatchScheduler"]
@@ -37,7 +38,15 @@ COALESCED = "coalesced"
 
 @dataclass(frozen=True)
 class BatchKey:
-    """The coalescing identity: queries sharing it share a result stream."""
+    """Deprecated pre-PR-4 coalescing identity.
+
+    The scheduler now keys batches off the spec's canonical
+    :meth:`~repro.api.spec.QuerySpec.cache_key` (a
+    :class:`~repro.api.spec.FamilyKey`), which also folds in the
+    resolved peel kernel — this shape ignored it, so a ``kernel=python``
+    query could be sliced from a numpy cursor's pass with wrong
+    provenance.  Kept only for external constructors.
+    """
 
     graph: str
     gamma: int
@@ -103,25 +112,27 @@ class BatchScheduler:
         self.window_s = window_s
         self.stats = CoalesceStats()
         self._pending: Dict[
-            BatchKey, List[Tuple[TopKQuery, "asyncio.Future[QueryResult]"]]
+            FamilyKey, List[Tuple[QuerySpec, "asyncio.Future[QueryResult]"]]
         ] = {}
-        self._draining: Set[BatchKey] = set()
+        self._draining: Set[FamilyKey] = set()
         # Strong references: the event loop only holds weak refs to
         # fire-and-forget tasks, and a GC'd drain task would strand every
         # waiter of its family forever.
         self._drain_tasks: Set["asyncio.Task[None]"] = set()
 
     # ------------------------------------------------------------------
-    def key_for(self, query: TopKQuery) -> BatchKey:
-        """The coalescing key (with ``auto`` resolved by the planner)."""
-        plan = self.engine.plan(query)
-        return BatchKey(query.graph, query.gamma, plan.algorithm, query.delta)
+    def key_for(self, query: QuerySpec) -> FamilyKey:
+        """The coalescing key: the spec's canonical cache identity
+        (``auto`` algorithm and peel kernel both resolved — queries on
+        different kernels never share a pass, so each waiter's
+        ``QueryResult.kernel`` provenance is exact)."""
+        return query.cache_key()
 
     @property
     def queue_depth(self) -> int:
         return sum(len(waiters) for waiters in self._pending.values())
 
-    async def submit(self, query: TopKQuery) -> QueryResult:
+    async def submit(self, query: QuerySpec) -> QueryResult:
         """Serve one query, sharing an engine pass with concurrent peers."""
         key = self.key_for(query)
         future: "asyncio.Future[QueryResult]" = (
@@ -138,7 +149,7 @@ class BatchScheduler:
         return await future
 
     # ------------------------------------------------------------------
-    async def _drain(self, key: BatchKey) -> None:
+    async def _drain(self, key: FamilyKey) -> None:
         """Flush ``key``'s pending queries until none remain."""
         try:
             if self.window_s > 0:
@@ -162,8 +173,8 @@ class BatchScheduler:
 
     async def _run_batch(
         self,
-        key: BatchKey,
-        batch: List[Tuple[TopKQuery, "asyncio.Future[QueryResult]"]],
+        key: FamilyKey,
+        batch: List[Tuple[QuerySpec, "asyncio.Future[QueryResult]"]],
     ) -> None:
         k_max = max(query.k for query, _ in batch)
         lead = next(query for query, _ in batch if query.k == k_max)
@@ -197,7 +208,7 @@ class BatchScheduler:
                     )
 
     @staticmethod
-    def _slice(result: QueryResult, query: TopKQuery) -> QueryResult:
+    def _slice(result: QueryResult, query: QuerySpec) -> QueryResult:
         """A follower's view of the lead's result: its own k-prefix."""
         views = result.communities[: query.k]
         return QueryResult(

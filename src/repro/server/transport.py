@@ -29,7 +29,6 @@ import contextlib
 import errno
 import io
 import os
-import shlex
 from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
 from ..errors import ReproError, UnknownSessionError
@@ -92,6 +91,7 @@ class ReproServer:
         max_batch: int = 64,
         batch_window_ms: float = 0.0,
         warmstart_path: Optional[str] = None,
+        warmstart_interval: Optional[float] = None,
         metrics: Optional[ServiceMetrics] = None,
         preload_datasets: bool = True,
     ) -> None:
@@ -114,8 +114,12 @@ class ReproServer:
             window_s=batch_window_ms / 1000.0,
         )
         self.session_ttl = session_ttl
+        if warmstart_interval is not None and warmstart_path is None:
+            raise ValueError("warmstart_interval requires warmstart_path")
         self.warmstart = (
-            WarmStart(warmstart_path) if warmstart_path is not None else None
+            WarmStart(warmstart_path, snapshot_interval=warmstart_interval)
+            if warmstart_path is not None
+            else None
         )
         self.restored_entries = 0
         self.saved_entries = 0
@@ -145,6 +149,10 @@ class ReproServer:
             self.restored_entries = await self._loop.run_in_executor(
                 None, self.warmstart.load, self.cache, self.registry
             )
+            # Periodic snapshots (when configured) keep the cache warm
+            # across crashes, not just clean shutdowns; the thread is
+            # the WarmStart's own and never touches the event loop.
+            self.warmstart.start_periodic(self.cache, self.registry)
         if tcp is not None:
             host, port = tcp
             server = await asyncio.start_server(self._handle, host, port)
@@ -232,6 +240,7 @@ class ReproServer:
         if pending:
             await asyncio.wait(pending, timeout=2.0)
         if self.warmstart is not None and self._loop is not None:
+            self.warmstart.stop_periodic()
             self.saved_entries = await self._loop.run_in_executor(
                 None, self.warmstart.save, self.cache, self.registry
             )
@@ -340,14 +349,22 @@ class ReproServer:
     async def _serve_query(self, line: str) -> List[str]:
         """Parse + schedule one ``query`` line; render shell-identical.
 
-        The ``json`` flag selects the structured one-line response mode
-        (same syntax and bytes as the stdio shell's).
+        The raw remainder goes straight into
+        :meth:`ServiceShell.parse_query_line`, so the transport accepts
+        exactly what the stdio shell does: the ``key=value`` token
+        grammar *and* the versioned wire-JSON document
+        (:meth:`~repro.api.spec.QuerySpec.from_wire`).  ``spec.mode``
+        selects the structured one-line JSON response (same bytes as
+        the stdio shell's).
         """
         try:
-            tokens = shlex.split(line, comments=True)[1:]
-            query, members, as_json = ServiceShell.parse_query(tokens)
-            result = await self.scheduler.submit(query)
-            return ServiceShell.render_result(result, members, as_json)
+            parts = line.strip().split(maxsplit=1)
+            rest = parts[1] if len(parts) > 1 else ""
+            spec, members = ServiceShell.parse_query_line(rest)
+            result = await self.scheduler.submit(spec)
+            return ServiceShell.render_result(
+                result, members, spec.mode == "json"
+            )
         except (ReproError, ValueError, OSError) as exc:
             self.metrics.observe_error()
             return [f"error: {exc}"]

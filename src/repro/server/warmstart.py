@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 from typing import Any, Dict, List, Optional
 
 from ..errors import ReproError
@@ -36,14 +37,77 @@ from ..service.registry import GraphHandle, GraphRegistry
 __all__ = ["WarmStart", "SNAPSHOT_FORMAT"]
 
 #: Bump when the snapshot schema changes; mismatched files boot cold.
-SNAPSHOT_FORMAT = 1
+#: v2 added the peel kernel to each entry's cache identity (PR 4); v1
+#: snapshots predate kernel-keyed caching and boot cold.
+SNAPSHOT_FORMAT = 2
 
 
 class WarmStart:
-    """Snapshot/restore a :class:`ResultCache` at ``path`` (JSON)."""
+    """Snapshot/restore a :class:`ResultCache` at ``path`` (JSON).
 
-    def __init__(self, path: str) -> None:
+    Parameters
+    ----------
+    path:
+        Snapshot file location (written atomically).
+    snapshot_interval:
+        When set, :meth:`start_periodic` runs a background thread that
+        re-snapshots every this-many seconds, so a crash — not just a
+        clean shutdown — leaves a recent snapshot behind.  ``None``
+        (the default) keeps the original save-on-shutdown-only
+        behaviour.
+    """
+
+    def __init__(
+        self, path: str, snapshot_interval: Optional[float] = None
+    ) -> None:
+        if snapshot_interval is not None and snapshot_interval <= 0:
+            raise ValueError("snapshot_interval must be positive")
         self.path = str(path)
+        self.snapshot_interval = snapshot_interval
+        self.periodic_snapshots = 0
+        self.periodic_errors = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    def start_periodic(
+        self, cache: ResultCache, registry: GraphRegistry
+    ) -> bool:
+        """Start the background snapshot thread (no-op without an
+        interval, or when already running).  Returns True if started."""
+        if self.snapshot_interval is None or self._thread is not None:
+            return False
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._periodic_loop,
+            args=(cache, registry),
+            name="repro-warmstart",
+            daemon=True,
+        )
+        self._thread.start()
+        return True
+
+    def _periodic_loop(
+        self, cache: ResultCache, registry: GraphRegistry
+    ) -> None:
+        assert self.snapshot_interval is not None
+        while not self._stop.wait(self.snapshot_interval):
+            try:
+                self.save(cache, registry)
+                self.periodic_snapshots += 1
+            except Exception:  # noqa: BLE001 — a failed snapshot must
+                # never take the serving process down; the next tick
+                # (or the shutdown save) retries.
+                self.periodic_errors += 1
+
+    def stop_periodic(self) -> None:
+        """Stop the background thread (idempotent; joins briefly)."""
+        thread = self._thread
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join(timeout=5.0)
+        self._thread = None
 
     # ------------------------------------------------------------------
     def save(self, cache: ResultCache, registry: GraphRegistry) -> int:
@@ -78,6 +142,7 @@ class WarmStart:
                 gamma=key.gamma,
                 algorithm=key.algorithm,
                 delta=key.delta,
+                kernel=key.kernel,
                 views=[view.to_dict() for view in views],
             )
             entries.append(payload)
@@ -112,6 +177,7 @@ class WarmStart:
                 )
                 gamma, delta = int(raw["gamma"]), float(raw["delta"])
                 algorithm = raw["algorithm"]
+                kernel = raw.get("kernel")
             except (KeyError, TypeError, ValueError):
                 continue  # one malformed entry must not spoil the rest
             if name not in handles:
@@ -130,13 +196,14 @@ class WarmStart:
                 gamma=gamma,
                 algorithm=algorithm,
                 delta=delta,
+                kernel=kernel,
             )
             if cache.get(key) is not None:
                 continue  # never clobber state computed since boot
             if kind == "progressive":
                 entry: object = ProgressiveEntry(
                     cursor_factory=progressive_cursor_factory(
-                        handle.graph, gamma, delta
+                        handle.graph, gamma, delta, kernel=kernel
                     ),
                     views=views,
                     exhausted=bool(raw.get("exhausted", False)),

@@ -15,13 +15,18 @@ The algorithm layer answers *one* query optimally; this package makes
   lifecycle counters;
 * :mod:`~repro.service.shell` — the ``repro serve`` line protocol.
 
+Queries arrive as :class:`repro.api.QuerySpec` objects (``TopKQuery``
+remains as a deprecated alias); most callers should prefer the public
+facade — ``repro.open()`` — over wiring these pieces by hand.
+
 Quickstart::
 
-    from repro.service import GraphRegistry, QueryEngine, ResultCache, TopKQuery
+    from repro.api import QuerySpec
+    from repro.service import GraphRegistry, QueryEngine, ResultCache
 
     registry = GraphRegistry()           # stand-in datasets pre-registered
     engine = QueryEngine(registry, cache=ResultCache())
-    result = engine.execute(TopKQuery(graph="email", gamma=5, k=10))
+    result = engine.execute(QuerySpec(graph="email", gamma=5, k=10))
     result.to_json()
 """
 

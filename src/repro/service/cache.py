@@ -40,13 +40,35 @@ __all__ = [
 
 @dataclass(frozen=True)
 class CacheKey:
-    """Identity of a cached answer."""
+    """Identity of a cached answer.
+
+    ``(gamma, algorithm, delta, kernel)`` mirror the spec's canonical
+    :meth:`~repro.api.spec.QuerySpec.cache_key` family (algorithm and
+    kernel *resolved*); ``version`` pins the graph build the answer was
+    computed against, so reloads invalidate for free.  ``kernel`` keeps
+    per-kernel provenance honest: a ``kernel=python`` query can never be
+    handed another kernel's cursor slices.
+    """
 
     graph: str
     version: int
     gamma: int
     algorithm: str
     delta: float
+    kernel: Optional[str] = None
+
+    @classmethod
+    def for_spec(cls, spec, version: int) -> "CacheKey":
+        """The cache identity of ``spec`` against graph ``version``."""
+        family = spec.cache_key()
+        return cls(
+            graph=family.graph,
+            version=version,
+            gamma=family.gamma,
+            algorithm=family.algorithm,
+            delta=family.delta,
+            kernel=family.kernel,
+        )
 
 
 @dataclass

@@ -1,13 +1,14 @@
 """QueryEngine — plan, dispatch, cache, and measure top-k queries.
 
 The engine is the service layer's front door: it resolves a
-:class:`~repro.service.model.TopKQuery` against the
+:class:`~repro.api.spec.QuerySpec` against the
 :class:`~repro.service.registry.GraphRegistry`, plans which algorithm to
-run (``"auto"`` picks LocalSearch-P: instance-optimal, progressive, and
-— crucially for a serving layer — *resumable*, so one cached cursor
-amortises a whole family of k's), consults the
-:class:`~repro.service.cache.ResultCache`, and normalises whatever the
-algorithm returns into a serializable
+run (the spec's canonical resolution: ``"auto"`` picks LocalSearch-P —
+instance-optimal, progressive, and, crucially for a serving layer,
+*resumable* — unless the spec's ``cohesion``/``containment`` fields say
+otherwise), consults the :class:`~repro.service.cache.ResultCache`
+keyed by the spec's :meth:`~repro.api.spec.QuerySpec.cache_key`, and
+normalises whatever the algorithm returns into a serializable
 :class:`~repro.service.model.QueryResult`, recording latency and cache
 provenance in :class:`~repro.service.metrics.ServiceMetrics`.
 """
@@ -18,8 +19,8 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
+from ..api.spec import AUTO, QuerySpec
 from ..baselines import backward, forward, online_all
-from ..core.fastpeel import resolve_kernel
 from ..core.local_search import LocalSearch
 from ..core.noncontainment import top_k_noncontainment_communities
 from ..core.progressive import LocalSearchP, ProgressiveCursor
@@ -27,24 +28,30 @@ from ..core.truss_search import top_k_truss_communities
 from ..graph.weighted_graph import WeightedGraph
 from .cache import CacheKey, ProgressiveEntry, ResultCache, StaticEntry
 from .metrics import ServiceMetrics
-from .model import AUTO, CommunityView, QueryResult, TopKQuery
+from .model import CommunityView, QueryResult
 from .registry import GraphHandle, GraphRegistry
 
 __all__ = ["QueryPlan", "QueryEngine", "progressive_cursor_factory"]
 
 
 def progressive_cursor_factory(
-    graph: WeightedGraph, gamma: int, delta: float
+    graph: WeightedGraph,
+    gamma: int,
+    delta: float,
+    kernel: Optional[str] = None,
 ) -> Callable[[], ProgressiveCursor]:
     """The one recipe for (re)building a progressive cursor.
 
     Shared by the engine's hot path and the warm-start restore so a
     rebuilt cursor always re-peels with semantics identical to the one
-    whose views it is extending.
+    whose views it is extending (including the peel kernel, which is
+    part of the cache identity).
     """
 
     def factory():
-        return LocalSearchP(graph, gamma=gamma, delta=delta).cursor()
+        return LocalSearchP(
+            graph, gamma=gamma, delta=delta, kernel=kernel
+        ).cursor()
 
     return factory
 
@@ -58,30 +65,27 @@ class QueryPlan:
     reason: str
 
 
-#: Algorithms whose peel runs through the kernel dispatcher
-#: (:func:`repro.core.count.construct_cvs`); onlineall/backward/truss
-#: use their own peels and report no kernel.
-_KERNEL_ALGORITHMS = frozenset(
-    {"localsearch", "localsearch-p", "forward", "noncontainment"}
-)
-
-#: Non-progressive runners: graph x query -> object with ``.communities``.
-_STATIC_RUNNERS: Dict[str, Callable[[WeightedGraph, TopKQuery], object]] = {
-    "localsearch": lambda g, q: LocalSearch(
-        g, gamma=q.gamma, delta=q.delta
+#: Non-progressive runners: (graph, spec, resolved kernel) -> object
+#: with ``.communities``.  Only the kernel-dispatcher algorithms take
+#: the kernel; the rest use their own peels.
+_STATIC_RUNNERS: Dict[
+    str, Callable[[WeightedGraph, QuerySpec, Optional[str]], object]
+] = {
+    "localsearch": lambda g, q, kern: LocalSearch(
+        g, gamma=q.gamma, delta=q.delta, kernel=kern
     ).search(q.k),
-    "forward": lambda g, q: forward(g, q.k, q.gamma),
-    "onlineall": lambda g, q: online_all(g, q.k, q.gamma),
-    "backward": lambda g, q: backward(g, q.k, q.gamma),
-    "truss": lambda g, q: top_k_truss_communities(g, q.k, q.gamma),
-    "noncontainment": lambda g, q: top_k_noncontainment_communities(
-        g, q.k, q.gamma, delta=q.delta
+    "forward": lambda g, q, kern: forward(g, q.k, q.gamma),
+    "onlineall": lambda g, q, kern: online_all(g, q.k, q.gamma),
+    "backward": lambda g, q, kern: backward(g, q.k, q.gamma),
+    "truss": lambda g, q, kern: top_k_truss_communities(g, q.k, q.gamma),
+    "noncontainment": lambda g, q, kern: top_k_noncontainment_communities(
+        g, q.k, q.gamma, delta=q.delta, kernel=kern
     ),
 }
 
 
 class QueryEngine:
-    """Serve :class:`TopKQuery` objects against long-lived graphs.
+    """Serve :class:`QuerySpec` objects against long-lived graphs.
 
     Parameters
     ----------
@@ -106,34 +110,33 @@ class QueryEngine:
         self.metrics = metrics
 
     # ------------------------------------------------------------------
-    def plan(self, query: TopKQuery) -> QueryPlan:
+    def plan(self, query: QuerySpec) -> QueryPlan:
         """Resolve ``algorithm="auto"`` and classify the dispatch."""
-        algorithm = query.algorithm
-        if algorithm == AUTO:
-            return QueryPlan(
-                algorithm="localsearch-p",
-                progressive=True,
-                reason=(
-                    "auto: LocalSearch-P is instance-optimal and its "
-                    "stream resumes, so cached answers extend to larger k"
-                ),
+        algorithm = query.resolved_algorithm()
+        progressive = algorithm == "localsearch-p"
+        if query.algorithm != AUTO:
+            reason = "requested explicitly"
+        elif progressive:
+            reason = (
+                "auto: LocalSearch-P is instance-optimal and its "
+                "stream resumes, so cached answers extend to larger k"
             )
-        if algorithm == "localsearch-p":
-            return QueryPlan(
-                algorithm, progressive=True, reason="requested explicitly"
+        else:
+            reason = (
+                f"auto: resolved to {algorithm!r} by the spec's "
+                f"cohesion={query.cohesion!r} / "
+                f"containment={query.containment!r}"
             )
-        return QueryPlan(
-            algorithm, progressive=False, reason="requested explicitly"
-        )
+        return QueryPlan(algorithm, progressive=progressive, reason=reason)
 
     # ------------------------------------------------------------------
     def _serve_progressive(
-        self, handle: GraphHandle, query: TopKQuery, key: CacheKey
+        self, handle: GraphHandle, query: QuerySpec, key: CacheKey
     ) -> Tuple[Tuple[CommunityView, ...], str, bool]:
         entry = self.cache.get(key) if self.cache is not None else None
         if not isinstance(entry, ProgressiveEntry):
             cursor_factory = progressive_cursor_factory(
-                handle.graph, query.gamma, query.delta
+                handle.graph, query.gamma, query.delta, kernel=key.kernel
             )
             entry = ProgressiveEntry(
                 cursor_factory(),
@@ -147,7 +150,7 @@ class QueryEngine:
         return entry.serve(query.k)
 
     def _serve_static(
-        self, handle: GraphHandle, query: TopKQuery, key: CacheKey, algorithm: str
+        self, handle: GraphHandle, query: QuerySpec, key: CacheKey, algorithm: str
     ) -> Tuple[Tuple[CommunityView, ...], str, bool]:
         entry = self.cache.get(key) if self.cache is not None else None
         if isinstance(entry, StaticEntry):
@@ -156,7 +159,7 @@ class QueryEngine:
                 views, source = served
                 complete = entry.complete and query.k >= len(entry.views)
                 return views, source, complete
-        result = _STATIC_RUNNERS[algorithm](handle.graph, query)
+        result = _STATIC_RUNNERS[algorithm](handle.graph, query, key.kernel)
         views = tuple(
             CommunityView.from_community(c) for c in result.communities
         )
@@ -169,27 +172,29 @@ class QueryEngine:
         return views[: query.k], "cold", complete
 
     # ------------------------------------------------------------------
-    def execute(self, query: TopKQuery) -> QueryResult:
-        """Serve one query end to end."""
+    def execute(self, query: Optional[QuerySpec] = None, **params) -> QueryResult:
+        """Serve one query end to end.
+
+        Accepts a :class:`QuerySpec` (or the deprecated ``TopKQuery``
+        alias) positionally — the stable signature — or spec fields as
+        keyword arguments (``execute(graph="email", k=5)``) as a
+        convenience.
+        """
+        if query is None:
+            query = QuerySpec(**params)
+        elif params:
+            raise TypeError(
+                "pass either a QuerySpec or field kwargs, not both"
+            )
         started = time.perf_counter()
         handle = self.registry.get(query.graph)
         plan = self.plan(query)
-        # The peel kernel in effect for this query: any fresh peel work
-        # (cold fill or cursor resume) runs on it; pure cache hits report
-        # it as the configured kernel.  Algorithms that never reach the
-        # kernel dispatcher report none.
-        kernel = (
-            resolve_kernel()
-            if plan.algorithm in _KERNEL_ALGORITHMS
-            else None
-        )
-        key = CacheKey(
-            graph=handle.name,
-            version=handle.version,
-            gamma=query.gamma,
-            algorithm=plan.algorithm,
-            delta=query.delta,
-        )
+        # The spec's canonical cache identity: resolved algorithm plus
+        # the peel kernel in effect for this query (None for algorithms
+        # that never reach the kernel dispatcher), so cached answers and
+        # their kernel provenance can never cross kernels.
+        key = CacheKey.for_spec(query, handle.version)
+        kernel = key.kernel
         if plan.progressive:
             views, source, complete = self._serve_progressive(
                 handle, query, key

@@ -18,47 +18,16 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, Optional, Tuple
 
-from ..errors import QueryParameterError
+from ..api.spec import ALGORITHMS, AUTO, QuerySpec
 
 __all__ = ["TopKQuery", "CommunityView", "QueryResult", "ALGORITHMS", "AUTO"]
 
-AUTO = "auto"
-
-#: Algorithms the planner can dispatch to (mirrors the CLI choices).
-ALGORITHMS = (
-    AUTO,
-    "localsearch",
-    "localsearch-p",
-    "forward",
-    "onlineall",
-    "backward",
-    "truss",
-    "noncontainment",
-)
-
-
-@dataclass(frozen=True)
-class TopKQuery:
-    """One top-k influential-community query against a registered graph."""
-
-    graph: str
-    gamma: int = 10
-    k: int = 10
-    algorithm: str = AUTO
-    delta: float = 2.0
-
-    def __post_init__(self) -> None:
-        if self.k < 1:
-            raise QueryParameterError("k must be at least 1")
-        if self.gamma < 1:
-            raise QueryParameterError("gamma must be at least 1")
-        if self.delta <= 1.0:
-            raise QueryParameterError("delta must be greater than 1")
-        if self.algorithm not in ALGORITHMS:
-            raise QueryParameterError(
-                f"unknown algorithm {self.algorithm!r}; "
-                f"choose from {', '.join(ALGORITHMS)}"
-            )
+#: Deprecated alias.  The query type now lives in :mod:`repro.api.spec`
+#: as :class:`QuerySpec` (same constructor signature plus the new
+#: ``kernel`` / ``containment`` / ``cohesion`` / ``mode`` fields);
+#: ``TopKQuery`` remains so existing imports and isinstance checks keep
+#: working.
+TopKQuery = QuerySpec
 
 
 @dataclass(frozen=True)
@@ -170,4 +139,27 @@ class QueryResult:
         """Deterministic JSON (sorted keys, no whitespace variance)."""
         return json.dumps(
             self.to_dict(include_members), sort_keys=True, default=str
+        )
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "QueryResult":
+        """Inverse of :meth:`to_dict` (the remote-ResultSet decode path).
+
+        The payload's query parameters rebuild a :class:`QuerySpec` via
+        the legacy-tolerant wire decoder, so responses from any server
+        version that emits the classic key set decode identically.
+        """
+        spec = QuerySpec.from_wire({k: v for k, v in payload.items() if k != "v"})
+        return cls(
+            query=spec,
+            algorithm=str(payload.get("algorithm", spec.algorithm)),
+            graph_version=int(payload.get("graph_version", 0)),
+            communities=tuple(
+                CommunityView.from_dict(view)
+                for view in payload.get("communities", ())
+            ),
+            source=str(payload.get("source", "cold")),
+            elapsed_ms=float(payload.get("elapsed_ms", 0.0)),
+            complete=bool(payload.get("complete", False)),
+            kernel=payload.get("kernel"),
         )

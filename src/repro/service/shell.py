@@ -26,10 +26,11 @@ from __future__ import annotations
 import shlex
 from typing import Callable, Dict, List, Optional, Sequence, TextIO, Tuple
 
+from ..api.spec import QuerySpec, parse_spec_tokens, parse_wire_query
 from ..errors import QueryParameterError, ReproError
 from .engine import QueryEngine
 from .metrics import ServiceMetrics
-from .model import CommunityView, QueryResult, TopKQuery
+from .model import CommunityView, QueryResult
 from .sessions import SessionManager
 
 __all__ = ["ServiceShell"]
@@ -38,7 +39,9 @@ _HELP = """\
 commands:
   graphs                                list registered graphs
   load NAME EDGES [WEIGHTS]             register an edge-list file
-  query GRAPH [k=N] [gamma=N] [algorithm=A] [delta=F] [members] [json]
+  query GRAPH [k=N] [gamma=N] [algorithm=A] [delta=F] [kernel=K]
+        [cohesion=core|truss] [containment=BOOL] [members] [json]
+  query {"v": 1, "graph": ...}          versioned wire-JSON query
   session open GRAPH [gamma=N] [delta=F]
   session next SID [N]                  stream the next N communities
   session close SID
@@ -90,41 +93,33 @@ class ServiceShell:
 
     # ------------------------------------------------------------------
     @staticmethod
-    def parse_query(tokens: Sequence[str]) -> Tuple[TopKQuery, bool, bool]:
-        """Parse the tokens after ``query``: ``(TopKQuery, members, json)``.
+    def parse_query(tokens: Sequence[str]) -> Tuple[QuerySpec, bool, bool]:
+        """Deprecated 3-tuple shim: ``(QuerySpec, members, json)``.
 
-        Exposed for transports that dispatch queries asynchronously (the
-        asyncio server) so every frontend accepts the identical syntax.
-        The ``json`` flag selects the structured response mode: one
-        :meth:`~repro.service.model.QueryResult.to_json` line instead of
-        the rendered text block, so programmatic clients stop parsing
-        human-oriented output.
+        The shared grammar now lives in
+        :func:`repro.api.spec.parse_spec_tokens`, which folds the
+        response mode into ``spec.mode``; this wrapper keeps the
+        pre-PR-4 3-tuple shape for callers that still unpack it.
         """
-        if not tokens:
-            raise QueryParameterError(
-                "usage: query GRAPH [k=N] [gamma=N] [algorithm=A] "
-                "[delta=F] [members] [json]"
-            )
-        graph, rest = tokens[0], list(tokens[1:])
-        kv, flags = _parse_kv(rest)
-        unknown = [f for f in flags if f not in ("members", "json")] + [
-            key for key in kv if key not in ("k", "gamma", "algorithm", "delta")
-        ]
-        if unknown:
-            raise QueryParameterError(
-                f"unknown query argument(s): {', '.join(unknown)}"
-            )
+        spec, members = parse_spec_tokens(tokens)
+        return spec, members, spec.mode == "json"
+
+    @staticmethod
+    def parse_query_line(rest: str) -> Tuple[QuerySpec, bool]:
+        """Parse everything after ``query ``: ``(QuerySpec, members)``.
+
+        Accepts both request shapes every frontend shares: the
+        ``key=value`` token grammar, and — when the remainder opens a
+        JSON object — the versioned wire document consumed by
+        :func:`repro.api.spec.parse_wire_query`.
+        """
+        if rest.lstrip().startswith("{"):
+            return parse_wire_query(rest)
         try:
-            query = TopKQuery(
-                graph=graph,
-                k=int(kv.get("k", "10")),
-                gamma=int(kv.get("gamma", "10")),
-                algorithm=kv.get("algorithm", "auto"),
-                delta=float(kv.get("delta", "2.0")),
-            )
+            tokens = shlex.split(rest, comments=True)
         except ValueError as exc:
-            raise QueryParameterError(f"bad query argument: {exc}") from exc
-        return query, "members" in flags, "json" in flags
+            raise QueryParameterError(str(exc)) from exc
+        return parse_spec_tokens(tokens)
 
     @staticmethod
     def format_views(
@@ -201,10 +196,10 @@ class ServiceShell:
             f"{handle.num_vertices:,} vertices, {handle.num_edges:,} edges"
         )
 
-    def _cmd_query(self, tokens: List[str]) -> None:
-        query, members, as_json = self.parse_query(tokens)
-        result = self.engine.execute(query)
-        for line in self.render_result(result, members, as_json):
+    def _cmd_query(self, rest: str) -> None:
+        spec, members = self.parse_query_line(rest)
+        result = self.engine.execute(spec)
+        for line in self.render_result(result, members, spec.mode == "json"):
             self._print(line)
 
     def _cmd_session(self, tokens: List[str]) -> None:
@@ -308,6 +303,20 @@ class ServiceShell:
     # ------------------------------------------------------------------
     def execute_line(self, line: str) -> bool:
         """Run one protocol line; returns False when the loop should end."""
+        # ``query`` takes its raw remainder (not pre-tokenized): a wire-
+        # JSON payload contains spaces and quotes that shlex would eat.
+        # split() (not partition) so any whitespace separates the verb.
+        parts = line.strip().split(maxsplit=1)
+        head = parts[0] if parts else ""
+        remainder = parts[1] if len(parts) > 1 else ""
+        if head.lower() == "query":
+            try:
+                self._cmd_query(remainder)
+            except (ReproError, ValueError, OSError) as exc:
+                if self.metrics is not None:
+                    self.metrics.observe_error()
+                self._print(f"error: {exc}")
+            return True
         try:
             tokens = shlex.split(line, comments=True)
         except ValueError as exc:
@@ -326,7 +335,6 @@ class ServiceShell:
         handler = {
             "graphs": self._cmd_graphs,
             "load": self._cmd_load,
-            "query": self._cmd_query,
             "session": self._cmd_session,
             "sessions": self._cmd_sessions,
             "metrics": self._cmd_metrics,

@@ -199,3 +199,59 @@ def test_validation():
             BatchScheduler(engine, pool, window_s=-1.0)
     finally:
         pool.shutdown()
+
+
+def test_kernel_is_part_of_the_coalesce_key(registry):
+    """Regression: the pre-QuerySpec BatchKey ignored the peel kernel,
+    so a kernel=python query could be sliced from another kernel's
+    engine pass and report that kernel's provenance.  The spec's
+    cache_key() folds the resolved kernel in: different kernels never
+    share a pass, and each waiter's QueryResult.kernel is its own."""
+
+    async def main():
+        scheduler, pool = make_scheduler(registry)
+        try:
+            python_q = TopKQuery(graph="cliques", gamma=3, k=2, kernel="python")
+            array_q = TopKQuery(graph="cliques", gamma=3, k=4, kernel="array")
+            assert scheduler.key_for(python_q) != scheduler.key_for(array_q)
+            py_result, arr_result = await asyncio.gather(
+                scheduler.submit(python_q),
+                scheduler.submit(array_q),
+            )
+        finally:
+            pool.shutdown()
+        # Two families -> two engine passes, nothing coalesced across.
+        assert scheduler.stats.batches == 2
+        assert py_result.source == "cold" and arr_result.source == "cold"
+        # Provenance is exact per waiter, not inherited from a lead.
+        assert py_result.kernel == "python"
+        assert arr_result.kernel == "array"
+        # ... and the answers are byte-identical anyway (differential
+        # kernel equivalence), so only provenance was ever at stake.
+        assert py_result.communities == arr_result.communities[:2]
+
+    asyncio.run(main())
+
+
+def test_same_kernel_spellings_do_coalesce(registry, monkeypatch):
+    """kernel=None under REPRO_KERNEL=array and an explicit
+    kernel=array resolve to the same family and share one pass."""
+    monkeypatch.setenv("REPRO_KERNEL", "array")
+
+    async def main():
+        metrics = ServiceMetrics()
+        scheduler, pool = make_scheduler(registry, metrics)
+        try:
+            implicit = TopKQuery(graph="cliques", gamma=3, k=2)
+            explicit = TopKQuery(graph="cliques", gamma=3, k=4, kernel="array")
+            assert scheduler.key_for(implicit) == scheduler.key_for(explicit)
+            results = await asyncio.gather(
+                scheduler.submit(implicit), scheduler.submit(explicit)
+            )
+        finally:
+            pool.shutdown()
+        assert scheduler.stats.batches == 1
+        assert sorted(r.source for r in results) == ["coalesced", "cold"]
+        assert all(r.kernel == "array" for r in results)
+
+    asyncio.run(main())

@@ -264,3 +264,81 @@ def test_entries_stale_in_process_are_not_saved(tmp_path):
     engine.execute(TopKQuery(graph="cliques", gamma=3, k=2))  # keyed v1
     registry.reload("cliques")  # now v2: the cached entry is stale
     assert WarmStart(str(path)).save(cache, registry) == 0
+
+
+class TestPeriodicSnapshots:
+    """WarmStart(snapshot_interval=...): crash-surviving warm state."""
+
+    def test_background_thread_snapshots_without_a_shutdown(self, tmp_path):
+        import time
+
+        path = tmp_path / "periodic.json"
+        registry = make_registry()
+        cache = ResultCache()
+        engine = QueryEngine(registry, cache=cache)
+        ws = WarmStart(str(path), snapshot_interval=0.05)
+        assert ws.start_periodic(cache, registry)
+        try:
+            engine.execute(TopKQuery(graph="cliques", gamma=3, k=4))
+            deadline = time.monotonic() + 10.0
+            while not path.exists() and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert path.exists(), "no periodic snapshot appeared"
+        finally:
+            ws.stop_periodic()
+        assert ws.periodic_snapshots >= 1
+        # Simulated crash: no save() on shutdown — the periodic file
+        # alone must boot the next process warm.
+        registry2 = make_registry()
+        cache2 = ResultCache()
+        assert WarmStart(str(path)).load(cache2, registry2) >= 1
+        warm = QueryEngine(registry2, cache=cache2).execute(
+            TopKQuery(graph="cliques", gamma=3, k=4)
+        )
+        assert warm.source == "cache"
+
+    def test_start_periodic_is_a_noop_without_interval(self, tmp_path):
+        ws = WarmStart(str(tmp_path / "x.json"))
+        assert not ws.start_periodic(ResultCache(), make_registry())
+        ws.stop_periodic()  # idempotent on a never-started thread
+
+    def test_bad_interval_rejected(self, tmp_path):
+        import pytest
+
+        with pytest.raises(ValueError):
+            WarmStart(str(tmp_path / "x.json"), snapshot_interval=0.0)
+
+    def test_server_wires_interval_and_requires_path(self, tmp_path):
+        import asyncio
+
+        import pytest
+
+        from repro.server import ReproClient, ReproServer
+
+        with pytest.raises(ValueError):
+            ReproServer(registry=make_registry(), warmstart_interval=1.0)
+
+        path = tmp_path / "server.json"
+
+        async def main():
+            server = ReproServer(
+                registry=make_registry(),
+                shards=1,
+                warmstart_path=str(path),
+                warmstart_interval=0.05,
+            )
+            await server.start(tcp=("127.0.0.1", 0))
+            client = await ReproClient.connect(port=server.tcp_address[1])
+            await client.request("query cliques k=3 gamma=3")
+            deadline = asyncio.get_running_loop().time() + 10.0
+            while not path.exists():
+                assert asyncio.get_running_loop().time() < deadline
+                await asyncio.sleep(0.02)
+            await client.close()
+            assert server.warmstart is not None
+            snapshots_before_stop = server.warmstart.periodic_snapshots
+            await server.stop()
+            assert server.warmstart._thread is None  # thread joined
+            return snapshots_before_stop
+
+        assert asyncio.run(main()) >= 1

@@ -101,7 +101,7 @@ class TestPrefixReuseInvariant:
         """The resumed cursor's searcher never re-peels earlier prefixes."""
         engine = QueryEngine(registry, cache=ResultCache())
         engine.execute(TopKQuery(graph="cliques", gamma=3, k=2))
-        key = CacheKey("cliques", 1, 3, "localsearch-p", 2.0)
+        key = CacheKey.for_spec(TopKQuery(graph="cliques", gamma=3), version=1)
         entry = engine.cache.get(key)
         assert isinstance(entry, ProgressiveEntry)
         rounds_before = entry.cursor.searcher.stats.rounds
@@ -217,7 +217,7 @@ class TestKTruncationPolicy:
         engine = QueryEngine(registry, cache=ResultCache(max_cached_k=3))
         big = engine.execute(TopKQuery(graph="cliques", gamma=3, k=6))
         assert len(big) == 6
-        key = CacheKey("cliques", 1, 3, "localsearch-p", 2.0)
+        key = CacheKey.for_spec(TopKQuery(graph="cliques", gamma=3), version=1)
         entry = engine.cache.get(key)
         assert isinstance(entry, ProgressiveEntry)
         assert entry.materialized == 3
@@ -246,7 +246,7 @@ class TestKTruncationPolicy:
     def test_queries_within_cap_never_truncate(self, registry):
         engine = QueryEngine(registry, cache=ResultCache(max_cached_k=10))
         engine.execute(TopKQuery(graph="cliques", gamma=3, k=4))
-        key = CacheKey("cliques", 1, 3, "localsearch-p", 2.0)
+        key = CacheKey.for_spec(TopKQuery(graph="cliques", gamma=3), version=1)
         entry = engine.cache.get(key)
         assert entry.materialized == 4
         assert entry.cursor is not None  # still resumable in place
@@ -257,7 +257,10 @@ class TestKTruncationPolicy:
             TopKQuery(graph="cliques", gamma=3, k=4, algorithm="localsearch")
         )
         assert len(first) == 4  # the caller sees everything
-        key = CacheKey("cliques", 1, 3, "localsearch", 2.0)
+        key = CacheKey.for_spec(
+            TopKQuery(graph="cliques", gamma=3, algorithm="localsearch"),
+            version=1,
+        )
         entry = engine.cache.get(key)
         assert isinstance(entry, StaticEntry)
         assert len(entry.views) == 2

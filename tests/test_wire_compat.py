@@ -1,0 +1,208 @@
+"""Wire-protocol compatibility: pre-PR-4 clients must not notice PR 4.
+
+Two layers of guarantee:
+
+* **record/replay fixtures** — request lines exactly as an old client
+  sends them, with the response block they used to receive (timing
+  fields wildcarded), replayed over both the TCP and the unix-socket
+  transport.  The graph is deterministic, so everything except
+  ``elapsed_ms`` must match byte for byte.
+* **codec tolerance** — ``QuerySpec.from_wire`` accepts the legacy
+  (unversioned) JSON payload shape and the versioned schema, and the
+  versioned encoding is byte-stable through a decode/encode round trip.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import re
+
+import pytest
+
+from repro.api import QuerySpec
+from repro.graph.builder import graph_from_arrays
+from repro.server import ReproClient, ReproServer
+from repro.service import GraphRegistry
+
+
+def two_k4s():
+    """Two K4s bridged weakly — 2 deterministic gamma=3 communities."""
+    edges = [
+        (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3),
+        (4, 5), (4, 6), (4, 7), (5, 6), (5, 7), (6, 7),
+        (3, 4),
+    ]
+    return graph_from_arrays(8, edges)
+
+
+#: Recorded exchanges: (request line, expected response lines).  The
+#: ``<MS>`` placeholder wildcards the elapsed-time field; everything
+#: else must match byte for byte.  These were captured from the
+#: pre-QuerySpec server and MUST NOT be regenerated from current code —
+#: they are the compatibility contract.
+LEGACY_EXCHANGES = [
+    (
+        "query k4s k=2 gamma=3",
+        [
+            "localsearch-p[cold]: 2 communities (k=2, gamma=3) in <MS> ms",
+            "top-1: influence=5 keynode=3 size=4",
+            "top-2: influence=1 keynode=7 size=8",
+        ],
+    ),
+    (
+        "query k4s k=1 gamma=3 members",
+        [
+            "localsearch-p[cache]: 1 communities (k=1, gamma=3) in <MS> ms",
+            "top-1: influence=5 keynode=3 size=4",
+            "       members: 0, 1, 2, 3",
+        ],
+    ),
+    (
+        "query k4s k=2 gamma=3 algorithm=backward",
+        [
+            "backward[cold]: 2 communities (k=2, gamma=3) in <MS> ms",
+            "top-1: influence=5 keynode=3 size=4",
+            "top-2: influence=1 keynode=7 size=8",
+        ],
+    ),
+    (
+        "query nope k=1",
+        [
+            "error: graph 'nope' is not registered; registered: k4s",
+        ],
+    ),
+    (
+        "query k4s k=2 wat=1",
+        [
+            "error: unknown query argument(s): wat",
+        ],
+    ),
+]
+
+#: The pre-PR-4 single-line JSON response for ``query ... json`` with
+#: ``elapsed_ms`` wildcarded: the structured mode's key set and value
+#: encoding must survive the QuerySpec refactor unchanged.
+LEGACY_JSON_REQUEST = "query k4s k=2 gamma=3 json"
+LEGACY_JSON_RESPONSE = {
+    "algorithm": "localsearch-p",
+    "communities": [
+        {"influence": 5.0, "keynode": 3, "size": 4},
+        {"influence": 1.0, "keynode": 7, "size": 8},
+    ],
+    "complete": False,
+    "delta": 2.0,
+    "gamma": 3,
+    "graph": "k4s",
+    "graph_version": 1,
+    "k": 2,
+    "source": "cache",
+}
+
+
+def _registry():
+    registry = GraphRegistry(preload_datasets=False)
+    registry.register("k4s", two_k4s)
+    return registry
+
+
+async def _serve(transport, tmp_path, drive):
+    """Start a server on ``transport`` ('tcp'|'unix'), run ``drive(client)``."""
+    server = ReproServer(registry=_registry(), shards=1)
+    if transport == "tcp":
+        await server.start(tcp=("127.0.0.1", 0))
+        client = await ReproClient.connect(port=server.tcp_address[1])
+    else:
+        path = str(tmp_path / "compat.sock")
+        await server.start(unix_path=path)
+        client = await ReproClient.connect(unix_path=path)
+    try:
+        await drive(client)
+    finally:
+        await client.close()
+        await server.stop()
+
+
+def _match(expected, actual):
+    """Byte-identical comparison modulo the <MS> timing wildcard."""
+    assert len(actual) == len(expected), (expected, actual)
+    for want, got in zip(expected, actual):
+        if "<MS>" in want:
+            pattern = re.escape(want).replace(
+                re.escape("<MS>"), r"[0-9]+\.[0-9]{2}"
+            )
+            assert re.fullmatch(pattern, got), (want, got)
+        else:
+            assert got == want
+
+
+@pytest.mark.parametrize("transport", ["tcp", "unix"])
+def test_legacy_line_protocol_replay(transport, tmp_path):
+    async def drive(client):
+        for request, expected in LEGACY_EXCHANGES:
+            _match(expected, await client.request(request))
+
+    asyncio.run(_serve(transport, tmp_path, drive))
+
+
+@pytest.mark.parametrize("transport", ["tcp", "unix"])
+def test_legacy_json_mode_replay(transport, tmp_path):
+    async def drive(client):
+        # Warm the family first, exactly as the recorded session did.
+        await client.request("query k4s k=2 gamma=3")
+        lines = await client.request(LEGACY_JSON_REQUEST)
+        assert len(lines) == 1
+        payload = json.loads(lines[0])
+        elapsed = payload.pop("elapsed_ms")
+        assert isinstance(elapsed, float)
+        kernel = payload.pop("kernel")  # provenance value varies by env
+        assert kernel in ("python", "array", "numpy")
+        assert payload == LEGACY_JSON_RESPONSE
+
+    asyncio.run(_serve(transport, tmp_path, drive))
+
+
+@pytest.mark.parametrize("transport", ["tcp", "unix"])
+def test_versioned_wire_query_over_both_transports(transport, tmp_path):
+    """The new request shape: one wire-JSON document after ``query``."""
+    spec = QuerySpec(graph="k4s", gamma=3, k=2, mode="json")
+
+    async def drive(client):
+        doc = spec.to_wire_dict()
+        doc["members"] = True
+        lines = await client.request("query " + json.dumps(doc))
+        assert len(lines) == 1
+        payload = json.loads(lines[0])
+        assert payload["graph"] == "k4s"
+        assert [c["members"] for c in payload["communities"]] == [
+            [0, 1, 2, 3],
+            [0, 1, 2, 3, 4, 5, 6, 7],
+        ]
+
+    asyncio.run(_serve(transport, tmp_path, drive))
+
+
+def test_legacy_request_lines_round_trip_through_from_wire():
+    """Every recorded *query parameterisation* decodes into a QuerySpec
+    whose canonical wire form decodes back to the same spec (the
+    request-level round-trip contract of the satellite)."""
+    from repro.api import parse_spec_tokens
+
+    for request, _ in LEGACY_EXCHANGES:
+        tokens = request.split()[1:]
+        try:
+            spec, _members = parse_spec_tokens(tokens)
+        except Exception:
+            continue  # the recorded error cases
+        wire = spec.to_wire()
+        again = QuerySpec.from_wire(wire)
+        assert again == spec
+        assert again.to_wire() == wire
+
+
+def test_legacy_result_payload_decodes_as_spec():
+    payload = dict(LEGACY_JSON_RESPONSE)
+    spec = QuerySpec.from_wire(payload)
+    assert spec == QuerySpec(
+        graph="k4s", gamma=3, k=2, algorithm="localsearch-p", delta=2.0
+    )
