@@ -155,6 +155,13 @@ def build_parser() -> argparse.ArgumentParser:
              "(network mode only; default 4)",
     )
     serve.add_argument(
+        "--workers", type=int, default=None,
+        help="promote the pool to this many worker PROCESSES over "
+             "shared-memory CSR segments — true multi-core execution "
+             "(network mode only; default: threads; falls back to "
+             "threads when multiprocessing is unavailable)",
+    )
+    serve.add_argument(
         "--replicate", metavar="GRAPH=COPIES", action="append", default=None,
         help="replicate a hot graph across COPIES shards "
              "(network mode only; repeatable)",
@@ -289,6 +296,7 @@ def _run_server_async(args: argparse.Namespace, out) -> int:
             max_cached_k=args.max_cached_k,
             session_ttl=args.session_ttl,
             shards=args.shards if args.shards is not None else 4,
+            workers=args.workers,
             replication=_parse_replication(args.replicate),
             max_batch=args.max_batch if args.max_batch is not None else 64,
             batch_window_ms=(
@@ -319,6 +327,18 @@ def _run_server_async(args: argparse.Namespace, out) -> int:
             print(f"listening on tcp://{host}:{port}", file=out)
         if server.unix_path is not None:
             print(f"listening on unix://{server.unix_path}", file=out)
+        if args.workers is not None:
+            backend = getattr(server.shards, "backend", "thread")
+            print(
+                f"execution: {server.shards.num_shards} "
+                f"{backend} worker{'s' if server.shards.num_shards != 1 else ''}"
+                + (
+                    ""
+                    if backend == "process"
+                    else " (multiprocessing unavailable: thread fallback)"
+                ),
+                file=out,
+            )
         if server.warmstart is not None:
             print(
                 f"warm start: {server.restored_entries} cache entries "
@@ -353,6 +373,7 @@ def _run_serve(args: argparse.Namespace, out, in_stream) -> int:
             ("--warmstart", args.warmstart),
             ("--warmstart-interval", args.warmstart_interval),
             ("--shards", args.shards),
+            ("--workers", args.workers),
             ("--replicate", args.replicate),
             ("--max-batch", args.max_batch),
             ("--batch-window-ms", args.batch_window_ms),

@@ -1,0 +1,693 @@
+"""ClusterPool — multi-process shard execution with family affinity.
+
+:class:`~repro.server.shards.ShardPool` keeps CPU work off the event
+loop, but its shards are *threads*: under CPython's GIL, N shards
+peeling N graphs still progress one bytecode at a time.  ClusterPool
+promotes the same routing surface to worker **processes**:
+
+* **family-affine dispatch** — work is routed by the spec's canonical
+  :meth:`~repro.api.spec.QuerySpec.cache_key` (a
+  :class:`~repro.api.spec.FamilyKey`), and the assignment is *sticky*:
+  a progressive family always lands on the worker holding its live
+  cursor, so coalesced ``extend_to`` advances stay one-pass exactly as
+  they do in-process.  First placement prefers the least-loaded
+  candidate among a graph's replicas; after that the cursor pins it.
+* **shared-memory graphs** — each registered graph's CSR buffers are
+  published once into a :mod:`~repro.cluster.segment` and every worker
+  maps them zero-copy; platforms without shared memory fall back to
+  pickling the graph down each worker's pipe once
+  (``use_shared_memory=False`` forces the fallback for tests).
+* **parent-side cache mirror** — every worker result is mirrored into
+  the parent :class:`~repro.service.cache.ResultCache` as frozen views,
+  so (a) repeat hits are served in-parent without IPC, (b) warm-start
+  snapshots keep working unchanged regardless of backend, and (c) a
+  **restarted** worker is re-seeded from the mirror: the first job of a
+  family carries the cached views and the fresh worker's rebuilt
+  cursor resumes from them instead of re-peeling from scratch.
+* **health + drain** — dead workers are detected on dispatch (and by
+  explicit :meth:`health_check` pings), restarted, and re-seeded;
+  :meth:`shutdown` drains in-flight jobs, stops workers, and unlinks
+  every published segment (``/dev/shm`` entries outlive processes, so
+  shutdown is the hard backstop against leaks).
+
+The pool's async surface is :meth:`execute_spec`, shared with
+ShardPool, which is all the :class:`~repro.server.scheduler.
+BatchScheduler` needs — backend selection is one constructor swap in
+:func:`repro.server.shards.create_pool`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+import zlib
+from collections import OrderedDict
+from dataclasses import replace
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..api.spec import FamilyKey, QuerySpec
+from ..errors import ClusterWorkerError, ServiceError
+from ..service.cache import (
+    CacheKey,
+    ProgressiveEntry,
+    ResultCache,
+    StaticEntry,
+)
+from ..service.engine import QueryEngine, progressive_cursor_factory
+from ..service.metrics import ServiceMetrics
+from ..service.model import QueryResult
+from ..service.registry import GraphHandle, GraphRegistry
+from .segment import SegmentHandle, SegmentStore, mp_start_method, shared_memory_available
+from .worker import WorkerConfig, worker_main
+
+__all__ = ["ClusterPool"]
+
+
+class _Worker:
+    """Parent-side bookkeeping for one worker process."""
+
+    __slots__ = (
+        "index",
+        "process",
+        "conn",
+        "lock",
+        "attached",
+        "families",
+        "depth",
+        "dispatches",
+        "restarts",
+    )
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.process = None
+        self.conn = None
+        self.lock = threading.Lock()
+        self.attached: Dict[str, int] = {}  # graph name -> attached version
+        #: Families this worker is believed to hold cursor state for,
+        #: LRU-ordered.  Bounded by the pool to the worker's own cache
+        #: size: once the worker's LRU would have evicted a family, the
+        #: parent forgets it too and re-sends the seed (which the
+        #: worker ignores if it does still hold the entry) — without
+        #: the bound the two views diverge and stale "held" marks
+        #: suppress the re-seed forever.
+        self.families: "OrderedDict[FamilyKey, bool]" = OrderedDict()
+        self.depth = 0
+        self.dispatches = 0
+        self.restarts = 0
+
+    @property
+    def tag(self) -> str:
+        return f"worker:{self.index}"
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+
+class ClusterPool:
+    """Route :class:`QuerySpec` execution onto long-lived worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes.
+    registry:
+        The parent graph registry — source of handles, versions, and the
+        build hook that publishes segments eagerly.
+    cache:
+        Optional parent result cache for the mirror / re-seed / warm-
+        start contract (strongly recommended in servers).
+    metrics:
+        Optional shared metrics sink (per-worker dispatch counts and
+        queue depths, segment attach counts, restarts, ``by_backend``).
+    replication:
+        ``{graph: copies}`` — candidate-worker fan-out for a graph's
+        families at first placement (parity with ShardPool).
+    use_shared_memory:
+        Force the segment path on/off; ``None`` probes the platform.
+    start_method:
+        multiprocessing start method; ``None`` honours
+        ``$REPRO_MP_START`` and then the platform default.
+    job_timeout:
+        Seconds a single worker job may run before the pool declares the
+        worker wedged and restarts it.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        registry: GraphRegistry,
+        *,
+        cache: Optional[ResultCache] = None,
+        metrics: Optional[ServiceMetrics] = None,
+        replication: Optional[Mapping[str, int]] = None,
+        use_shared_memory: Optional[bool] = None,
+        start_method: Optional[str] = None,
+        worker_cache_size: int = 128,
+        job_timeout: float = 300.0,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        if registry is None:
+            raise ValueError("ClusterPool requires a graph registry")
+        self.registry = registry
+        self.cache = cache
+        self.metrics = metrics
+        self.job_timeout = job_timeout
+        self.worker_cache_size = worker_cache_size
+        self.use_shared_memory = (
+            shared_memory_available()
+            if use_shared_memory is None
+            else use_shared_memory
+        )
+        self.start_method = (
+            start_method if start_method is not None else mp_start_method()
+        )
+        self.store = SegmentStore()
+        self._workers = [_Worker(i) for i in range(workers)]
+        self._replication: Dict[str, int] = {}
+        # Sticky family placements, LRU-bounded: an assignment evicted
+        # here has been idle long enough that the worker-side cursor is
+        # LRU-gone too, and the parent mirror re-seeds wherever the
+        # family lands next.
+        self._family_worker: "OrderedDict[FamilyKey, int]" = OrderedDict()
+        self._max_routed_families = 4096
+        self._route_lock = threading.Lock()
+        self._publish_lock = threading.Lock()
+        self._published: Dict[str, Tuple[int, SegmentHandle]] = {}
+        self._started = False
+        self._shut_down = False
+        self._hook_registered = False
+        for name, copies in dict(replication or {}).items():
+            self.replicate(name, copies)
+
+    # ------------------------------------------------------------------
+    # surface parity with ShardPool
+    # ------------------------------------------------------------------
+    backend = "process"
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._workers)
+
+    def replicate(self, graph: str, copies: int) -> None:
+        """Fan a graph's *new* families over ``copies`` candidate workers."""
+        if not 1 <= copies <= self.num_shards:
+            raise ValueError(
+                f"replication for {graph!r} must be in [1, {self.num_shards}]"
+            )
+        self._replication[graph] = copies
+
+    def replication_of(self, graph: str) -> int:
+        return self._replication.get(graph, 1)
+
+    def depths(self) -> List[int]:
+        """Queued + in-flight jobs per worker (parent view)."""
+        return [worker.depth for worker in self._workers]
+
+    @staticmethod
+    def available(start_method: Optional[str] = None) -> bool:
+        """True when worker processes can actually be created here."""
+        try:
+            import multiprocessing
+
+            context = multiprocessing.get_context(
+                start_method or mp_start_method()
+            )
+            parent, child = context.Pipe()
+            parent.close()
+            child.close()
+        except (ImportError, OSError, ValueError):
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start_workers(self) -> None:
+        """Spawn all worker processes (idempotent; also done lazily)."""
+        if self._shut_down:
+            raise RuntimeError("cluster pool is shut down")
+        if self._started:
+            return
+        self._started = True
+        if not self._hook_registered:
+            # Publish eagerly whenever the registry (re)builds a graph,
+            # right next to its prebuild_csr step: workers attaching
+            # later find the segment already staged.
+            add_hook = getattr(self.registry, "add_build_hook", None)
+            if add_hook is not None:
+                add_hook(self._on_graph_built)
+                self._hook_registered = True
+        for worker in self._workers:
+            with worker.lock:
+                if worker.process is None:
+                    self._spawn(worker)
+
+    def _spawn(self, worker: _Worker) -> None:
+        """(Re)create one worker process (``worker.lock`` held)."""
+        import multiprocessing
+        import os
+
+        if self._shut_down:
+            # A shutdown racing an in-flight dispatch must never win a
+            # fresh process (or re-publish a segment the store already
+            # unlinked): fail the dispatch with a catchable service
+            # error instead (the transport renders ReproErrors as clean
+            # `error:` lines even while tearing down).
+            raise ClusterWorkerError(
+                worker.tag, "ShutDown", "cluster pool is shut down"
+            )
+        context = multiprocessing.get_context(self.start_method)
+        parent_conn, child_conn = context.Pipe()
+        config = WorkerConfig(
+            worker_id=worker.index,
+            cache_size=self.worker_cache_size,
+            max_cached_k=self.cache.max_cached_k if self.cache is not None else None,
+            kernel_env=os.environ.get("REPRO_KERNEL"),
+        )
+        process = context.Process(
+            target=worker_main,
+            args=(child_conn, config),
+            name=f"repro-cluster-{worker.index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()  # parent keeps only its end: EOF detection works
+        worker.process = process
+        worker.conn = parent_conn
+        worker.attached = {}
+        worker.families = OrderedDict()
+
+    def warm(self, graph: str) -> None:
+        """Attach ``graph`` on every worker, eagerly.
+
+        Serving deployments call this at boot (and benchmarks before
+        timing) so the one-time costs — segment publication, worker
+        attach, per-worker adjacency-list rebuild — are paid before the
+        first query instead of inside its latency.
+        """
+        self.start_workers()
+        handle = self.registry.get(graph)
+        for worker in self._workers:
+            with worker.lock:
+                if worker.process is None:
+                    self._spawn(worker)
+                self._ensure_attached(worker, handle)
+
+    def _restart(self, worker: _Worker) -> None:
+        """Replace a dead/wedged worker (``worker.lock`` held)."""
+        process, conn = worker.process, worker.conn
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        if process is not None:
+            process.terminate()
+            process.join(timeout=2.0)
+            if process.is_alive():  # pragma: no cover - stubborn child
+                process.kill()
+                process.join(timeout=2.0)
+        if self.use_shared_memory:
+            # The dead worker's segment references die with it.
+            for name, version in worker.attached.items():
+                self.store.release(name, version)
+        worker.restarts += 1
+        if self.metrics is not None:
+            self.metrics.observe_worker_restart()
+        self._spawn(worker)
+
+    def health_check(self) -> Dict[str, object]:
+        """Ping every worker; restart the dead.  Returns a status dict."""
+        statuses: Dict[str, object] = {}
+        restarted: List[str] = []
+        for worker in self._workers:
+            if worker.process is None:
+                statuses[worker.tag] = "not started"
+                continue
+            if not worker.alive:
+                with worker.lock:
+                    if not worker.alive:
+                        self._restart(worker)
+                        restarted.append(worker.tag)
+                statuses[worker.tag] = "restarted"
+                continue
+            if not worker.lock.acquire(blocking=False):
+                statuses[worker.tag] = "busy"  # mid-job is healthy
+                continue
+            try:
+                reply = self._roundtrip(worker, ("ping",), timeout=5.0)
+                statuses[worker.tag] = reply[1]
+            except (OSError, EOFError, ServiceError):
+                self._restart(worker)
+                restarted.append(worker.tag)
+                statuses[worker.tag] = "restarted"
+            finally:
+                worker.lock.release()
+        statuses["restarted"] = restarted
+        return statuses
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Graceful drain: stop workers, then unlink every segment."""
+        if self._shut_down:
+            return
+        self._shut_down = True
+        remove_hook = getattr(self.registry, "remove_build_hook", None)
+        if self._hook_registered and remove_hook is not None:
+            remove_hook(self._on_graph_built)
+        for worker in self._workers:
+            if worker.process is None:
+                continue
+            # Draining = taking the lock: an in-flight job finishes its
+            # roundtrip under the lock before we can ask for the stop.
+            acquired = worker.lock.acquire(timeout=10.0 if wait else 0.2)
+            if acquired:
+                try:
+                    if worker.alive and worker.conn is not None:
+                        try:
+                            worker.conn.send(("stop",))
+                            worker.conn.poll(1.0 if wait else 0.1)
+                        except (OSError, BrokenPipeError):
+                            pass
+                    if worker.conn is not None:
+                        try:
+                            worker.conn.close()
+                        except OSError:  # pragma: no cover - closed
+                            pass
+                finally:
+                    worker.lock.release()
+            else:
+                # A dispatcher thread still owns the pipe: touching it
+                # here (send/close under its poll) is a fd race.  Kill
+                # the process instead — the dispatcher observes the
+                # death, and its restart attempt fails cleanly on the
+                # _spawn shutdown guard.
+                worker.process.terminate()
+            worker.process.join(timeout=5.0 if wait else 1.0)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=2.0)
+                if worker.process.is_alive():  # pragma: no cover
+                    worker.process.kill()
+                    worker.process.join(timeout=1.0)
+        self.store.release_all()
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _family_bytes(family: FamilyKey) -> bytes:
+        return (
+            f"{family.graph}|{family.gamma}|{family.algorithm}"
+            f"|{family.delta!r}|{family.kernel}"
+        ).encode("utf-8")
+
+    def home_worker(self, family: FamilyKey) -> int:
+        """The family's base worker (stable CRC32, before replication)."""
+        return zlib.crc32(self._family_bytes(family)) % self.num_shards
+
+    def route(self, family: FamilyKey) -> int:
+        """The worker index serving ``family`` — sticky after placement.
+
+        First placement picks the least-loaded worker among the family
+        graph's replica candidates; every later dispatch reuses it, so
+        the worker holding the family's cursor keeps it.
+        """
+        with self._route_lock:
+            index = self._family_worker.get(family)
+            if index is not None:
+                self._family_worker.move_to_end(family)
+                return index
+            base = self.home_worker(family)
+            copies = min(
+                self._replication.get(family.graph, 1), self.num_shards
+            )
+            candidates = [(base + i) % self.num_shards for i in range(copies)]
+            index = min(
+                candidates, key=lambda i: (self._workers[i].depth, candidates.index(i))
+            )
+            self._family_worker[family] = index
+            while len(self._family_worker) > self._max_routed_families:
+                self._family_worker.popitem(last=False)
+            return index
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    async def execute_spec(
+        self, engine: QueryEngine, spec: QuerySpec
+    ) -> QueryResult:
+        """Serve one spec off the event loop (the scheduler's entry)."""
+        return await asyncio.get_running_loop().run_in_executor(
+            None, self.execute, engine, spec
+        )
+
+    def execute(self, engine: QueryEngine, spec: QuerySpec) -> QueryResult:
+        """Serve one spec: parent cache slice, or a worker roundtrip."""
+        if self._shut_down:
+            raise RuntimeError("cluster pool is shut down")
+        self.start_workers()
+        handle = self.registry.get(spec.graph)
+        key = CacheKey.for_spec(spec, handle.version)
+        if self._cache_covers(key, spec.k):
+            # A pure slice of mirrored views: serve in-parent, no IPC.
+            # (engine.execute cannot compute here — the entry covers k.)
+            return engine.execute(spec)
+        family = spec.cache_key()
+        worker = self._workers[self.route(family)]
+        started = time.perf_counter()
+        # depth is shared by every executor thread dispatching to this
+        # worker; bare += would lose updates and skew route()'s
+        # least-loaded placement forever.
+        with self._route_lock:
+            worker.depth += 1
+            depth = worker.depth
+        if self.metrics is not None:
+            self.metrics.observe_cluster_depth(worker.tag, depth)
+        try:
+            reply = self._dispatch(worker, handle, spec, family, key)
+        finally:
+            with self._route_lock:
+                worker.depth -= 1
+                depth = worker.depth
+            if self.metrics is not None:
+                self.metrics.observe_cluster_depth(worker.tag, depth)
+        if reply[0] == "error":
+            if self.metrics is not None:
+                self.metrics.observe_error()
+            raise ClusterWorkerError(worker.tag, reply[1], reply[2])
+        result: QueryResult = reply[1]
+        worker.dispatches += 1
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        self._mirror(key, handle, result)
+        result = replace(result, worker=worker.tag)
+        if self.metrics is not None:
+            self.metrics.observe_query(
+                result.algorithm,
+                elapsed_ms,
+                result.source,
+                kernel=result.kernel,
+                family=family,
+                backend="process",
+                worker=worker.tag,
+            )
+        return result
+
+    def _dispatch(
+        self,
+        worker: _Worker,
+        handle: GraphHandle,
+        spec: QuerySpec,
+        family: FamilyKey,
+        key: CacheKey,
+    ):
+        """One locked worker roundtrip, restarting + retrying once."""
+        for attempt in (0, 1):
+            with worker.lock:
+                try:
+                    if worker.process is None:
+                        self._spawn(worker)  # lazy first start, not a restart
+                    elif not worker.alive:
+                        self._restart(worker)
+                    self._ensure_attached(worker, handle)
+                    seed = (
+                        self._seed_payload(key)
+                        if family not in worker.families
+                        else None
+                    )
+                    reply = self._roundtrip(
+                        worker, ("query", spec, seed), timeout=self.job_timeout
+                    )
+                    if reply[0] == "result":
+                        # Error replies create no worker-side entry:
+                        # marking the family held would skip the seed
+                        # on the next attempt.  Successful ones refresh
+                        # the LRU slot, trimmed to the worker's own
+                        # cache size so "held" marks expire in step
+                        # with the worker's actual evictions.
+                        worker.families[family] = True
+                        worker.families.move_to_end(family)
+                        while len(worker.families) > self.worker_cache_size:
+                            worker.families.popitem(last=False)
+                    return reply
+                except (OSError, EOFError, BrokenPipeError) as exc:
+                    # The worker died (or wedged past the deadline) mid-
+                    # job: restart it; the retry re-attaches and re-seeds
+                    # from the parent mirror, losing no served state.
+                    self._restart(worker)
+                    if attempt:
+                        raise ClusterWorkerError(
+                            worker.tag, type(exc).__name__, str(exc)
+                        ) from exc
+
+    def _roundtrip(self, worker: _Worker, message, timeout: float):
+        """Blocking send/recv on the worker pipe (``worker.lock`` held)."""
+        conn = worker.conn
+        if conn is None:
+            raise EOFError("worker has no pipe")
+        conn.send(message)
+        deadline = time.monotonic() + timeout
+        while not conn.poll(0.05):
+            if not worker.alive:
+                raise EOFError("worker process died mid-job")
+            if time.monotonic() >= deadline:
+                raise EOFError(
+                    f"worker job exceeded {timeout:.0f}s deadline"
+                )
+        return conn.recv()
+
+    # ------------------------------------------------------------------
+    # graph attachment + segments
+    # ------------------------------------------------------------------
+    def _on_graph_built(self, handle: GraphHandle) -> None:
+        """Registry build hook: stage the segment before anyone asks."""
+        if self._started and self.use_shared_memory and not self._shut_down:
+            self._segment_for(handle)
+
+    def _segment_for(self, handle: GraphHandle) -> SegmentHandle:
+        """The published segment for this (graph, version), publish-once."""
+        with self._publish_lock:
+            current = self._published.get(handle.name)
+            if current is not None and current[0] == handle.version:
+                return current[1]
+            segment = self.store.acquire(handle)
+            if current is not None:
+                # A reload superseded the old version; our reference to
+                # it goes, and the store unlinks once workers detach.
+                self.store.release(handle.name, current[0])
+            self._published[handle.name] = (handle.version, segment)
+            return segment
+
+    def _ensure_attached(self, worker: _Worker, handle: GraphHandle) -> None:
+        """Attach ``handle``'s graph on ``worker`` (``worker.lock`` held)."""
+        if worker.attached.get(handle.name) == handle.version:
+            return
+        if self.use_shared_memory:
+            segment = self._segment_for(handle)
+            self.store.acquire(handle)  # the worker's own reference
+            try:
+                reply = self._roundtrip(
+                    worker, ("attach_shm", segment), timeout=self.job_timeout
+                )
+            except BaseException:
+                # The attach never registered with the worker, so the
+                # restart path would not release this reference; undo it
+                # here or the refcount can never reach zero.
+                self.store.release(handle.name, handle.version)
+                raise
+            mode = "shm"
+        else:
+            reply = self._roundtrip(
+                worker,
+                ("attach_pickle", handle.name, handle.version, handle.graph),
+                timeout=self.job_timeout,
+            )
+            mode = "pickle"
+        if reply[0] == "error":
+            if self.use_shared_memory:
+                self.store.release(handle.name, handle.version)
+            raise ClusterWorkerError(worker.tag, reply[1], reply[2])
+        stale_version = worker.attached.get(handle.name)
+        if stale_version is not None:
+            if self.use_shared_memory:
+                self.store.release(handle.name, stale_version)
+            # Cursor state for the old version went with the re-attach;
+            # the graph's families must be re-seeded on next dispatch.
+            worker.families = OrderedDict(
+                (f, True) for f in worker.families if f.graph != handle.name
+            )
+        worker.attached[handle.name] = handle.version
+        if self.metrics is not None:
+            self.metrics.observe_segment_attach(mode)
+
+    # ------------------------------------------------------------------
+    # parent-cache mirror + seeds
+    # ------------------------------------------------------------------
+    def _cache_covers(self, key: CacheKey, k: int) -> bool:
+        if self.cache is None:
+            return False
+        entry = self.cache.get(key)
+        if isinstance(entry, ProgressiveEntry):
+            return entry.exhausted or entry.materialized >= k
+        if isinstance(entry, StaticEntry):
+            return entry.complete or len(entry.views) >= k
+        return False
+
+    def _seed_payload(self, key: CacheKey):
+        """The re-seed message for a family this worker has never held."""
+        if self.cache is None:
+            return None
+        entry = self.cache.get(key)
+        if isinstance(entry, ProgressiveEntry):
+            views = entry.views
+            if views:
+                return ("progressive", views, entry.exhausted)
+        elif isinstance(entry, StaticEntry) and entry.views:
+            return ("static", entry.views, entry.complete)
+        return None
+
+    def _mirror(
+        self, key: CacheKey, handle: GraphHandle, result: QueryResult
+    ) -> None:
+        """Fold a worker result into the parent cache as frozen views."""
+        cache = self.cache
+        if cache is None:
+            return
+        views = result.communities
+        entry = cache.get(key)
+        if key.algorithm == "localsearch-p":
+            if (
+                isinstance(entry, ProgressiveEntry)
+                and entry.materialized >= len(views)
+            ):
+                pass  # the mirror already knows at least this much
+            else:
+                cache.put(
+                    key,
+                    ProgressiveEntry(
+                        cursor_factory=progressive_cursor_factory(
+                            handle.graph,
+                            key.gamma,
+                            key.delta,
+                            kernel=key.kernel,
+                        ),
+                        views=views,
+                        exhausted=result.complete,
+                        max_cached_k=cache.max_cached_k,
+                    ),
+                )
+        else:
+            if not (
+                isinstance(entry, StaticEntry)
+                and (entry.complete or len(entry.views) >= len(views))
+            ):
+                cache.put(
+                    key,
+                    StaticEntry.capped(
+                        views, result.complete, cache.max_cached_k
+                    ),
+                )
+        cache.record(result.source)

@@ -1,0 +1,233 @@
+"""Cluster worker — a long-lived process executing QuerySpec jobs.
+
+One worker is one OS process holding the *stateful* half of the serving
+contract: for every :class:`~repro.api.spec.FamilyKey` routed to it, the
+live :class:`~repro.core.progressive.ProgressiveCursor` sits **here**,
+inside a worker-local :class:`~repro.service.cache.ResultCache` driven
+by a worker-local :class:`~repro.service.engine.QueryEngine`.  That is
+what keeps coalesced progressive advances one-pass under the process
+backend: a family's ``extend_to`` continuation lands on the worker that
+already peeled its prefix and resumes the cursor — never a re-peel.
+
+The protocol over the duplex pipe is a tagged tuple per message:
+
+* ``("attach_shm", SegmentHandle)`` — map a published segment and
+  rebuild the graph zero-copy over it (:func:`~repro.cluster.segment.
+  attach_graph`);
+* ``("attach_pickle", name, version, graph)`` — the fallback path for
+  platforms without shared memory: the whole graph travels through the
+  pipe once per worker;
+* ``("query", spec, seed)`` — execute one spec; ``seed`` optionally
+  carries parent-cache views to pre-populate a family this worker has
+  never seen (the restart re-seed path), and is ignored when the worker
+  already holds the family;
+* ``("ping",)`` — health probe, answers worker statistics;
+* ``("stop",)`` — graceful exit.
+
+Replies are ``("ok", payload)`` / ``("result", QueryResult)`` /
+``("pong", stats)`` / ``("error", kind, message)``.  Errors are
+flattened to strings — exception objects with custom constructors do
+not survive pickling reliably, and the parent re-raises them as
+:class:`~repro.errors.ClusterWorkerError` anyway.
+
+Spawn safety: :func:`worker_main` is a plain module-level function and
+the module imports nothing platform-conditional at import time, so the
+``spawn`` start method (macOS/Windows default, ``REPRO_MP_START=spawn``
+in CI) re-imports it cleanly in a fresh interpreter.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Tuple
+
+from ..api.spec import QuerySpec
+from ..errors import ReproError, UnknownGraphError
+from ..service.cache import CacheKey, ProgressiveEntry, ResultCache, StaticEntry
+from ..service.engine import QueryEngine, progressive_cursor_factory
+from ..service.registry import GraphHandle
+from .segment import SegmentHandle, attach_graph, close_attachment
+
+__all__ = ["worker_main", "WorkerConfig"]
+
+
+class WorkerConfig:
+    """Plain picklable knobs shipped to :func:`worker_main` at start.
+
+    ``kernel_env`` pins ``REPRO_KERNEL`` in the child so kernel
+    resolution (and with it every :meth:`~repro.api.spec.QuerySpec.
+    cache_key`) agrees byte-for-byte with the parent even under
+    ``spawn``, where the child would otherwise re-read a possibly
+    changed environment.
+    """
+
+    __slots__ = ("worker_id", "cache_size", "max_cached_k", "kernel_env")
+
+    def __init__(
+        self,
+        worker_id: int,
+        cache_size: int = 128,
+        max_cached_k: Optional[int] = None,
+        kernel_env: Optional[str] = None,
+    ) -> None:
+        self.worker_id = worker_id
+        self.cache_size = cache_size
+        self.max_cached_k = max_cached_k
+        self.kernel_env = kernel_env
+
+    def __getstate__(self):
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def __setstate__(self, state):
+        for slot, value in state.items():
+            setattr(self, slot, value)
+
+
+class _WorkerRegistry:
+    """The worker's view of the graph registry: attached graphs only.
+
+    Versions are the *parent's* registry versions (carried by the
+    attach message), so the worker's cache keys — and the
+    ``graph_version`` provenance on every result — are identical to
+    what the in-process engine would have produced.
+    """
+
+    def __init__(self) -> None:
+        self._handles: Dict[str, GraphHandle] = {}
+        self._attachments: Dict[str, object] = {}  # name -> shm (if any)
+
+    def install(self, name: str, version: int, graph, shm=None) -> None:
+        self._close(self._attachments.pop(name, None))
+        self._handles[name] = GraphHandle(name, version, graph)
+        if shm is not None:
+            self._attachments[name] = shm
+
+    def drop(self, name: str) -> None:
+        self._handles.pop(name, None)
+        self._close(self._attachments.pop(name, None))
+
+    @staticmethod
+    def _close(shm) -> None:
+        if shm is not None:
+            close_attachment(shm)
+
+    def get(self, name: str) -> GraphHandle:
+        handle = self._handles.get(name)
+        if handle is None:
+            raise UnknownGraphError(name, available=self._handles)
+        return handle
+
+    def names(self):
+        return list(self._handles)
+
+    def close_all(self) -> None:
+        for name in list(self._attachments):
+            self.drop(name)
+        self._handles.clear()
+
+
+def _install_seed(
+    cache: ResultCache, registry: _WorkerRegistry, spec: QuerySpec, seed
+) -> bool:
+    """Pre-populate a family from parent-cache views (restart re-seed).
+
+    ``seed`` is ``("progressive", views, exhausted)`` or
+    ``("static", views, complete)``.  Ignored when the worker already
+    holds an entry for the key — the live cursor always wins over a
+    snapshot of it.
+    """
+    try:
+        handle = registry.get(spec.graph)
+    except UnknownGraphError:
+        return False
+    key = CacheKey.for_spec(spec, handle.version)
+    if cache.get(key) is not None:
+        return False
+    kind, views, flag = seed
+    if kind == "progressive":
+        family = spec.cache_key()
+        cache.put(
+            key,
+            ProgressiveEntry(
+                cursor_factory=progressive_cursor_factory(
+                    handle.graph, family.gamma, family.delta, kernel=family.kernel
+                ),
+                views=views,
+                exhausted=bool(flag),
+                max_cached_k=cache.max_cached_k,
+            ),
+        )
+    elif kind == "static":
+        cache.put(
+            key, StaticEntry.capped(tuple(views), bool(flag), cache.max_cached_k)
+        )
+    else:
+        return False
+    return True
+
+
+def worker_main(conn, config: WorkerConfig) -> None:
+    """The worker process entry point: serve jobs until ``stop``/EOF."""
+    if config.kernel_env is not None:
+        os.environ["REPRO_KERNEL"] = config.kernel_env
+    registry = _WorkerRegistry()
+    cache = ResultCache(config.cache_size, max_cached_k=config.max_cached_k)
+    engine = QueryEngine(registry, cache=cache, metrics=None)
+    jobs = attaches = 0
+    try:
+        while True:
+            try:
+                message: Tuple = conn.recv()
+            except (EOFError, OSError):
+                break  # parent went away: exit quietly
+            try:
+                tag = message[0]
+                if tag == "query":
+                    spec, seed = message[1], message[2]
+                    if seed is not None:
+                        _install_seed(cache, registry, spec, seed)
+                    result = engine.execute(spec)
+                    jobs += 1
+                    conn.send(("result", result))
+                elif tag == "attach_shm":
+                    segment: SegmentHandle = message[1]
+                    graph, shm = attach_graph(segment)
+                    registry.install(
+                        segment.graph, segment.version, graph, shm
+                    )
+                    attaches += 1
+                    conn.send(("ok", segment.graph))
+                elif tag == "attach_pickle":
+                    name, version, graph = message[1], message[2], message[3]
+                    registry.install(name, version, graph)
+                    attaches += 1
+                    conn.send(("ok", name))
+                elif tag == "detach":
+                    registry.drop(message[1])
+                    conn.send(("ok", message[1]))
+                elif tag == "ping":
+                    conn.send(
+                        (
+                            "pong",
+                            {
+                                "worker_id": config.worker_id,
+                                "pid": os.getpid(),
+                                "graphs": registry.names(),
+                                "families": len(cache),
+                                "jobs": jobs,
+                                "attaches": attaches,
+                            },
+                        )
+                    )
+                elif tag == "stop":
+                    conn.send(("ok", "bye"))
+                    break
+                else:
+                    conn.send(("error", "protocol", f"unknown tag {tag!r}"))
+            except ReproError as exc:
+                conn.send(("error", type(exc).__name__, str(exc)))
+            except Exception as exc:  # noqa: BLE001 — keep the worker alive
+                conn.send(("error", type(exc).__name__, str(exc)))
+    finally:
+        registry.close_all()
+        conn.close()

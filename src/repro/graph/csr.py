@@ -80,6 +80,30 @@ class CSRAdjacency:
 
     # ------------------------------------------------------------------
     @classmethod
+    def from_buffers(
+        cls,
+        num_vertices: int,
+        up_offsets,
+        up_targets,
+        down_offsets,
+        down_targets,
+    ) -> "CSRAdjacency":
+        """Wrap pre-existing canonical buffers **without copying**.
+
+        The buffers may be :class:`array.array` objects or typed
+        ``memoryview`` casts over foreign memory — in particular over a
+        ``multiprocessing.shared_memory`` segment, which is how
+        :mod:`repro.cluster` rebuilds a graph's CSR inside a worker
+        process with zero per-worker copies of the canonical buffers.
+        Every consumer only needs ``len()``, ``.itemsize``, iteration
+        (:meth:`lists`) and the buffer protocol (:meth:`numpy_views`),
+        all of which both types provide.
+        """
+        return cls(
+            num_vertices, up_offsets, up_targets, down_offsets, down_targets
+        )
+
+    @classmethod
     def from_graph(cls, graph: "WeightedGraph") -> "CSRAdjacency":
         """Flatten ``graph``'s adjacency into contiguous buffers (O(n + m))."""
         n = graph.num_vertices
@@ -155,16 +179,22 @@ class CSRAdjacency:
 
     # ------------------------------------------------------------------
     # pickling: drop the derived caches (cheap to rebuild, numpy views
-    # are process-local buffer aliases anyway).
+    # are process-local buffer aliases anyway).  Memoryview-backed
+    # instances (shared-memory attach, from_buffers) materialise real
+    # arrays first: a memoryview cannot be pickled, and the receiving
+    # process has no claim on our segment lifetime anyway.
     def __reduce__(self):
+        def _own(buffer, typecode):
+            return buffer if isinstance(buffer, array) else array(typecode, buffer)
+
         return (
             self.__class__,
             (
                 self.num_vertices,
-                self.up_offsets,
-                self.up_targets,
-                self.down_offsets,
-                self.down_targets,
+                _own(self.up_offsets, "q"),
+                _own(self.up_targets, "i"),
+                _own(self.down_offsets, "q"),
+                _own(self.down_targets, "i"),
             ),
         )
 

@@ -157,6 +157,51 @@ class WeightedGraph:
             builder.add_edge(u, v)
         return builder.build()
 
+    @classmethod
+    def from_csr(
+        cls,
+        csr: "CSRAdjacency",
+        weights: Sequence[float],
+        labels: Optional[Sequence[Hashable]] = None,
+    ) -> "WeightedGraph":
+        """Rebuild a graph from its CSR mirror (the cluster attach path).
+
+        The CSR rows are exactly the ``N>=`` / ``N<`` partition in the
+        canonical sorted order, so the reconstruction is a straight
+        re-slicing — no validation pass is needed: the buffers came from
+        a graph that already passed it.  The given ``csr`` is installed
+        as the graph's cached mirror, so the peel kernels run directly
+        on the original buffers (zero-copy when those live in a
+        shared-memory segment); only the Python-level row lists are
+        per-process.
+        """
+        up_off, up_tgt, down_off, down_tgt = csr.lists()
+        n = csr.num_vertices
+        graph = cls.__new__(cls)
+        graph._weights = list(weights)
+        if len(graph._weights) != n:
+            raise GraphConstructionError(
+                f"{len(graph._weights)} weights for {n} CSR vertices"
+            )
+        graph._adj_up = [
+            up_tgt[up_off[u]:up_off[u + 1]] for u in range(n)
+        ]
+        graph._adj_down = [
+            down_tgt[down_off[u]:down_off[u + 1]] for u in range(n)
+        ]
+        graph._labels = list(range(n)) if labels is None else list(labels)
+        if len(graph._labels) != n:
+            raise GraphConstructionError("labels must have one entry per vertex")
+        graph._rank_of = {
+            label: rank for rank, label in enumerate(graph._labels)
+        }
+        if len(graph._rank_of) != n:
+            raise GraphConstructionError("vertex labels must be unique")
+        graph._num_edges = csr.num_edges
+        graph._prefix_sizes = [0]
+        graph._csr = csr
+        return graph
+
     def _validate(self) -> None:
         n = self.num_vertices
         for rank in range(1, n):

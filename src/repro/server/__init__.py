@@ -38,7 +38,7 @@ Quickstart (in-process; see ``repro serve --tcp`` for the CLI)::
 
 from .client import ReproClient
 from .scheduler import BatchKey, BatchScheduler, CoalesceStats
-from .shards import ShardPool
+from .shards import ShardPool, create_pool
 from .transport import ReproServer
 from .warmstart import WarmStart
 
@@ -50,4 +50,5 @@ __all__ = [
     "ReproServer",
     "ShardPool",
     "WarmStart",
+    "create_pool",
 ]

@@ -180,9 +180,10 @@ class BatchScheduler:
         lead = next(query for query, _ in batch if query.k == k_max)
         started = time.perf_counter()
         try:
-            result = await self.shards.run(
-                key.graph, lambda: self.engine.execute(lead)
-            )
+            # The backend-neutral pool surface: thread shards run the
+            # engine in-process, the cluster pool routes the spec to the
+            # worker process holding the family's cursor.
+            result = await self.shards.execute_spec(self.engine, lead)
         except Exception as exc:  # noqa: BLE001 — propagate to every waiter
             for _, future in batch:
                 if not future.done():
@@ -205,6 +206,11 @@ class BatchScheduler:
                         elapsed_ms,
                         COALESCED,
                         kernel=result.kernel,
+                        family=key,
+                        backend=(
+                            "process" if result.worker is not None else None
+                        ),
+                        worker=result.worker,
                     )
 
     @staticmethod
@@ -224,4 +230,5 @@ class BatchScheduler:
                 "(graph, gamma, algorithm, delta)"
             ),
             kernel=result.kernel,
+            worker=result.worker,
         )

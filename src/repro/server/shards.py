@@ -13,13 +13,22 @@ name (stable CRC32 hash), so
 * **hot graphs** can be replicated onto several consecutive shards
   (:meth:`ShardPool.replicate`): cache-hit traffic — the dominant kind
   on a hot graph — is lock-free slicing and parallelises across
-  replicas, round-robin.  Replicas share the one graph object, and with
-  it the one immutable :class:`~repro.graph.csr.CSRAdjacency` the peel
-  kernels run on — replication adds workers, not memory.
+  replicas.  Dispatch **prefers an idle replica**: the base rotation is
+  round-robin, but when the rotation's choice is mid-job and a twin
+  sits idle, the work is steered to the idle twin instead (counted in
+  ``ServiceMetrics.replica_idle_dispatches``) — a hot family never
+  queues behind a busy replica while another idles.  Replicas share the
+  one graph object, and with it the one immutable
+  :class:`~repro.graph.csr.CSRAdjacency` the peel kernels run on —
+  replication adds workers, not memory.
 
-The pool is deliberately transport-agnostic: :meth:`run` is the only
-async method, and it simply awaits ``run_in_executor`` on the routed
-shard.
+Shards are *threads*: ideal for cache-hit traffic and for keeping the
+loop responsive, GIL-bound for concurrent CPU-heavy peels.  For true
+multi-core execution :func:`create_pool` swaps in the process-backed
+:class:`~repro.cluster.pool.ClusterPool` behind the same
+:meth:`execute_spec` surface (``repro serve --workers N``); threads
+remain the default and the fallback when multiprocessing is
+unavailable.
 """
 
 from __future__ import annotations
@@ -28,9 +37,17 @@ import asyncio
 import zlib
 from collections import defaultdict
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Dict, List, Mapping, Optional, TypeVar
+from typing import TYPE_CHECKING, Callable, Dict, List, Mapping, Optional, TypeVar
 
-__all__ = ["ShardPool"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..api.spec import QuerySpec
+    from ..service.cache import ResultCache
+    from ..service.engine import QueryEngine
+    from ..service.metrics import ServiceMetrics
+    from ..service.model import QueryResult
+    from ..service.registry import GraphRegistry
+
+__all__ = ["ShardPool", "create_pool"]
 
 T = TypeVar("T")
 
@@ -46,13 +63,18 @@ class ShardPool:
     replication:
         Optional ``{graph_name: copies}`` seed — equivalent to calling
         :meth:`replicate` per entry.
+    metrics:
+        Optional sink for routing counters (idle-replica steals).
     """
+
+    backend = "thread"
 
     def __init__(
         self,
         num_shards: int = 1,
         replication: Optional[Mapping[str, int]] = None,
         thread_name_prefix: str = "repro-shard",
+        metrics: Optional["ServiceMetrics"] = None,
     ) -> None:
         if num_shards < 1:
             raise ValueError("num_shards must be at least 1")
@@ -62,6 +84,7 @@ class ShardPool:
             )
             for i in range(num_shards)
         ]
+        self.metrics = metrics
         self._replication: Dict[str, int] = {}
         self._rr: Dict[str, int] = defaultdict(int)
         self._depth = [0] * num_shards
@@ -90,14 +113,34 @@ class ShardPool:
         return zlib.crc32(graph.encode("utf-8")) % self.num_shards
 
     def route(self, graph: str) -> int:
-        """The shard index the *next* unit of work for ``graph`` goes to."""
+        """The shard index the *next* unit of work for ``graph`` goes to.
+
+        Unreplicated graphs stay pinned to their home shard.  Replicated
+        graphs rotate round-robin, **except** when the rotation's choice
+        is busy and another replica is idle: the dispatch then steals
+        the first idle replica (in rotation order), so load skew from
+        long advances cannot stack queued work behind one replica while
+        its twin does nothing.
+        """
         base = self.home_shard(graph)
         copies = self._replication.get(graph, 1)
         if copies <= 1:
             return base
         turn = self._rr[graph]
         self._rr[graph] = turn + 1
-        return (base + turn % copies) % self.num_shards
+        candidates = [
+            (base + (turn + i) % copies) % self.num_shards
+            for i in range(copies)
+        ]
+        chosen = candidates[0]
+        if self._depth[chosen] > 0:
+            for candidate in candidates[1:]:
+                if self._depth[candidate] == 0:
+                    chosen = candidate
+                    if self.metrics is not None:
+                        self.metrics.observe_replica_idle_dispatch()
+                    break
+        return chosen
 
     # ------------------------------------------------------------------
     async def run(self, graph: str, fn: Callable[[], T]) -> T:
@@ -113,6 +156,17 @@ class ShardPool:
         finally:
             self._depth[index] -= 1
 
+    async def execute_spec(
+        self, engine: "QueryEngine", spec: "QuerySpec"
+    ) -> "QueryResult":
+        """Serve one spec on the spec graph's shard.
+
+        The backend-neutral execution surface shared with
+        :class:`~repro.cluster.pool.ClusterPool` — the scheduler only
+        ever calls this.
+        """
+        return await self.run(spec.graph, lambda: engine.execute(spec))
+
     def depths(self) -> List[int]:
         """In-flight work per shard (event-loop-thread view)."""
         return list(self._depth)
@@ -122,3 +176,47 @@ class ShardPool:
         self._shut_down = True
         for executor in self._executors:
             executor.shutdown(wait=wait)
+
+
+def create_pool(
+    backend: str = "auto",
+    *,
+    shards: int = 1,
+    workers: Optional[int] = None,
+    replication: Optional[Mapping[str, int]] = None,
+    registry: Optional["GraphRegistry"] = None,
+    cache: Optional["ResultCache"] = None,
+    metrics: Optional["ServiceMetrics"] = None,
+):
+    """Build the execution pool for a server: threads or processes.
+
+    ``backend="auto"`` (the default) selects the process-backed
+    :class:`~repro.cluster.pool.ClusterPool` exactly when ``workers``
+    was requested *and* this platform can actually run it — otherwise
+    threads.  ``backend="process"`` insists (still falling back to
+    threads, with the worker count as the shard count, when
+    multiprocessing is unavailable — a degraded server beats no
+    server); ``backend="thread"`` never promotes.
+    """
+    if backend not in ("auto", "thread", "process"):
+        raise ValueError(
+            f"unknown pool backend {backend!r} (auto/thread/process)"
+        )
+    want_process = backend == "process" or (
+        backend == "auto" and workers is not None
+    )
+    if want_process:
+        from ..cluster.pool import ClusterPool
+
+        count = workers if workers is not None else max(shards, 1)
+        if registry is not None and ClusterPool.available():
+            return ClusterPool(
+                count,
+                registry,
+                cache=cache,
+                metrics=metrics,
+                replication=replication,
+            )
+        # Fallback: same worker count, thread-backed.
+        return ShardPool(count, replication=replication, metrics=metrics)
+    return ShardPool(shards, replication=replication, metrics=metrics)

@@ -39,7 +39,7 @@ from ..service.registry import GraphRegistry
 from ..service.sessions import SessionManager
 from ..service.shell import ServiceShell
 from .scheduler import BatchScheduler
-from .shards import ShardPool
+from .shards import ShardPool, create_pool
 from .warmstart import WarmStart
 
 __all__ = ["ReproServer", "dot_stuff", "dot_unstuff"]
@@ -72,6 +72,13 @@ class ReproServer:
         Idle seconds before a progressive session expires.
     shards / replication:
         Worker pool geometry (see :class:`ShardPool`).
+    workers / backend:
+        Execution backend selection (see
+        :func:`~repro.server.shards.create_pool`): ``workers=N``
+        promotes the pool to N worker *processes* over shared-memory
+        CSR segments (:class:`~repro.cluster.pool.ClusterPool`);
+        threads remain the default and the fallback when
+        multiprocessing is unavailable.
     max_batch / batch_window_ms:
         Coalescing knobs (see :class:`BatchScheduler`).
     warmstart_path:
@@ -87,6 +94,8 @@ class ReproServer:
         max_cached_k: Optional[int] = None,
         session_ttl: float = 300.0,
         shards: int = 1,
+        workers: Optional[int] = None,
+        backend: str = "auto",
         replication: Optional[Mapping[str, int]] = None,
         max_batch: int = 64,
         batch_window_ms: float = 0.0,
@@ -105,7 +114,15 @@ class ReproServer:
         self.engine = QueryEngine(
             self.registry, cache=self.cache, metrics=self.metrics
         )
-        self.shards = ShardPool(shards, replication=replication)
+        self.shards = create_pool(
+            backend,
+            shards=shards,
+            workers=workers,
+            replication=replication,
+            registry=self.registry,
+            cache=self.cache,
+            metrics=self.metrics,
+        )
         self.scheduler = BatchScheduler(
             self.engine,
             self.shards,
@@ -144,6 +161,12 @@ class ReproServer:
             raise ValueError("need at least one of tcp=(host, port), unix_path")
         self._loop = asyncio.get_running_loop()
         self._shutdown_requested = asyncio.Event()
+        start_workers = getattr(self.shards, "start_workers", None)
+        if start_workers is not None:
+            # Worker process spawns block (especially under the spawn
+            # start method): pay them at boot, off the event loop, not
+            # on the first query.
+            await self._loop.run_in_executor(None, start_workers)
         if self.warmstart is not None:
             # Graph builds during restore are CPU-bound: off the loop.
             self.restored_entries = await self._loop.run_in_executor(

@@ -19,7 +19,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
-from ..api.spec import AUTO, QuerySpec
+from ..api.spec import AUTO, FamilyKey, QuerySpec
 from ..baselines import backward, forward, online_all
 from ..core.local_search import LocalSearch
 from ..core.noncontainment import top_k_noncontainment_communities
@@ -208,7 +208,20 @@ class QueryEngine:
             self.cache.record(source)
         if self.metrics is not None:
             self.metrics.observe_query(
-                plan.algorithm, elapsed_ms, source, kernel=kernel
+                plan.algorithm,
+                elapsed_ms,
+                source,
+                kernel=kernel,
+                # The cache key already carries the resolved family
+                # fields; rebuilding the FamilyKey from it skips a
+                # second kernel/algorithm resolution on the hot path.
+                family=FamilyKey(
+                    graph=key.graph,
+                    gamma=key.gamma,
+                    algorithm=key.algorithm,
+                    delta=key.delta,
+                    kernel=key.kernel,
+                ),
             )
         return QueryResult(
             query=query,

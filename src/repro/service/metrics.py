@@ -1,20 +1,30 @@
 """Service metrics — counters and latency percentiles for the serving layer.
 
 Pure in-process instrumentation (no external dependency): monotonically
-increasing counters (queries served, per-source breakdown, session
-lifecycle), a bounded latency reservoir per algorithm, and nearest-rank
-percentiles over it.  ``snapshot()`` returns a plain dict so the shell's
-``metrics`` command and tests can consume it directly.
+increasing counters (queries served, per-source/backend breakdown,
+session lifecycle), a bounded latency reservoir per algorithm, and
+nearest-rank percentiles over it.  Since PR 4 one canonical query
+identity exists (:meth:`repro.api.spec.QuerySpec.cache_key`), so the
+sink can also aggregate **per family**: :meth:`ServiceMetrics.by_family`
+reports hit rate and p50/p95 latency per
+:class:`~repro.api.spec.FamilyKey` — the spec-addressed observability
+the shell's ``metrics`` command surfaces in text and JSON modes.  The
+cluster tier (:mod:`repro.cluster`) adds placement counters: per-worker
+dispatches and queue depths, segment attach counts, worker restarts,
+and a ``by_backend`` split of thread- vs process-served queries.
+
+``snapshot()`` returns a plain dict so the shell's ``metrics`` command
+and tests can consume it directly.
 """
 
 from __future__ import annotations
 
 import math
 import threading
-from collections import defaultdict, deque
+from collections import OrderedDict, defaultdict, deque
 from typing import Deque, Dict, Iterable, Optional
 
-__all__ = ["percentile", "ServiceMetrics"]
+__all__ = ["percentile", "family_label", "ServiceMetrics"]
 
 
 def percentile(samples: Iterable[float], q: float) -> Optional[float]:
@@ -28,25 +38,68 @@ def percentile(samples: Iterable[float], q: float) -> Optional[float]:
     return values[rank - 1]
 
 
+def family_label(family) -> str:
+    """A stable, JSON-key-safe rendering of a FamilyKey."""
+    return (
+        f"{family.graph}|gamma={family.gamma}|{family.algorithm}"
+        f"|delta={family.delta:g}|kernel={family.kernel}"
+    )
+
+
+class _FamilyStats:
+    """Per-family counters + bounded latency reservoir."""
+
+    __slots__ = ("queries", "no_compute", "latency_ms")
+
+    #: Sources that served without a fresh computation (mirrors
+    #: :attr:`ServiceMetrics.cache_hit_rate`'s numerator).
+    HIT_SOURCES = frozenset({"cache", "extended", "coalesced"})
+
+    def __init__(self, max_samples: int) -> None:
+        self.queries = 0
+        self.no_compute = 0
+        self.latency_ms: Deque[float] = deque(maxlen=max_samples)
+
+    def record(self, elapsed_ms: float, source: str) -> None:
+        self.queries += 1
+        if source in self.HIT_SOURCES:
+            self.no_compute += 1
+        self.latency_ms.append(elapsed_ms)
+
+
 class ServiceMetrics:
     """Thread-safe counters + per-algorithm latency reservoirs.
 
     ``max_samples`` bounds each algorithm's reservoir (oldest samples
-    fall out first), keeping memory constant under heavy traffic.
+    fall out first), keeping memory constant under heavy traffic;
+    ``max_families`` bounds the per-family table the same way (least-
+    recently-active families fall out first).
     """
 
     PERCENTILES = (50.0, 90.0, 99.0)
+    #: Percentiles reported per family (the satellite contract: p50/p95).
+    FAMILY_PERCENTILES = (50.0, 95.0)
 
-    def __init__(self, max_samples: int = 1024) -> None:
+    def __init__(
+        self, max_samples: int = 1024, max_families: int = 512
+    ) -> None:
         if max_samples < 1:
             raise ValueError("max_samples must be at least 1")
+        if max_families < 1:
+            raise ValueError("max_families must be at least 1")
         self._lock = threading.Lock()
         self._max_samples = max_samples
+        self._max_families = max_families
         self.queries_served = 0
         self.by_source: Dict[str, int] = defaultdict(int)
         self.by_algorithm: Dict[str, int] = defaultdict(int)
         self.by_kernel: Dict[str, int] = defaultdict(int)
+        #: Queries by execution backend: ``thread`` = the in-process
+        #: engine (stdio shell, thread shards, parent-side cache hits
+        #: under the cluster backend), ``process`` = cluster workers.
+        self.by_backend: Dict[str, int] = defaultdict(int)
         self._latency_ms: Dict[str, Deque[float]] = {}
+        self._families: "OrderedDict[object, _FamilyStats]" = OrderedDict()
         self.sessions_opened = 0
         self.sessions_closed = 0
         self.sessions_expired = 0
@@ -60,6 +113,15 @@ class ServiceMetrics:
         self.max_batch_width = 0
         self.queue_depth = 0
         self.queue_depth_peak = 0
+        #: Replicated-shard dispatches steered to an idle replica in
+        #: preference to a busy round-robin choice.
+        self.replica_idle_dispatches = 0
+        # Cluster tier (repro.cluster): placement + segment lifecycle.
+        self.by_worker: Dict[str, int] = defaultdict(int)
+        self.segment_attaches: Dict[str, int] = defaultdict(int)
+        self.worker_restarts = 0
+        self.cluster_depth: Dict[str, int] = {}
+        self.cluster_depth_peak = 0
 
     # ------------------------------------------------------------------
     def observe_query(
@@ -68,19 +130,41 @@ class ServiceMetrics:
         elapsed_ms: float,
         source: str,
         kernel: Optional[str] = None,
+        family=None,
+        backend: Optional[str] = None,
+        worker: Optional[str] = None,
     ) -> None:
-        """Record one served query (``kernel`` = the peel kernel used)."""
+        """Record one served query.
+
+        ``kernel`` is the peel kernel used, ``family`` the spec's
+        canonical :class:`~repro.api.spec.FamilyKey`, ``backend`` the
+        execution backend (``None`` counts as ``thread``), ``worker``
+        the serving cluster worker tag, if any.
+        """
         with self._lock:
             self.queries_served += 1
             self.by_source[source] += 1
             self.by_algorithm[algorithm] += 1
+            self.by_backend[backend if backend is not None else "thread"] += 1
             if kernel is not None:
                 self.by_kernel[kernel] += 1
+            if worker is not None:
+                self.by_worker[worker] += 1
             reservoir = self._latency_ms.get(algorithm)
             if reservoir is None:
                 reservoir = deque(maxlen=self._max_samples)
                 self._latency_ms[algorithm] = reservoir
             reservoir.append(elapsed_ms)
+            if family is not None:
+                stats = self._families.get(family)
+                if stats is None:
+                    stats = _FamilyStats(self._max_samples)
+                    self._families[family] = stats
+                    while len(self._families) > self._max_families:
+                        self._families.popitem(last=False)
+                else:
+                    self._families.move_to_end(family)
+                stats.record(elapsed_ms, source)
 
     def observe_error(self) -> None:
         with self._lock:
@@ -119,6 +203,28 @@ class ServiceMetrics:
             if depth > self.queue_depth_peak:
                 self.queue_depth_peak = depth
 
+    def observe_replica_idle_dispatch(self) -> None:
+        """A replicated dispatch was steered to an idle replica."""
+        with self._lock:
+            self.replica_idle_dispatches += 1
+
+    # -- cluster tier ---------------------------------------------------
+    def observe_segment_attach(self, mode: str) -> None:
+        """A worker attached a graph (``mode`` = ``shm`` / ``pickle``)."""
+        with self._lock:
+            self.segment_attaches[mode] += 1
+
+    def observe_worker_restart(self) -> None:
+        with self._lock:
+            self.worker_restarts += 1
+
+    def observe_cluster_depth(self, worker: str, depth: int) -> None:
+        """Record one worker's queued + in-flight job count."""
+        with self._lock:
+            self.cluster_depth[worker] = depth
+            if depth > self.cluster_depth_peak:
+                self.cluster_depth_peak = depth
+
     # ------------------------------------------------------------------
     @property
     def cache_hit_rate(self) -> float:
@@ -154,6 +260,31 @@ class ServiceMetrics:
             f"p{int(q)}": percentile(samples, q) for q in self.PERCENTILES
         }
 
+    def by_family(self) -> Dict[str, Dict[str, object]]:
+        """Spec-addressed aggregates: one row per active FamilyKey.
+
+        Each row carries the served count, the fraction served without
+        fresh computation, and nearest-rank p50/p95 latency over the
+        family's bounded reservoir.  Keys are the stable
+        :func:`family_label` strings (JSON-safe).
+        """
+        with self._lock:
+            rows = [
+                (family, stats.queries, stats.no_compute, list(stats.latency_ms))
+                for family, stats in self._families.items()
+            ]
+        out: Dict[str, Dict[str, object]] = {}
+        for family, queries, no_compute, samples in rows:
+            out[family_label(family)] = {
+                "queries": queries,
+                "hit_rate": no_compute / queries if queries else 0.0,
+                **{
+                    f"p{int(q)}_ms": percentile(samples, q)
+                    for q in self.FAMILY_PERCENTILES
+                },
+            }
+        return out
+
     def snapshot(self) -> Dict[str, object]:
         """A point-in-time, JSON-friendly view of everything."""
         with self._lock:
@@ -161,11 +292,19 @@ class ServiceMetrics:
                 algo: list(samples)
                 for algo, samples in self._latency_ms.items()
             }
+            cluster = {
+                "by_worker": dict(self.by_worker),
+                "segment_attaches": dict(self.segment_attaches),
+                "worker_restarts": self.worker_restarts,
+                "queue_depth": dict(self.cluster_depth),
+                "queue_depth_peak": self.cluster_depth_peak,
+            }
             out: Dict[str, object] = {
                 "queries_served": self.queries_served,
                 "by_source": dict(self.by_source),
                 "by_algorithm": dict(self.by_algorithm),
                 "by_kernel": dict(self.by_kernel),
+                "by_backend": dict(self.by_backend),
                 "sessions_opened": self.sessions_opened,
                 "sessions_closed": self.sessions_closed,
                 "sessions_expired": self.sessions_expired,
@@ -178,10 +317,13 @@ class ServiceMetrics:
                     "max_batch_width": self.max_batch_width,
                     "queue_depth": self.queue_depth,
                     "queue_depth_peak": self.queue_depth_peak,
+                    "replica_idle_dispatches": self.replica_idle_dispatches,
                 },
             }
+        out["cluster"] = cluster
         out["server"]["coalesce_rate"] = self.coalesce_rate  # type: ignore[index]
         out["cache_hit_rate"] = self.cache_hit_rate
+        out["by_family"] = self.by_family()
         out["latency_ms"] = {
             algo: {
                 f"p{int(q)}": percentile(samples, q)

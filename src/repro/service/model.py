@@ -107,6 +107,12 @@ class QueryResult:
     #: any fresh work would have used.  Excluded from equality so cached
     #: answers compare identical across kernel reconfigurations.
     kernel: Optional[str] = field(default=None, compare=False)
+    #: Execution-placement provenance: ``"worker:<id>"`` when a cluster
+    #: worker process served the query, ``None`` for in-process
+    #: execution.  Orthogonal to ``source`` (a worker can serve from its
+    #: own cache) and excluded from equality — *where* a byte-identical
+    #: answer was computed must never make two results unequal.
+    worker: Optional[str] = field(default=None, compare=False)
 
     def __len__(self) -> int:
         return len(self.communities)
@@ -119,7 +125,7 @@ class QueryResult:
         return tuple(v.influence for v in self.communities)
 
     def to_dict(self, include_members: bool = True) -> Dict[str, Any]:
-        return {
+        out = {
             "graph": self.query.graph,
             "graph_version": self.graph_version,
             "gamma": self.query.gamma,
@@ -134,6 +140,12 @@ class QueryResult:
                 v.to_dict(include_members) for v in self.communities
             ],
         }
+        if self.worker is not None:
+            # Emitted only for worker-served results: in-process serving
+            # keeps the exact pre-cluster wire shape (the record/replay
+            # compatibility fixtures are byte-for-byte).
+            out["worker"] = self.worker
+        return out
 
     def to_json(self, include_members: bool = True) -> str:
         """Deterministic JSON (sorted keys, no whitespace variance)."""
@@ -162,4 +174,5 @@ class QueryResult:
             elapsed_ms=float(payload.get("elapsed_ms", 0.0)),
             complete=bool(payload.get("complete", False)),
             kernel=payload.get("kernel"),
+            worker=payload.get("worker"),
         )

@@ -86,6 +86,7 @@ class GraphRegistry:
         self._lock = threading.RLock()
         self._builds = 0
         self._prebuild_csr = prebuild_csr
+        self._build_hooks: List[Callable[[GraphHandle], None]] = []
         if preload_datasets:
             for name in dataset_names():
                 self.register(
@@ -159,7 +160,34 @@ class GraphRegistry:
         entry.handle = GraphHandle(name, entry.version, graph)
         with self._lock:
             self._builds += 1
+            hooks = list(self._build_hooks)
+        for hook in hooks:
+            # Build hooks are optimisations layered on top (segment
+            # publication for the cluster tier, pre-warming): they run
+            # right next to the prebuild_csr step, but a failing hook
+            # must never fail the build itself.
+            try:
+                hook(entry.handle)
+            except Exception:  # noqa: BLE001 — hooks are best-effort
+                pass
         return entry.handle
+
+    # ------------------------------------------------------------------
+    def add_build_hook(self, hook: Callable[[GraphHandle], None]) -> None:
+        """Call ``hook(handle)`` after every (re)build, best-effort.
+
+        The cluster tier registers its shared-memory segment publication
+        here, so a graph's CSR is staged for worker attachment the
+        moment it is built — the same eager spot as ``prebuild_csr``.
+        """
+        with self._lock:
+            self._build_hooks.append(hook)
+
+    def remove_build_hook(self, hook: Callable[[GraphHandle], None]) -> None:
+        """Deregister a build hook (no-op when absent)."""
+        with self._lock:
+            if hook in self._build_hooks:
+                self._build_hooks.remove(hook)
 
     def get(self, name: str) -> GraphHandle:
         """A handle to the built graph, building it (once) if needed."""

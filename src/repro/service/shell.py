@@ -23,6 +23,7 @@ Protocol (one command per line; ``key=value`` arguments in any order)::
 
 from __future__ import annotations
 
+import json
 import shlex
 from typing import Callable, Dict, List, Optional, Sequence, TextIO, Tuple
 
@@ -46,7 +47,8 @@ commands:
   session next SID [N]                  stream the next N communities
   session close SID
   sessions                              list active sessions
-  metrics                               service counters and latencies
+  metrics [json]                        service counters and latencies
+                                        (one JSON document with 'json')
   help                                  this text
   quit                                  close this connection / loop
   shutdown                              stop the whole server gracefully\
@@ -265,19 +267,40 @@ class ServiceShell:
         if self.metrics is None:
             self._print("(metrics disabled)")
             return
+        unknown = [token for token in tokens if token != "json"]
+        if unknown:
+            raise QueryParameterError(
+                f"unknown metrics argument(s): {', '.join(unknown)} "
+                "(usage: metrics [json])"
+            )
         snap = self.metrics.snapshot()
+        if "json" in tokens:
+            # One deterministic document — the structured twin of the
+            # text rendering below, for programmatic scrapers.
+            self._print(json.dumps(snap, sort_keys=True, default=str))
+            return
         self._print(f"queries_served: {snap['queries_served']}")
         self._print(f"cache_hit_rate: {snap['cache_hit_rate']:.3f}")
         for source, count in sorted(snap["by_source"].items()):
             self._print(f"source[{source}]: {count}")
         for kernel, count in sorted(snap.get("by_kernel", {}).items()):
             self._print(f"kernel[{kernel}]: {count}")
+        for backend, count in sorted(snap.get("by_backend", {}).items()):
+            self._print(f"backend[{backend}]: {count}")
         for algo, pcts in sorted(snap["latency_ms"].items()):
             rendered = ", ".join(
                 f"{name}={value:.3f}ms" if value is not None else f"{name}=–"
                 for name, value in pcts.items()
             )
             self._print(f"latency[{algo}]: {rendered}")
+        for family, row in sorted(snap.get("by_family", {}).items()):
+            p50, p95 = row.get("p50_ms"), row.get("p95_ms")
+            self._print(
+                f"family[{family}]: queries={row['queries']} "
+                f"hit_rate={row['hit_rate']:.3f} "
+                + (f"p50={p50:.3f}ms " if p50 is not None else "p50=– ")
+                + (f"p95={p95:.3f}ms" if p95 is not None else "p95=–")
+            )
         self._print(
             f"sessions: opened={snap['sessions_opened']} "
             f"closed={snap['sessions_closed']} "
@@ -298,6 +321,27 @@ class ServiceShell:
             self._print(
                 f"queue_depth: now={server['queue_depth']} "
                 f"peak={server['queue_depth_peak']}"
+            )
+            if server.get("replica_idle_dispatches"):
+                self._print(
+                    "replica_idle_dispatches: "
+                    f"{server['replica_idle_dispatches']}"
+                )
+        cluster = snap.get("cluster") or {}
+        if cluster.get("by_worker") or cluster.get("worker_restarts"):
+            for worker, count in sorted(cluster["by_worker"].items()):
+                depth = cluster.get("queue_depth", {}).get(worker, 0)
+                self._print(
+                    f"cluster[{worker}]: dispatches={count} depth={depth}"
+                )
+            attaches = ", ".join(
+                f"{mode}={count}"
+                for mode, count in sorted(cluster["segment_attaches"].items())
+            )
+            self._print(
+                f"cluster: attaches=({attaches or 'none'}) "
+                f"restarts={cluster['worker_restarts']} "
+                f"depth_peak={cluster['queue_depth_peak']}"
             )
 
     # ------------------------------------------------------------------
