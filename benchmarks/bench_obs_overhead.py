@@ -1,0 +1,249 @@
+"""repro.obs tracing overhead — observability must be (nearly) free.
+
+The PR-6 acceptance criterion: an engine built with a tracer adds
+**< 5%** latency over an untraced engine, on both
+
+* **warm** queries (repeat cache hits — micro-second work, the worst
+  case for any wrapper) at the *default* sample rate
+  (:data:`~repro.obs.trace.DEFAULT_TRACE_SAMPLE`): the hot path is one
+  contextvar read plus one counter tick on unsampled queries, and
+* **cold** queries (fresh family per query — real peel work) at
+  ``sample=1.0``: the full span lifecycle plus kernel phase timestamps
+  must vanish into the engine's own milliseconds.
+
+The fully-sampled warm ratio is also *reported* (ungated): a full span
+lifecycle is ~5 us of real work against a ~15 us cache hit, which is
+exactly why sampling — not span cheapness — is the hot-path story.
+
+Methodology mirrors ``bench_api_overhead.py``: shared registry,
+per-variant caches (identical hit behaviour), loop timings, and the
+minimum over several trials to strip scheduler noise.
+
+Entry points::
+
+    python benchmarks/bench_obs_overhead.py [--output report.json]
+    pytest benchmarks/bench_obs_overhead.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+try:  # only the pytest-benchmark entry points need it; standalone
+    import pytest  # (the CI acceptance job) must run without pytest.
+except ImportError:  # pragma: no cover
+    pytest = None
+
+from repro.api import QuerySpec
+from repro.graph.builder import graph_from_arrays
+from repro.obs.trace import DEFAULT_TRACE_SAMPLE, Tracer
+from repro.service import GraphRegistry, QueryEngine, ResultCache
+
+GAMMA = 3
+K = 8
+#: Cold queries ask for a deep answer: LocalSearch-P is progressive, so
+#: a small k stops after a few communities no matter the graph size —
+#: real cold work means actually peeling a real slice of the graph.
+COLD_K = 128
+#: Overhead budget: traced <= (1 + TOLERANCE) * untraced.
+TOLERANCE = 0.05
+
+WARM_LOOP = 400
+COLD_LOOP = 12
+TRIALS = 7
+
+
+def layered_cliques(num_cliques: int = 256):
+    """Disjoint K4s — a deterministic community per clique, sized so a
+    cold query does peel work on the order of a small real dataset (a
+    trace records a fixed ~10 us of span/phase bookkeeping per query;
+    the cold gate is about that cost vanishing into real kernel time,
+    so the cold workload must not be microscopic)."""
+    edges = []
+    for c in range(num_cliques):
+        base = 4 * c
+        for i in range(4):
+            for j in range(i + 1, 4):
+                edges.append((base + i, base + j))
+    return graph_from_arrays(4 * num_cliques, edges)
+
+
+def make_registry() -> GraphRegistry:
+    registry = GraphRegistry(preload_datasets=False)
+    registry.register("cliques", layered_cliques)
+    registry.get("cliques")  # pin: construction outside timings
+    return registry
+
+
+def _best_of(trials: int, run: Callable[[], float]) -> float:
+    return min(run() for _ in range(trials))
+
+
+def _time_loop(body: Callable[[], None], loops: int) -> float:
+    started = time.perf_counter()
+    for _ in range(loops):
+        body()
+    return time.perf_counter() - started
+
+
+def _engine(registry: GraphRegistry, tracer: Optional[Tracer]) -> QueryEngine:
+    # One cache per variant: every engine sees the identical hit/miss
+    # sequence, so the ratio isolates exactly the tracing layer.
+    return QueryEngine(registry, cache=ResultCache(4096), tracer=tracer)
+
+
+def _warm_us(engine: QueryEngine) -> float:
+    spec = QuerySpec(graph="cliques", gamma=GAMMA, k=K)
+    engine.execute(spec)  # prime: every timed query is a memoised hit
+    return _best_of(
+        TRIALS, lambda: _time_loop(lambda: engine.execute(spec), WARM_LOOP)
+    )
+
+
+def _cold_us(engine: QueryEngine, counter: List[int]) -> float:
+    def body() -> None:
+        counter[0] += 1
+        # Distinct delta per query -> distinct family -> genuinely cold.
+        engine.execute(
+            QuerySpec(
+                graph="cliques", gamma=GAMMA, k=COLD_K,
+                delta=2.0 + counter[0] * 1e-9,
+            )
+        )
+
+    return _best_of(TRIALS, lambda: _time_loop(body, COLD_LOOP))
+
+
+def measure_overhead(registry: GraphRegistry) -> Dict[str, float]:
+    """Min-of-trials loop times: untraced vs sampled vs fully traced."""
+    baseline = _engine(registry, None)
+    sampled = _engine(registry, Tracer(sample=DEFAULT_TRACE_SAMPLE))
+    full = _engine(registry, Tracer(sample=1.0))
+
+    warm_base_s = _warm_us(baseline)
+    warm_sampled_s = _warm_us(sampled)
+    warm_full_s = _warm_us(full)
+
+    counter = [0]
+    cold_base_s = _cold_us(baseline, counter)
+    cold_full_s = _cold_us(full, counter)
+
+    return {
+        "warm_baseline_us": warm_base_s / WARM_LOOP * 1e6,
+        "warm_sampled_us": warm_sampled_s / WARM_LOOP * 1e6,
+        "warm_full_us": warm_full_s / WARM_LOOP * 1e6,
+        "warm_overhead": warm_sampled_s / warm_base_s - 1.0,
+        "warm_full_overhead": warm_full_s / warm_base_s - 1.0,  # reported
+        "cold_baseline_us": cold_base_s / COLD_LOOP * 1e6,
+        "cold_full_us": cold_full_s / COLD_LOOP * 1e6,
+        "cold_overhead": cold_full_s / cold_base_s - 1.0,
+        "sample": DEFAULT_TRACE_SAMPLE,
+        "tolerance": TOLERANCE,
+        "warm_loop": WARM_LOOP,
+        "cold_loop": COLD_LOOP,
+        "trials": TRIALS,
+    }
+
+
+def run_until_within_budget(max_attempts: int = 5) -> Dict[str, float]:
+    """Measure, retrying on outlier runs (same rationale as the api
+    bench: a <5% bound on micro-second loops is tight against OS noise;
+    genuine regressions fail every attempt, a noisy neighbour one)."""
+    attempts: List[Dict[str, float]] = []
+    registry = make_registry()
+    for _ in range(max_attempts):
+        report = measure_overhead(registry)
+        attempts.append(report)
+        if (
+            report["warm_overhead"] <= TOLERANCE
+            and report["cold_overhead"] <= TOLERANCE
+        ):
+            report["attempts"] = len(attempts)
+            return report
+    best = min(
+        attempts, key=lambda r: max(r["warm_overhead"], r["cold_overhead"])
+    )
+    best["attempts"] = len(attempts)
+    return best
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points (skipped entirely without pytest)
+# ----------------------------------------------------------------------
+if pytest is not None:
+
+    @pytest.fixture(scope="module")
+    def registry():
+        return make_registry()
+
+    @pytest.mark.benchmark(group="obs-overhead")
+    def bench_engine_untraced_warm(benchmark, registry):
+        engine = _engine(registry, None)
+        spec = QuerySpec(graph="cliques", gamma=GAMMA, k=K)
+        engine.execute(spec)
+        result = benchmark(lambda: engine.execute(spec))
+        assert result.source == "cache"
+
+    @pytest.mark.benchmark(group="obs-overhead")
+    def bench_engine_sampled_warm(benchmark, registry):
+        engine = _engine(registry, Tracer(sample=DEFAULT_TRACE_SAMPLE))
+        spec = QuerySpec(graph="cliques", gamma=GAMMA, k=K)
+        engine.execute(spec)
+        result = benchmark(lambda: engine.execute(spec))
+        assert result.source == "cache"
+
+    @pytest.mark.benchmark(group="obs-acceptance")
+    def bench_acceptance_overhead(benchmark, registry):
+        report = benchmark.pedantic(
+            run_until_within_budget, rounds=1, iterations=1
+        )
+        assert report["warm_overhead"] <= TOLERANCE, report
+        assert report["cold_overhead"] <= TOLERANCE, report
+
+
+# ----------------------------------------------------------------------
+# standalone entry point
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output", metavar="FILE", default=None,
+        help="also write the report as JSON (CI artifact)",
+    )
+    args = parser.parse_args(argv)
+
+    print("measuring tracing overhead (min of "
+          f"{TRIALS} trials x {WARM_LOOP}/{COLD_LOOP} loops)...", flush=True)
+    report = run_until_within_budget()
+
+    print(f"warm  untraced: {report['warm_baseline_us']:9.2f} us/query   "
+          f"sampled@{report['sample']:.2f}: {report['warm_sampled_us']:9.2f} "
+          f"us/query   overhead: {report['warm_overhead']:+.1%}")
+    print(f"warm  full-sample (reported, ungated): "
+          f"{report['warm_full_us']:9.2f} us/query   "
+          f"overhead: {report['warm_full_overhead']:+.1%}")
+    print(f"cold  untraced: {report['cold_baseline_us']:9.2f} us/query   "
+          f"traced@1.0: {report['cold_full_us']:9.2f} us/query   "
+          f"overhead: {report['cold_overhead']:+.1%}")
+    ok = (
+        report["warm_overhead"] <= TOLERANCE
+        and report["cold_overhead"] <= TOLERANCE
+    )
+    print(f"acceptance (<{TOLERANCE:.0%} overhead, warm sampled & cold "
+          "full):", "PASS" if ok else "FAIL",
+          f"({report['attempts']} attempt(s))")
+
+    if args.output:
+        payload = {"benchmark": "obs_overhead", "pass": ok, **report}
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"report written to {args.output}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

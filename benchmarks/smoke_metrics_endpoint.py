@@ -1,0 +1,141 @@
+"""End-to-end observability smoke: serve, query, scrape, trace.
+
+Boots a real :class:`~repro.server.transport.ReproServer` with two
+cluster workers, the metrics exporter on an ephemeral port, and
+``trace_sample=1.0``; runs one query over TCP; then asserts the whole
+PR-6 acceptance path:
+
+* ``/metrics`` (Prometheus text) exposes the serving counters —
+  ``repro_queries_served_total``, per-family latency quantiles,
+  coalesce rate, scheduler queue depth, and (process backend only)
+  per-worker queue depths;
+* ``/traces`` returns the query's stitched trace: transport →
+  scheduler → (cluster_dispatch → worker, process backend) → engine,
+  with the engine span carrying >= 3 kernel phase timings;
+* the shell ``trace`` command over the *same* TCP connection lists
+  that trace and renders it by id.
+
+Honours ``REPRO_MP_START`` (`""`/`fork`/`spawn`) like the cluster
+benchmarks, so CI exercises both start methods.  Exit code 0 on PASS.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+import urllib.request
+
+from repro.api import QuerySpec
+from repro.server.client import ReproClient
+from repro.server.transport import ReproServer
+
+#: Span names every stitched trace must contain, per backend.
+THREAD_SPANS = {"transport", "scheduler", "engine"}
+PROCESS_SPANS = THREAD_SPANS | {"cluster_dispatch", "worker"}
+MIN_PHASES = 3
+
+
+def _http_json(base: str, path: str) -> dict:
+    with urllib.request.urlopen(base + path, timeout=10.0) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def _http_text(base: str, path: str) -> str:
+    with urllib.request.urlopen(base + path, timeout=10.0) as response:
+        return response.read().decode("utf-8")
+
+
+def check_prometheus(text: str, process_backend: bool) -> None:
+    required = [
+        "repro_queries_served_total",
+        "repro_family_latency_ms",
+        "repro_server_coalesce_rate",
+        "repro_server_queue_depth",
+        "repro_traces_recorded_total",
+    ]
+    if process_backend:
+        required.append("repro_cluster_worker_queue_depth")
+    missing = [name for name in required if name not in text]
+    assert not missing, f"/metrics missing series: {missing}"
+    # Quantile labels on the family summary, not just the series name.
+    assert 'quantile="0.5"' in text and 'quantile="0.95"' in text, (
+        "family latency summary lacks p50/p95 quantile labels"
+    )
+
+
+def check_trace(trace: dict, process_backend: bool) -> None:
+    spans = trace.get("spans", [])
+    names = {span["name"] for span in spans}
+    expected = PROCESS_SPANS if process_backend else THREAD_SPANS
+    assert expected <= names, (
+        f"stitched trace spans {sorted(names)} missing "
+        f"{sorted(expected - names)}"
+    )
+    engine_spans = [span for span in spans if span["name"] == "engine"]
+    phases = {
+        phase for span in engine_spans for phase in span.get("phases", {})
+    }
+    assert len(phases) >= MIN_PHASES, (
+        f"engine span has {sorted(phases)}: want >= {MIN_PHASES} "
+        "kernel phases"
+    )
+
+
+async def main() -> int:
+    server = ReproServer(
+        workers=2,
+        metrics_port=0,
+        trace_sample=1.0,
+        batch_window_ms=0.0,
+    )
+    await server.start(tcp=("127.0.0.1", 0))
+    backend = getattr(server.shards, "backend", "thread")
+    process_backend = backend == "process"
+    try:
+        assert server.metrics_address is not None
+        mhost, mport = server.metrics_address
+        base = f"http://{mhost}:{mport}"
+        host, port = server.tcp_address
+
+        client = await ReproClient.connect(host, port=port)
+        try:
+            result = await client.execute(
+                QuerySpec(graph="email", k=5, gamma=3)
+            )
+            assert result.communities, "query returned no communities"
+
+            # Traces finalise before the response bytes leave the
+            # server, so the scrape after the reply is race-free.
+            listing = _http_json(base, "/traces?limit=5")["traces"]
+            assert listing, "no traces retained after a traced query"
+            trace = _http_json(base, f"/traces/{listing[0]['trace_id']}")
+            check_trace(trace, process_backend)
+
+            assert _http_text(base, "/healthz").strip() == "ok"
+            check_prometheus(_http_text(base, "/metrics"), process_backend)
+            snapshot = _http_json(base, "/metrics.json")
+            assert snapshot["queries_served"] >= 1, snapshot
+            assert snapshot["traces"]["traces_recorded"] >= 1, snapshot
+
+            # Shell surface over the same connection: list + render.
+            lines = await client.request("trace limit=5")
+            assert any(
+                trace["trace_id"] in line for line in lines
+            ), f"shell 'trace' listing lacks {trace['trace_id']}: {lines}"
+            rendered = await client.request(f"trace {trace['trace_id']}")
+            assert any("engine" in line for line in rendered), rendered
+        finally:
+            await client.close()
+    finally:
+        await server.stop()
+
+    print(
+        f"smoke_metrics_endpoint: PASS (backend={backend}, "
+        f"trace spans stitched, /metrics + /traces live)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(asyncio.run(main()))

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Observability in-process: traces, kernel phases, and the exporter.
+
+The same ``repro.obs`` tier the server uses works without any server:
+hand a :class:`~repro.obs.trace.Tracer` to ``repro.open(...)`` and the
+engine mints one trace per sampled query, down to the peel kernel's
+per-phase timings; a :class:`~repro.obs.export.MetricsServer` then
+serves the standard endpoints from the same process.
+
+Run:  python examples/observability.py
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+import repro
+from repro import QuerySpec
+from repro.obs import MetricsServer, Tracer, format_trace
+from repro.service import ServiceMetrics
+
+# sample=1.0: trace every query (a production default is ~0.02 —
+# 1 in 50 — plus slow-query exemplars, which are always retained).
+tracer = Tracer(sample=1.0, slow_ms=5.0)
+metrics = ServiceMetrics()
+
+with repro.open(metrics=metrics, tracer=tracer) as rp:
+    # A cold query (real peel work) and a warm repeat (cache slice).
+    for _ in range(2):
+        rs = rp.graph("email").topk(k=10, gamma=10)
+        print(
+            f"[{rs.stats['source']}] {len(rs.communities)} communities "
+            f"in {rs.stats['elapsed_ms']:.2f} ms"
+        )
+
+    # Every trace is a span tree; the engine span carries the kernel
+    # phase breakdown (csr_build / gamma_core / peel / enumerate /
+    # cursor_resume) — algorithmic time, not just queueing.
+    print("\nrecent traces:")
+    for trace in tracer.store.recent(5):
+        print("\n".join(format_trace(trace)))
+
+    # The zero-dep HTTP exporter serves the same data to the outside:
+    # /metrics (Prometheus), /metrics.json, /traces, /traces/slow.
+    exporter = MetricsServer(metrics, trace_store=tracer.store, port=0)
+    host, port = exporter.start()
+    try:
+        base = f"http://{host}:{port}"
+        text = urllib.request.urlopen(base + "/metrics").read().decode()
+        wanted = (
+            "repro_queries_served_total",
+            "repro_cache_hit_rate",
+            "repro_family_latency_ms",
+        )
+        print("\nscraped /metrics:")
+        for line in text.splitlines():
+            if line.startswith(wanted):
+                print(f"  {line}")
+        slow = json.loads(
+            urllib.request.urlopen(base + "/traces/slow").read()
+        )["traces"]
+        print(f"\nslow-query exemplars retained (>=5ms): {len(slow)}")
+    finally:
+        exporter.stop()

@@ -27,6 +27,7 @@ from dataclasses import replace
 from typing import Any, List, Optional
 
 from ..errors import ServiceError
+from ..obs.trace import Tracer
 from ..service.cache import ResultCache
 from ..service.engine import QueryEngine
 from ..service.metrics import ServiceMetrics
@@ -177,11 +178,15 @@ class _LocalBackend(_Backend):
         cache: Optional[ResultCache],
         metrics: ServiceMetrics,
         default_graph: Optional[str] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.registry = registry
         self.cache = cache
         self.metrics = metrics
-        self.engine = QueryEngine(registry, cache=cache, metrics=metrics)
+        self.tracer = tracer
+        self.engine = QueryEngine(
+            registry, cache=cache, metrics=metrics, tracer=tracer
+        )
         self.default_graph = default_graph
         # The facade's whole query path IS the engine call: no wrapper
         # frame between ResultSet._fetch and QueryEngine.execute.
@@ -288,6 +293,7 @@ def open(
     cache_size: int = 256,
     max_cached_k: Optional[int] = None,
     metrics: Optional[ServiceMetrics] = None,
+    tracer: Optional[Tracer] = None,
 ) -> Repro:
     """An in-process :class:`Repro` facade.
 
@@ -309,6 +315,10 @@ def open(
     cache_size / max_cached_k:
         Result-cache geometry; ``cache_size=0`` disables caching
         entirely (every query recomputes — benchmarking baseline).
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`; the facade's engine
+        is the serving edge here, so its sampling mints ``query`` root
+        traces, retained in ``tracer.store``.
     """
     if registry is None:
         registry = GraphRegistry(preload_datasets=datasets)
@@ -330,6 +340,7 @@ def open(
         cache,
         metrics if metrics is not None else ServiceMetrics(),
         default_graph=default_graph,
+        tracer=tracer,
     )
     return Repro(backend)
 

@@ -187,6 +187,50 @@ def build_parser() -> argparse.ArgumentParser:
              "so a crash (not just a clean shutdown) keeps it warm "
              "(requires --warmstart; network mode only)",
     )
+    serve.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="serve Prometheus-text /metrics, /metrics.json and /traces "
+             "over HTTP on this port (0 = ephemeral; stdlib only, "
+             "works in both stdio and network modes)",
+    )
+    serve.add_argument(
+        "--trace-sample", type=float, default=None, metavar="RATE",
+        help="trace roughly this fraction of queries end to end "
+             "(0 disables; the first query is always traced; default "
+             "0.02 once any observability flag is set)",
+    )
+    serve.add_argument(
+        "--slow-ms", type=float, default=None, metavar="MS",
+        help="traces slower than this are retained as slow-query "
+             "exemplars ('trace slow' / /traces/slow; default 250)",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="fetch traces from a serving repro's metrics endpoint",
+    )
+    trace.add_argument(
+        "--port", type=int, required=True,
+        help="the server's --metrics-port",
+    )
+    trace.add_argument(
+        "--host", default="127.0.0.1", help="metrics host (default local)"
+    )
+    trace.add_argument(
+        "--slow", action="store_true",
+        help="list retained slow-query exemplars instead of recent traces",
+    )
+    trace.add_argument(
+        "--id", default=None, metavar="TRACE_ID",
+        help="print one trace as a full span tree",
+    )
+    trace.add_argument(
+        "--json", action="store_true", help="raw JSON instead of rendering"
+    )
+    trace.add_argument(
+        "--limit", type=int, default=20,
+        help="maximum traces to list (default 20)",
+    )
     return parser
 
 
@@ -307,6 +351,9 @@ def _run_server_async(args: argparse.Namespace, out) -> int:
             warmstart_path=args.warmstart,
             warmstart_interval=args.warmstart_interval,
             preload_datasets=not args.no_datasets,
+            metrics_port=args.metrics_port,
+            trace_sample=args.trace_sample,
+            slow_ms=args.slow_ms,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=out)
@@ -339,6 +386,9 @@ def _run_server_async(args: argparse.Namespace, out) -> int:
                 ),
                 file=out,
             )
+        if server.metrics_address is not None:
+            mhost, mport = server.metrics_address
+            print(f"metrics on http://{mhost}:{mport}/metrics", file=out)
         if server.warmstart is not None:
             print(
                 f"warm start: {server.restored_entries} cache entries "
@@ -400,11 +450,33 @@ def _run_serve(args: argparse.Namespace, out, in_stream) -> int:
 
     registry = GraphRegistry(preload_datasets=not args.no_datasets)
     metrics = ServiceMetrics()
+    # Observability in stdio mode mirrors the network server: any obs
+    # flag builds a sampling tracer (engine-rooted "query" traces) and
+    # --metrics-port additionally serves them over HTTP alongside the
+    # interactive loop.
+    obs_enabled = (
+        args.metrics_port is not None
+        or args.trace_sample is not None
+        or args.slow_ms is not None
+    )
+    tracer = None
+    if obs_enabled:
+        from .obs.trace import DEFAULT_SLOW_MS, DEFAULT_TRACE_SAMPLE, Tracer
+
+        tracer = Tracer(
+            sample=(
+                args.trace_sample
+                if args.trace_sample is not None
+                else DEFAULT_TRACE_SAMPLE
+            ),
+            slow_ms=args.slow_ms if args.slow_ms is not None else DEFAULT_SLOW_MS,
+        )
     try:
         engine = QueryEngine(
             registry,
             cache=ResultCache(args.cache_size, max_cached_k=args.max_cached_k),
             metrics=metrics,
+            tracer=tracer,
         )
         sessions = SessionManager(
             registry, ttl_seconds=args.session_ttl, metrics=metrics
@@ -412,15 +484,80 @@ def _run_serve(args: argparse.Namespace, out, in_stream) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=out)
         return 2
-    if args.script is not None:
-        with open(args.script, "r", encoding="utf-8") as handle:
-            shell = ServiceShell(engine, sessions, out)
-            return shell.run(handle)
-    if in_stream is None:
-        in_stream = sys.stdin
-    prompt = "repro> " if getattr(in_stream, "isatty", lambda: False)() else ""
-    shell = ServiceShell(engine, sessions, out, prompt=prompt)
-    return shell.run(in_stream)
+    metrics_server = None
+    if args.metrics_port is not None:
+        from .obs.export import MetricsServer
+
+        metrics_server = MetricsServer(
+            metrics,
+            trace_store=tracer.store if tracer is not None else None,
+            port=args.metrics_port,
+        )
+        mhost, mport = metrics_server.start()
+        print(f"metrics on http://{mhost}:{mport}/metrics", file=out)
+    try:
+        if args.script is not None:
+            with open(args.script, "r", encoding="utf-8") as handle:
+                shell = ServiceShell(engine, sessions, out, tracer=tracer)
+                return shell.run(handle)
+        if in_stream is None:
+            in_stream = sys.stdin
+        prompt = (
+            "repro> " if getattr(in_stream, "isatty", lambda: False)() else ""
+        )
+        shell = ServiceShell(engine, sessions, out, prompt=prompt, tracer=tracer)
+        return shell.run(in_stream)
+    finally:
+        if metrics_server is not None:
+            metrics_server.stop()
+
+
+def _run_trace(args: argparse.Namespace, out) -> int:
+    """``repro trace`` — pull traces off a server's metrics endpoint."""
+    import json as _json
+    import urllib.error
+    import urllib.request
+
+    from .obs.trace import format_trace, format_trace_line
+
+    base = f"http://{args.host}:{args.port}"
+    if args.id is not None:
+        url = f"{base}/traces/{args.id}"
+    elif args.slow:
+        url = f"{base}/traces/slow?limit={args.limit}"
+    else:
+        url = f"{base}/traces?limit={args.limit}"
+    try:
+        with urllib.request.urlopen(url, timeout=10.0) as response:
+            payload = _json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        if exc.code == 404 and args.id is not None:
+            print(f"error: no trace {args.id!r} retained", file=out)
+        else:
+            print(f"error: {url}: HTTP {exc.code}", file=out)
+        return 1
+    except (urllib.error.URLError, OSError) as exc:
+        reason = getattr(exc, "reason", exc)
+        print(
+            f"error: cannot reach {base} ({reason}) — is the server "
+            "running with --metrics-port?",
+            file=out,
+        )
+        return 1
+    if args.json:
+        print(_json.dumps(payload, sort_keys=True), file=out)
+        return 0
+    if args.id is not None:
+        print("\n".join(format_trace(payload)), file=out)
+        return 0
+    traces = payload.get("traces", []) if isinstance(payload, dict) else payload
+    if not traces:
+        kind = "slow " if args.slow else ""
+        print(f"(no {kind}traces retained)", file=out)
+        return 0
+    for trace in traces:
+        print(format_trace_line(trace), file=out)
+    return 0
 
 
 def main(argv: Optional[List[str]] = None, out=None, in_stream=None) -> int:
@@ -430,6 +567,9 @@ def main(argv: Optional[List[str]] = None, out=None, in_stream=None) -> int:
 
     if args.command == "serve":
         return _run_serve(args, out, in_stream)
+
+    if args.command == "trace":
+        return _run_trace(args, out)
 
     if args.command == "stats":
         graph = (

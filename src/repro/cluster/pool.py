@@ -48,6 +48,7 @@ from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..api.spec import FamilyKey, QuerySpec
 from ..errors import ClusterWorkerError, ServiceError
+from ..obs.trace import Span, Tracer, current_span, use_span
 from ..service.cache import (
     CacheKey,
     ProgressiveEntry,
@@ -147,6 +148,7 @@ class ClusterPool:
         start_method: Optional[str] = None,
         worker_cache_size: int = 128,
         job_timeout: float = 300.0,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
@@ -155,6 +157,7 @@ class ClusterPool:
         self.registry = registry
         self.cache = cache
         self.metrics = metrics
+        self.tracer = tracer
         self.job_timeout = job_timeout
         self.worker_cache_size = worker_cache_size
         self.use_shared_memory = (
@@ -438,12 +441,24 @@ class ClusterPool:
     # execution
     # ------------------------------------------------------------------
     async def execute_spec(
-        self, engine: QueryEngine, spec: QuerySpec
+        self,
+        engine: QueryEngine,
+        spec: QuerySpec,
+        span: Optional[Span] = None,
     ) -> QueryResult:
         """Serve one spec off the event loop (the scheduler's entry)."""
         return await asyncio.get_running_loop().run_in_executor(
-            None, self.execute, engine, spec
+            None, self._execute_with_span, engine, spec, span
         )
+
+    def _execute_with_span(
+        self, engine: QueryEngine, spec: QuerySpec, span: Optional[Span]
+    ) -> QueryResult:
+        """Re-enter the upstream span on the executor thread
+        (``run_in_executor`` does not copy contextvars; ``None`` maps to
+        NO_TRACE so an untraced server query never re-mints a root)."""
+        with use_span(span):
+            return self.execute(engine, spec)
 
     def execute(self, engine: QueryEngine, spec: QuerySpec) -> QueryResult:
         """Serve one spec: parent cache slice, or a worker roundtrip."""
@@ -458,6 +473,19 @@ class ClusterPool:
             return engine.execute(spec)
         family = spec.cache_key()
         worker = self._workers[self.route(family)]
+        tracer = self.tracer
+        parent = current_span()
+        dspan = (
+            tracer.start_span("cluster_dispatch", parent, worker=worker.tag)
+            if tracer is not None and parent is not None
+            else None
+        )
+        # The (trace_id, span_id) pair travels down the pipe; the worker
+        # roots its own spans under it and ships them back as plain
+        # dicts, so the parent trace stitches across the process edge.
+        trace_ref = (
+            (dspan.trace_id, dspan.span_id) if dspan is not None else None
+        )
         started = time.perf_counter()
         # depth is shared by every executor thread dispatching to this
         # worker; bare += would lose updates and skew route()'s
@@ -468,7 +496,11 @@ class ClusterPool:
         if self.metrics is not None:
             self.metrics.observe_cluster_depth(worker.tag, depth)
         try:
-            reply = self._dispatch(worker, handle, spec, family, key)
+            reply = self._dispatch(worker, handle, spec, family, key, trace_ref)
+        except Exception as exc:  # noqa: BLE001 — close the span, re-raise
+            if dspan is not None:
+                tracer.end(dspan, error=type(exc).__name__)
+            raise
         finally:
             with self._route_lock:
                 worker.depth -= 1
@@ -477,9 +509,15 @@ class ClusterPool:
                 self.metrics.observe_cluster_depth(worker.tag, depth)
         if reply[0] == "error":
             if self.metrics is not None:
-                self.metrics.observe_error()
+                self.metrics.observe_error(kind=reply[1])
+            if dspan is not None:
+                tracer.end(dspan, error=reply[1])
             raise ClusterWorkerError(worker.tag, reply[1], reply[2])
         result: QueryResult = reply[1]
+        if dspan is not None:
+            # Length-tolerant: pre-obs workers reply with 2-tuples.
+            tracer.attach(dspan, reply[2] if len(reply) > 2 else None)
+            tracer.end(dspan, source=result.source)
         worker.dispatches += 1
         elapsed_ms = (time.perf_counter() - started) * 1000.0
         self._mirror(key, handle, result)
@@ -503,6 +541,7 @@ class ClusterPool:
         spec: QuerySpec,
         family: FamilyKey,
         key: CacheKey,
+        trace_ref: Optional[Tuple[str, str]] = None,
     ):
         """One locked worker roundtrip, restarting + retrying once."""
         for attempt in (0, 1):
@@ -519,7 +558,9 @@ class ClusterPool:
                         else None
                     )
                     reply = self._roundtrip(
-                        worker, ("query", spec, seed), timeout=self.job_timeout
+                        worker,
+                        ("query", spec, seed, trace_ref),
+                        timeout=self.job_timeout,
                     )
                     if reply[0] == "result":
                         # Error replies create no worker-side entry:

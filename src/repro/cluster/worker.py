@@ -17,15 +17,20 @@ The protocol over the duplex pipe is a tagged tuple per message:
 * ``("attach_pickle", name, version, graph)`` — the fallback path for
   platforms without shared memory: the whole graph travels through the
   pipe once per worker;
-* ``("query", spec, seed)`` — execute one spec; ``seed`` optionally
-  carries parent-cache views to pre-populate a family this worker has
-  never seen (the restart re-seed path), and is ignored when the worker
-  already holds the family;
+* ``("query", spec, seed[, trace_ref])`` — execute one spec; ``seed``
+  optionally carries parent-cache views to pre-populate a family this
+  worker has never seen (the restart re-seed path), and is ignored when
+  the worker already holds the family; ``trace_ref`` is an optional
+  ``(trace_id, span_id)`` pair — when present, the worker roots a
+  remote ``worker`` span under it and ships its finished spans back as
+  plain dicts so the parent trace stitches across the process edge
+  (both sides are length-tolerant: a 3-tuple query message and a
+  2-tuple result reply remain valid);
 * ``("ping",)`` — health probe, answers worker statistics;
 * ``("stop",)`` — graceful exit.
 
-Replies are ``("ok", payload)`` / ``("result", QueryResult)`` /
-``("pong", stats)`` / ``("error", kind, message)``.  Errors are
+Replies are ``("ok", payload)`` / ``("result", QueryResult[, spans])``
+/ ``("pong", stats)`` / ``("error", kind, message)``.  Errors are
 flattened to strings — exception objects with custom constructors do
 not survive pickling reliably, and the parent re-raises them as
 :class:`~repro.errors.ClusterWorkerError` anyway.
@@ -43,6 +48,7 @@ from typing import Dict, Optional, Tuple
 
 from ..api.spec import QuerySpec
 from ..errors import ReproError, UnknownGraphError
+from ..obs.trace import Tracer, use_span
 from ..service.cache import CacheKey, ProgressiveEntry, ResultCache, StaticEntry
 from ..service.engine import QueryEngine, progressive_cursor_factory
 from ..service.registry import GraphHandle
@@ -172,7 +178,11 @@ def worker_main(conn, config: WorkerConfig) -> None:
         os.environ["REPRO_KERNEL"] = config.kernel_env
     registry = _WorkerRegistry()
     cache = ResultCache(config.cache_size, max_cached_k=config.max_cached_k)
-    engine = QueryEngine(registry, cache=cache, metrics=None)
+    # sample=0: the worker never originates traces — it only roots
+    # remote spans under a parent-supplied trace_ref, and those are
+    # shipped back rather than stored locally.
+    tracer = Tracer(sample=0.0)
+    engine = QueryEngine(registry, cache=cache, metrics=None, tracer=tracer)
     jobs = attaches = 0
     try:
         while True:
@@ -184,11 +194,34 @@ def worker_main(conn, config: WorkerConfig) -> None:
                 tag = message[0]
                 if tag == "query":
                     spec, seed = message[1], message[2]
+                    trace_ref = message[3] if len(message) > 3 else None
                     if seed is not None:
                         _install_seed(cache, registry, spec, seed)
-                    result = engine.execute(spec)
-                    jobs += 1
-                    conn.send(("result", result))
+                    if trace_ref is None:
+                        result = engine.execute(spec)
+                        jobs += 1
+                        conn.send(("result", result))
+                    else:
+                        wspan = tracer.start_remote(
+                            trace_ref[0],
+                            trace_ref[1],
+                            "worker",
+                            worker=config.worker_id,
+                            pid=os.getpid(),
+                        )
+                        try:
+                            with use_span(wspan):
+                                result = engine.execute(spec)
+                        except BaseException as exc:
+                            tracer.finish_remote(
+                                wspan, error=type(exc).__name__
+                            )
+                            raise
+                        jobs += 1
+                        payload = tracer.finish_remote(
+                            wspan, source=result.source
+                        )
+                        conn.send(("result", result, payload))
                 elif tag == "attach_shm":
                     segment: SegmentHandle = message[1]
                     graph, shm = attach_graph(segment)

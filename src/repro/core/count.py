@@ -235,6 +235,7 @@ def construct_cvs(
     track_noncontainment: bool = False,
     kernel: Optional[str] = None,
     scratch=None,
+    phases=None,
 ) -> CVSRecord:
     """ConstructCVS over a prefix view — the kernel dispatcher.
 
@@ -249,8 +250,16 @@ def construct_cvs(
     module's :func:`peel_cvs` over a materialised adjacency — is the
     differential-testing oracle.  ``scratch`` optionally carries a
     :class:`~repro.core.fastpeel.PeelScratch` across the rounds of one
-    progressive query so buffers and down-cuts are reused.
+    progressive query so buffers and down-cuts are reused.  ``phases``
+    optionally accumulates per-phase wall time in ms (see
+    :func:`repro.obs.trace.record_phase`) — the python kernel reports
+    ``adjacency``/``peel``, the fast kernels ``csr_build`` /
+    ``gamma_core`` / ``peel``; :func:`peel_cvs` itself stays untouched
+    (it is the differential-testing oracle).
     """
+    from time import perf_counter
+
+    from ..obs.trace import record_phase
     from .fastpeel import fast_construct_cvs, resolve_kernel
 
     resolved = resolve_kernel(kernel)
@@ -262,14 +271,21 @@ def construct_cvs(
             track_noncontainment=track_noncontainment,
             kernel=resolved,
             scratch=scratch,
+            phases=phases,
         )
+    t0 = perf_counter()
     nbrs = view.neighbor_lists()
-    return peel_cvs(
+    t1 = perf_counter()
+    record = peel_cvs(
         nbrs,
         gamma,
         stop_rank=stop_rank,
         track_noncontainment=track_noncontainment,
     )
+    t2 = perf_counter()
+    record_phase("adjacency", t1 - t0, phases)
+    record_phase("peel", t2 - t1, phases)
+    return record
 
 
 def count_communities(

@@ -51,10 +51,12 @@ from __future__ import annotations
 
 import os
 from bisect import bisect_left
+from time import perf_counter
 from typing import List, Optional, Tuple
 
 from ..graph.csr import CSRAdjacency, PrefixAdjacency
 from ..graph.subgraph import PrefixView
+from ..obs.trace import record_phase
 from .count import CVSRecord
 
 __all__ = [
@@ -436,17 +438,24 @@ def fast_construct_cvs(
     track_noncontainment: bool = False,
     kernel: str = "array",
     scratch: Optional[PeelScratch] = None,
+    phases=None,
 ) -> CVSRecord:
     """ConstructCVS over a prefix view via the flat-array kernels.
 
     Output-equivalent to the python kernel of
     :func:`repro.core.count.construct_cvs`; ``scratch`` (optional)
     carries buffers and down-cut seeds across the rounds of one
-    progressive query.
+    progressive query.  ``phases`` optionally accumulates per-phase
+    wall time in ms (``csr_build`` = the graph's one-time CSR
+    materialisation, amortised to ~0 on later rounds; ``gamma_core`` =
+    degree/cut maintenance + the γ-core reduction; ``peel`` = the
+    ordered group peel) via :func:`repro.obs.trace.record_phase`.
     """
     if gamma < 1:
         raise ValueError("gamma must be at least 1")
+    t0 = perf_counter()
     csr = view.graph.csr()
+    t1 = perf_counter()
     p = view.p
     sc = scratch if scratch is not None else PeelScratch()
     if sc.csr is not csr:
@@ -458,12 +467,17 @@ def fast_construct_cvs(
     else:
         _reduce_array(csr, p, gamma, cuts, deg, sc.stack)
     sc.remember(csr, p, cuts)
+    t2 = perf_counter()
 
     up_off, up_tgt, down_off, down_tgt = csr.lists()
     keys, cvs, starts, nc_flags = _peel_groups(
         up_off, up_tgt, down_off, down_tgt,
         cuts, deg, p, gamma, stop_rank, track_noncontainment,
     )
+    t3 = perf_counter()
+    record_phase("csr_build", t1 - t0, phases)
+    record_phase("gamma_core", t2 - t1, phases)
+    record_phase("peel", t3 - t2, phases)
     return CVSRecord(
         keys=keys,
         cvs=cvs,

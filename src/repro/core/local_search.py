@@ -30,9 +30,10 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..errors import QueryParameterError
+from ..obs.trace import record_phase
 from ..graph.subgraph import PrefixView
 from ..graph.weighted_graph import WeightedGraph
 from .community import Community
@@ -68,6 +69,13 @@ class SearchStats:
     elapsed_seconds: float = 0.0
     #: Which peel kernel served the run (resolved name, never "auto").
     kernel: Optional[str] = None
+    #: Accumulated per-phase wall time in **milliseconds** (CSR build,
+    #: gamma-core, peel, enumeration, cursor resume) — written through
+    #: :func:`repro.obs.trace.record_phase`, so an active trace span
+    #: receives the same increments.  For a cached progressive cursor
+    #: the dict accumulates over the family's lifetime (each resume adds
+    #: to it), while span phases stay per-query.
+    phases: Dict[str, float] = field(default_factory=dict)
 
     @property
     def rounds(self) -> int:
@@ -217,7 +225,11 @@ class LocalSearch:
             view = PrefixView(graph, p) if view is None else view.extend(p)
             if self.counting == "countic":
                 record = construct_cvs(
-                    view, gamma, kernel=kernel, scratch=scratch
+                    view,
+                    gamma,
+                    kernel=kernel,
+                    scratch=scratch,
+                    phases=stats.phases,
                 )
                 count = record.num_communities
             else:
@@ -233,9 +245,17 @@ class LocalSearch:
         if record is None:
             # LocalSearch-OA still enumerates through keys/cvs at the end.
             record = construct_cvs(
-                PrefixView(graph, p), gamma, kernel=kernel, scratch=scratch
+                PrefixView(graph, p),
+                gamma,
+                kernel=kernel,
+                scratch=scratch,
+                phases=stats.phases,
             )
+        enum_started = time.perf_counter()
         communities = enumerate_top_k(graph, record, k)
+        record_phase(
+            "enumerate", time.perf_counter() - enum_started, stats.phases
+        )
         stats.elapsed_seconds = time.perf_counter() - started
         return TopKResult(communities=communities, stats=stats, record=record)
 

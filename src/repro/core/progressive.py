@@ -28,6 +28,7 @@ from typing import Iterator, List, Optional, Tuple
 from ..errors import QueryParameterError
 from ..graph.subgraph import PrefixView
 from ..graph.weighted_graph import WeightedGraph
+from ..obs.trace import record_phase
 from .community import Community
 from .count import construct_cvs
 from .enumerate import EnumerationState, enumerate_progressive
@@ -118,6 +119,7 @@ class LocalSearchP:
                 track_noncontainment=self.noncontainment,
                 kernel=kernel,
                 scratch=scratch,
+                phases=self.stats.phases,
             )
             self.stats.prefixes.append(p)
             self.stats.prefix_sizes.append(view.size)
@@ -136,7 +138,27 @@ class LocalSearchP:
                         children=[],
                     )
             else:
-                yield from enumerate_progressive(graph, record, state)
+                # An explicit next() loop (not yield-from) so the timed
+                # window covers only generator-internal enumeration work
+                # — never the consumer's time between pulls.
+                enum = enumerate_progressive(graph, record, state)
+                while True:
+                    t0 = time.perf_counter()
+                    try:
+                        community = next(enum)
+                    except StopIteration:
+                        record_phase(
+                            "enumerate",
+                            time.perf_counter() - t0,
+                            self.stats.phases,
+                        )
+                        break
+                    record_phase(
+                        "enumerate",
+                        time.perf_counter() - t0,
+                        self.stats.phases,
+                    )
+                    yield community
             if view.is_whole_graph:
                 return
             p_prev = p
@@ -211,11 +233,23 @@ class ProgressiveCursor:
         return self._exhausted
 
     def _advance_to(self, k: int) -> None:
+        if self._exhausted or len(self._seen) >= k:
+            return
+        # cursor_resume brackets the whole stream advance, so it
+        # *overlaps* the csr_build/gamma_core/peel/enumerate phases the
+        # advance triggers — it measures "time spent resuming a cached
+        # cursor", not a disjoint slice of the total.
+        t0 = time.perf_counter()
         while not self._exhausted and len(self._seen) < k:
             try:
                 self._seen.append(next(self._stream))
             except StopIteration:
                 self._exhausted = True
+        record_phase(
+            "cursor_resume",
+            time.perf_counter() - t0,
+            self.searcher.stats.phases,
+        )
 
     def ensure(self, k: int) -> int:
         """Materialise at least ``k`` communities (fewer if exhausted).

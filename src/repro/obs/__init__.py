@@ -1,0 +1,48 @@
+"""repro.obs — end-to-end query tracing and zero-dep metrics export.
+
+:mod:`repro.obs.trace` provides the span/tracer primitives threaded
+through every serving layer (transport → scheduler → shard/cluster pool
+→ worker → engine → peel kernels); :mod:`repro.obs.export` serves the
+metrics snapshot and the trace rings over HTTP in Prometheus-text and
+JSON form.  Both are standard-library only.  The export tier (which
+pulls in ``http.server``) loads lazily so the kernel hot path's
+``record_phase`` import stays featherweight.
+"""
+
+from .trace import (
+    DEFAULT_SLOW_MS,
+    DEFAULT_TRACE_SAMPLE,
+    NO_TRACE,
+    Span,
+    Tracer,
+    TraceStore,
+    current_span,
+    format_trace,
+    format_trace_line,
+    record_phase,
+    use_span,
+)
+
+__all__ = [
+    "DEFAULT_SLOW_MS",
+    "DEFAULT_TRACE_SAMPLE",
+    "MetricsServer",
+    "NO_TRACE",
+    "Span",
+    "TraceStore",
+    "Tracer",
+    "current_span",
+    "format_trace",
+    "format_trace_line",
+    "record_phase",
+    "render_prometheus",
+    "use_span",
+]
+
+
+def __getattr__(name):  # PEP 562: defer the http.server import chain
+    if name in ("MetricsServer", "render_prometheus"):
+        from . import export
+
+        return getattr(export, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,348 @@
+"""Metrics + trace exposition: Prometheus text and JSON over HTTP.
+
+Everything here is standard library.  :func:`render_prometheus` turns a
+:meth:`~repro.service.metrics.ServiceMetrics.snapshot` (plus the trace
+store's counters) into Prometheus text-format 0.0.4;
+:class:`MetricsServer` serves it from a daemonized
+:class:`~http.server.ThreadingHTTPServer`, alongside JSON endpoints for
+the raw snapshot and the trace rings:
+
+* ``GET /metrics``        — Prometheus text exposition
+* ``GET /metrics.json``   — the snapshot as one JSON document
+* ``GET /traces``         — recent traces (``?limit=N``, default 20)
+* ``GET /traces/slow``    — slow-query exemplars (``?limit=N``)
+* ``GET /traces/<id>``    — one trace by id (404 when unknown)
+* ``GET /healthz``        — liveness probe (``ok``)
+
+The server thread only ever *reads* shared state (snapshot() and the
+trace store are internally locked), so it needs no coordination with
+the serving loop; ``repro serve --metrics-port N`` starts it next to
+the transport and ``repro trace`` is its CLI client.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from .trace import TraceStore
+
+__all__ = ["MetricsServer", "render_prometheus"]
+
+
+def _escape_label(value: Any) -> str:
+    """Prometheus label-value escaping (backslash, quote, newline)."""
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace('"', r"\"")
+        .replace("\n", r"\n")
+    )
+
+
+def _fmt(value: float) -> str:
+    """Render a sample value (ints stay ints; floats use repr)."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+class _Lines:
+    """Accumulate exposition lines with one HELP/TYPE header per metric."""
+
+    def __init__(self) -> None:
+        self._out: List[str] = []
+        self._seen: set = set()
+
+    def sample(
+        self,
+        name: str,
+        value: Any,
+        labels: Optional[Dict[str, Any]] = None,
+        help_text: str = "",
+        kind: str = "gauge",
+    ) -> None:
+        if value is None:
+            return
+        if name not in self._seen:
+            self._seen.add(name)
+            if help_text:
+                self._out.append(f"# HELP {name} {help_text}")
+            self._out.append(f"# TYPE {name} {kind}")
+        if labels:
+            rendered = ",".join(
+                f'{key}="{_escape_label(val)}"'
+                for key, val in sorted(labels.items())
+            )
+            self._out.append(f"{name}{{{rendered}}} {_fmt(value)}")
+        else:
+            self._out.append(f"{name} {_fmt(value)}")
+
+    def text(self) -> str:
+        return "\n".join(self._out) + "\n"
+
+
+def render_prometheus(
+    snapshot: Dict[str, Any], trace_store: Optional[TraceStore] = None
+) -> str:
+    """Prometheus text exposition of one metrics snapshot."""
+    out = _Lines()
+    out.sample(
+        "repro_queries_served_total",
+        snapshot.get("queries_served", 0),
+        help_text="Queries served across all frontends.",
+        kind="counter",
+    )
+    for dimension in ("source", "algorithm", "kernel", "backend"):
+        for value, count in sorted(
+            (snapshot.get(f"by_{dimension}") or {}).items()
+        ):
+            out.sample(
+                f"repro_queries_by_{dimension}_total",
+                count,
+                labels={dimension: value},
+                kind="counter",
+            )
+    out.sample(
+        "repro_errors_total",
+        snapshot.get("errors", 0),
+        help_text="Errors observed by shell/transport/pool paths.",
+        kind="counter",
+    )
+    for kind_name, count in sorted((snapshot.get("by_error") or {}).items()):
+        out.sample(
+            "repro_errors_by_kind_total",
+            count,
+            labels={"kind": kind_name},
+            kind="counter",
+        )
+    out.sample(
+        "repro_cache_hit_rate",
+        snapshot.get("cache_hit_rate", 0.0),
+        help_text="Fraction of queries served without fresh computation.",
+    )
+    for field in ("sessions_opened", "sessions_closed", "sessions_expired"):
+        out.sample(f"repro_{field}_total", snapshot.get(field, 0), kind="counter")
+
+    server = snapshot.get("server") or {}
+    out.sample(
+        "repro_server_coalesce_rate",
+        server.get("coalesce_rate", 0.0),
+        help_text="Fraction of scheduler queries sharing an engine pass.",
+    )
+    for field in (
+        "connections_opened",
+        "connections_closed",
+        "batches",
+        "batched_queries",
+        "replica_idle_dispatches",
+    ):
+        out.sample(
+            f"repro_server_{field}_total", server.get(field, 0), kind="counter"
+        )
+    for field in ("max_batch_width", "queue_depth", "queue_depth_peak"):
+        out.sample(f"repro_server_{field}", server.get(field, 0))
+
+    for algo, pcts in sorted((snapshot.get("latency_ms") or {}).items()):
+        for pname, value in sorted(pcts.items()):
+            out.sample(
+                "repro_latency_ms",
+                value,
+                labels={
+                    "algorithm": algo,
+                    "quantile": f"{int(pname[1:]) / 100:g}",
+                },
+                help_text="Nearest-rank latency percentiles per algorithm.",
+            )
+
+    for family, row in sorted((snapshot.get("by_family") or {}).items()):
+        out.sample(
+            "repro_family_queries_total",
+            row.get("queries", 0),
+            labels={"family": family},
+            help_text="Queries served per canonical spec family.",
+            kind="counter",
+        )
+        out.sample(
+            "repro_family_hit_rate",
+            row.get("hit_rate", 0.0),
+            labels={"family": family},
+        )
+        for pname in ("p50_ms", "p95_ms"):
+            out.sample(
+                "repro_family_latency_ms",
+                row.get(pname),
+                labels={
+                    "family": family,
+                    "quantile": f"{int(pname[1:-3]) / 100:g}",
+                },
+                help_text="Per-family nearest-rank latency percentiles.",
+            )
+
+    cluster = snapshot.get("cluster") or {}
+    for worker, count in sorted((cluster.get("by_worker") or {}).items()):
+        out.sample(
+            "repro_cluster_worker_dispatches_total",
+            count,
+            labels={"worker": worker},
+            kind="counter",
+        )
+    for worker, depth in sorted((cluster.get("queue_depth") or {}).items()):
+        out.sample(
+            "repro_cluster_worker_queue_depth",
+            depth,
+            labels={"worker": worker},
+            help_text="Queued + in-flight jobs per cluster worker.",
+        )
+    out.sample(
+        "repro_cluster_queue_depth_peak", cluster.get("queue_depth_peak", 0)
+    )
+    for mode, count in sorted(
+        (cluster.get("segment_attaches") or {}).items()
+    ):
+        out.sample(
+            "repro_cluster_segment_attaches_total",
+            count,
+            labels={"mode": mode},
+            kind="counter",
+        )
+    out.sample(
+        "repro_cluster_worker_restarts_total",
+        cluster.get("worker_restarts", 0),
+        kind="counter",
+    )
+
+    if trace_store is not None:
+        counters = trace_store.counters()
+        out.sample(
+            "repro_traces_recorded_total",
+            counters["traces_recorded"],
+            help_text="Finished traces stored (post-sampling).",
+            kind="counter",
+        )
+        out.sample(
+            "repro_traces_slow_total", counters["slow_traces"], kind="counter"
+        )
+        out.sample(
+            "repro_trace_spans_total",
+            counters["spans_recorded"],
+            kind="counter",
+        )
+    return out.text()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Route table over the owning :class:`MetricsServer`'s state."""
+
+    server_version = "repro-obs/1"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # scrapes are high-frequency; stay silent
+
+    def _reply(
+        self, body: str, content_type: str, status: int = 200
+    ) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type + "; charset=utf-8")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _reply_json(self, document: Any, status: int = 200) -> None:
+        self._reply(
+            json.dumps(document, sort_keys=True, default=str),
+            "application/json",
+            status,
+        )
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        exporter: "MetricsServer" = self.server.exporter  # type: ignore[attr-defined]
+        parsed = urlparse(self.path)
+        path = parsed.path.rstrip("/") or "/"
+        try:
+            limit = int(parse_qs(parsed.query).get("limit", ["20"])[0])
+        except ValueError:
+            limit = 20
+        store = exporter.trace_store
+        if path == "/metrics":
+            self._reply(
+                render_prometheus(exporter.metrics.snapshot(), store),
+                "text/plain",
+            )
+        elif path == "/metrics.json":
+            snapshot = exporter.metrics.snapshot()
+            if store is not None:
+                snapshot["traces"] = store.counters()
+            self._reply_json(snapshot)
+        elif path == "/healthz":
+            self._reply("ok\n", "text/plain")
+        elif path == "/traces" and store is not None:
+            self._reply_json({"traces": store.recent(limit)})
+        elif path == "/traces/slow" and store is not None:
+            self._reply_json({"traces": store.slow(limit)})
+        elif path.startswith("/traces/") and store is not None:
+            trace = store.get(path[len("/traces/"):])
+            if trace is None:
+                self._reply_json({"error": "unknown trace id"}, status=404)
+            else:
+                self._reply_json(trace)
+        else:
+            self._reply_json({"error": f"unknown path {path!r}"}, status=404)
+
+
+class MetricsServer:
+    """A daemon-threaded HTTP exposition server (port 0 = ephemeral)."""
+
+    def __init__(
+        self,
+        metrics,
+        trace_store: Optional[TraceStore] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.metrics = metrics
+        self.trace_store = trace_store
+        self._host = host
+        self._port = port
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Optional[Tuple[str, int]]:
+        """``(host, port)`` once started, else ``None``."""
+        if self._httpd is None:
+            return None
+        return self._httpd.server_address[:2]
+
+    def start(self) -> Tuple[str, int]:
+        """Bind and serve on a daemon thread; returns the bound address."""
+        if self._httpd is not None:
+            return self.address  # type: ignore[return-value]
+        httpd = ThreadingHTTPServer((self._host, self._port), _Handler)
+        httpd.daemon_threads = True
+        httpd.exporter = self  # type: ignore[attr-defined]
+        self._httpd = httpd
+        self._thread = threading.Thread(
+            target=httpd.serve_forever,
+            name="repro-metrics-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self.address  # type: ignore[return-value]
+
+    def stop(self) -> None:
+        """Shut the listener down (idempotent)."""
+        httpd, thread = self._httpd, self._thread
+        self._httpd = self._thread = None
+        if httpd is not None:
+            httpd.shutdown()
+            httpd.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..api.spec import FamilyKey, QuerySpec
+from ..obs.trace import Span, Tracer
 from ..service.engine import QueryEngine
 from ..service.metrics import ServiceMetrics
 from ..service.model import QueryResult
@@ -91,6 +92,13 @@ class BatchScheduler:
     window_s:
         Optional collection pause before the first flush of an idle
         family (0 = dispatch immediately, coalescing only under load).
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`.  When the transport
+        handed :meth:`submit` a span, the batch records a ``scheduler``
+        child span under the *lead* waiter's trace, and every coalesced
+        follower's own trace gets a ``coalesced`` span tagged with the
+        leader's trace id — the cross-trace link that explains where a
+        follower's latency actually went.
     """
 
     def __init__(
@@ -100,6 +108,7 @@ class BatchScheduler:
         metrics: Optional[ServiceMetrics] = None,
         max_batch: int = 64,
         window_s: float = 0.0,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be at least 1")
@@ -110,9 +119,17 @@ class BatchScheduler:
         self.metrics = metrics
         self.max_batch = max_batch
         self.window_s = window_s
+        self.tracer = tracer
         self.stats = CoalesceStats()
         self._pending: Dict[
-            FamilyKey, List[Tuple[QuerySpec, "asyncio.Future[QueryResult]"]]
+            FamilyKey,
+            List[
+                Tuple[
+                    QuerySpec,
+                    "asyncio.Future[QueryResult]",
+                    Optional[Span],
+                ]
+            ],
         ] = {}
         self._draining: Set[FamilyKey] = set()
         # Strong references: the event loop only holds weak refs to
@@ -132,13 +149,15 @@ class BatchScheduler:
     def queue_depth(self) -> int:
         return sum(len(waiters) for waiters in self._pending.values())
 
-    async def submit(self, query: QuerySpec) -> QueryResult:
+    async def submit(
+        self, query: QuerySpec, span: Optional[Span] = None
+    ) -> QueryResult:
         """Serve one query, sharing an engine pass with concurrent peers."""
         key = self.key_for(query)
         future: "asyncio.Future[QueryResult]" = (
             asyncio.get_running_loop().create_future()
         )
-        self._pending.setdefault(key, []).append((query, future))
+        self._pending.setdefault(key, []).append((query, future, span))
         if self.metrics is not None:
             self.metrics.observe_queue_depth(self.queue_depth)
         if key not in self._draining:
@@ -174,26 +193,66 @@ class BatchScheduler:
     async def _run_batch(
         self,
         key: FamilyKey,
-        batch: List[Tuple[QuerySpec, "asyncio.Future[QueryResult]"]],
+        batch: List[
+            Tuple[QuerySpec, "asyncio.Future[QueryResult]", Optional[Span]]
+        ],
     ) -> None:
-        k_max = max(query.k for query, _ in batch)
-        lead = next(query for query, _ in batch if query.k == k_max)
+        k_max = max(query.k for query, _, _ in batch)
+        lead, _, lead_span = next(
+            entry for entry in batch if entry[0].k == k_max
+        )
+        tracer = self.tracer
+        bspan = (
+            tracer.start_span("scheduler", lead_span, width=len(batch))
+            if tracer is not None and lead_span is not None
+            else None
+        )
+        # Cross-trace links: each traced follower's own trace records a
+        # "coalesced" span covering its wait on the lead's engine pass,
+        # tagged with the leader's trace id — the follower's latency is
+        # explained without dumping the leader's trace.
+        coalesced: Dict[int, Span] = {}
+        if tracer is not None:
+            for idx, (query, _, span) in enumerate(batch):
+                if query is not lead and span is not None:
+                    coalesced[idx] = tracer.start_span(
+                        "coalesced",
+                        span,
+                        leader=(
+                            lead_span.trace_id
+                            if lead_span is not None
+                            else "untraced"
+                        ),
+                        width=len(batch),
+                    )
         started = time.perf_counter()
         try:
             # The backend-neutral pool surface: thread shards run the
             # engine in-process, the cluster pool routes the spec to the
             # worker process holding the family's cursor.
-            result = await self.shards.execute_spec(self.engine, lead)
+            result = await self.shards.execute_spec(
+                self.engine, lead, span=bspan if bspan is not None else lead_span
+            )
         except Exception as exc:  # noqa: BLE001 — propagate to every waiter
-            for _, future in batch:
+            if bspan is not None:
+                tracer.end(bspan, error=type(exc).__name__)
+            for idx, (_, future, _) in enumerate(batch):
+                cspan = coalesced.get(idx)
+                if cspan is not None:
+                    tracer.end(cspan, error=type(exc).__name__)
                 if not future.done():
                     future.set_exception(exc)
             return
         elapsed_ms = (time.perf_counter() - started) * 1000.0
+        if bspan is not None:
+            tracer.end(bspan, k_max=k_max, source=result.source)
         self.stats.record(len(batch))
         if self.metrics is not None:
             self.metrics.observe_batch(len(batch))
-        for query, future in batch:
+        for idx, (query, future, span) in enumerate(batch):
+            cspan = coalesced.get(idx)
+            if cspan is not None:
+                tracer.end(cspan, source=COALESCED)
             if future.done():  # waiter went away (connection dropped)
                 continue
             if query is lead:

@@ -39,8 +39,11 @@ from collections import defaultdict
 from concurrent.futures import ThreadPoolExecutor
 from typing import TYPE_CHECKING, Callable, Dict, List, Mapping, Optional, TypeVar
 
+from ..obs.trace import use_span
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..api.spec import QuerySpec
+    from ..obs.trace import Span, Tracer
     from ..service.cache import ResultCache
     from ..service.engine import QueryEngine
     from ..service.metrics import ServiceMetrics
@@ -157,15 +160,27 @@ class ShardPool:
             self._depth[index] -= 1
 
     async def execute_spec(
-        self, engine: "QueryEngine", spec: "QuerySpec"
+        self,
+        engine: "QueryEngine",
+        spec: "QuerySpec",
+        span: Optional["Span"] = None,
     ) -> "QueryResult":
         """Serve one spec on the spec graph's shard.
 
         The backend-neutral execution surface shared with
         :class:`~repro.cluster.pool.ClusterPool` — the scheduler only
-        ever calls this.
+        ever calls this.  The upstream span is re-entered on the shard
+        thread explicitly (``run_in_executor`` does not copy
+        contextvars); a ``None`` span still wraps the call in
+        :data:`~repro.obs.trace.NO_TRACE` so an untraced server query
+        never mints a second root inside the engine.
         """
-        return await self.run(spec.graph, lambda: engine.execute(spec))
+
+        def traced() -> "QueryResult":
+            with use_span(span):
+                return engine.execute(spec)
+
+        return await self.run(spec.graph, traced)
 
     def depths(self) -> List[int]:
         """In-flight work per shard (event-loop-thread view)."""
@@ -187,6 +202,7 @@ def create_pool(
     registry: Optional["GraphRegistry"] = None,
     cache: Optional["ResultCache"] = None,
     metrics: Optional["ServiceMetrics"] = None,
+    tracer: Optional["Tracer"] = None,
 ):
     """Build the execution pool for a server: threads or processes.
 
@@ -216,6 +232,7 @@ def create_pool(
                 cache=cache,
                 metrics=metrics,
                 replication=replication,
+                tracer=tracer,
             )
         # Fallback: same worker count, thread-backed.
         return ShardPool(count, replication=replication, metrics=metrics)

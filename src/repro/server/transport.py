@@ -32,6 +32,11 @@ import os
 from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
 from ..errors import ReproError, UnknownSessionError
+from ..obs.trace import (
+    DEFAULT_SLOW_MS,
+    DEFAULT_TRACE_SAMPLE,
+    Tracer,
+)
 from ..service.cache import ResultCache
 from ..service.engine import QueryEngine
 from ..service.metrics import ServiceMetrics
@@ -84,6 +89,20 @@ class ReproServer:
     warmstart_path:
         When set, the result cache is restored from this snapshot on
         :meth:`start` and saved back on :meth:`stop`.
+    metrics_port / metrics_host:
+        When ``metrics_port`` is set (0 = ephemeral), :meth:`start`
+        additionally binds a zero-dep HTTP exporter
+        (:class:`~repro.obs.export.MetricsServer`) serving
+        ``/metrics`` (Prometheus text), ``/metrics.json``, ``/traces``
+        and ``/healthz``; the bound address is ``metrics_address``.
+    trace_sample / slow_ms:
+        Tracing knobs.  Observability is enabled when any of
+        ``metrics_port`` / ``trace_sample`` / ``slow_ms`` is set;
+        ``trace_sample`` defaults to
+        :data:`~repro.obs.trace.DEFAULT_TRACE_SAMPLE` when enabled
+        (first query is always traced — the sampler fires on tick 0),
+        and ``slow_ms`` marks slower traces as retained exemplars.
+        A pre-built ``tracer`` overrides both.
     """
 
     def __init__(
@@ -103,8 +122,36 @@ class ReproServer:
         warmstart_interval: Optional[float] = None,
         metrics: Optional[ServiceMetrics] = None,
         preload_datasets: bool = True,
+        metrics_port: Optional[int] = None,
+        metrics_host: str = "127.0.0.1",
+        trace_sample: Optional[float] = None,
+        slow_ms: Optional[float] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.metrics = metrics if metrics is not None else ServiceMetrics()
+        if tracer is None:
+            # Observability opts in via any of its knobs; the tracer
+            # object always exists (sample=0 = off) so every layer can
+            # hold a reference unconditionally.
+            obs_enabled = (
+                metrics_port is not None
+                or trace_sample is not None
+                or slow_ms is not None
+            )
+            sample = (
+                trace_sample
+                if trace_sample is not None
+                else (DEFAULT_TRACE_SAMPLE if obs_enabled else 0.0)
+            )
+            tracer = Tracer(
+                sample=sample,
+                slow_ms=slow_ms if slow_ms is not None else DEFAULT_SLOW_MS,
+            )
+        self.tracer = tracer
+        self.metrics_port = metrics_port
+        self.metrics_host = metrics_host
+        self.metrics_server = None
+        self.metrics_address: Optional[Tuple[str, int]] = None
         self.registry = (
             registry
             if registry is not None
@@ -112,7 +159,10 @@ class ReproServer:
         )
         self.cache = ResultCache(cache_size, max_cached_k=max_cached_k)
         self.engine = QueryEngine(
-            self.registry, cache=self.cache, metrics=self.metrics
+            self.registry,
+            cache=self.cache,
+            metrics=self.metrics,
+            tracer=self.tracer,
         )
         self.shards = create_pool(
             backend,
@@ -122,6 +172,7 @@ class ReproServer:
             registry=self.registry,
             cache=self.cache,
             metrics=self.metrics,
+            tracer=self.tracer,
         )
         self.scheduler = BatchScheduler(
             self.engine,
@@ -129,6 +180,7 @@ class ReproServer:
             metrics=self.metrics,
             max_batch=max_batch,
             window_s=batch_window_ms / 1000.0,
+            tracer=self.tracer,
         )
         self.session_ttl = session_ttl
         if warmstart_interval is not None and warmstart_path is None:
@@ -176,6 +228,16 @@ class ReproServer:
             # across crashes, not just clean shutdowns; the thread is
             # the WarmStart's own and never touches the event loop.
             self.warmstart.start_periodic(self.cache, self.registry)
+        if self.metrics_port is not None and self.metrics_server is None:
+            from ..obs.export import MetricsServer
+
+            self.metrics_server = MetricsServer(
+                self.metrics,
+                trace_store=self.tracer.store,
+                host=self.metrics_host,
+                port=self.metrics_port,
+            )
+            self.metrics_address = self.metrics_server.start()
         if tcp is not None:
             host, port = tcp
             server = await asyncio.start_server(self._handle, host, port)
@@ -268,6 +330,8 @@ class ReproServer:
                 None, self.warmstart.save, self.cache, self.registry
             )
         self.shards.shutdown(wait=False)
+        if self.metrics_server is not None:
+            self.metrics_server.stop()
         if self.unix_path is not None:
             with contextlib.suppress(OSError):
                 os.unlink(self.unix_path)
@@ -290,6 +354,7 @@ class ReproServer:
             buffer,
             metrics=self.metrics,
             on_shutdown=self.request_shutdown,
+            tracer=self.tracer,
         )
         loop = asyncio.get_running_loop()
         try:
@@ -380,16 +445,29 @@ class ReproServer:
         selects the structured one-line JSON response (same bytes as
         the stdio shell's).
         """
+        # The trace root is minted here, at the serving edge, before the
+        # line is even parsed — the sampling decision happens exactly
+        # once per query and is threaded down explicitly (spans ride the
+        # scheduler's waiter tuples; contextvars don't survive
+        # run_in_executor hops).
+        span = self.tracer.maybe_start("transport")
         try:
             parts = line.strip().split(maxsplit=1)
             rest = parts[1] if len(parts) > 1 else ""
             spec, members = ServiceShell.parse_query_line(rest)
-            result = await self.scheduler.submit(spec)
+            if span is not None:
+                span.annotate(graph=spec.graph, k=spec.k, gamma=spec.gamma)
+            result = await self.scheduler.submit(spec, span=span)
+            # The trace is finalised before the response bytes leave, so
+            # a client that queries then immediately scrapes /traces
+            # always sees its own trace.
+            self.tracer.end(span, source=result.source)
             return ServiceShell.render_result(
                 result, members, spec.mode == "json"
             )
         except (ReproError, ValueError, OSError) as exc:
-            self.metrics.observe_error()
+            self.tracer.end(span, error=type(exc).__name__)
+            self.metrics.observe_error(kind=type(exc).__name__)
             return [f"error: {exc}"]
 
     # ------------------------------------------------------------------

@@ -26,6 +26,7 @@ from ..core.noncontainment import top_k_noncontainment_communities
 from ..core.progressive import LocalSearchP, ProgressiveCursor
 from ..core.truss_search import top_k_truss_communities
 from ..graph.weighted_graph import WeightedGraph
+from ..obs.trace import NO_TRACE, Tracer, current_span, use_span
 from .cache import CacheKey, ProgressiveEntry, ResultCache, StaticEntry
 from .metrics import ServiceMetrics
 from .model import CommunityView, QueryResult
@@ -97,6 +98,16 @@ class QueryEngine:
         the baseline).
     metrics:
         Optional shared metrics sink.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`.  When an upstream
+        layer (transport/scheduler/pool) already started a span for
+        this query, execution records an ``engine`` child span; when no
+        span is active at all (the stdio shell / facade path — the
+        engine *is* the serving edge there), the tracer's sampling
+        decides whether to mint a ``query`` root.  The
+        :data:`~repro.obs.trace.NO_TRACE` sentinel marks "upstream
+        sampled this query out": no span is recorded and no root is
+        minted.
     """
 
     def __init__(
@@ -104,10 +115,12 @@ class QueryEngine:
         registry: GraphRegistry,
         cache: Optional[ResultCache] = None,
         metrics: Optional[ServiceMetrics] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.registry = registry
         self.cache = cache
         self.metrics = metrics
+        self.tracer = tracer
 
     # ------------------------------------------------------------------
     def plan(self, query: QuerySpec) -> QueryPlan:
@@ -186,6 +199,44 @@ class QueryEngine:
             raise TypeError(
                 "pass either a QuerySpec or field kwargs, not both"
             )
+        tracer = self.tracer
+        if tracer is None:
+            return self._execute(query)
+        parent = current_span()
+        if parent is NO_TRACE:
+            span = None  # upstream sampled this query out
+        elif parent is not None:
+            span = tracer.start_span("engine", parent)
+        else:
+            # No serving layer above us: the engine is the edge, and
+            # the sampling decision is made (once) here.  Tags attach
+            # only after the sampling decision — the unsampled path must
+            # not pay for a kwargs dict it will throw away.
+            span = tracer.maybe_start("query")
+            if span is not None:
+                span.annotate(graph=query.graph)
+        if span is None:
+            return self._execute(query)
+        with use_span(span):
+            try:
+                result = self._execute(query)
+            except Exception as exc:
+                tracer.end(span, error=type(exc).__name__)
+                raise
+        tracer.end(
+            span,
+            graph=query.graph,
+            k=query.k,
+            gamma=query.gamma,
+            algorithm=result.algorithm,
+            source=result.source,
+            kernel=result.kernel,
+            elapsed_ms=round(result.elapsed_ms, 4),
+        )
+        return result
+
+    def _execute(self, query: QuerySpec) -> QueryResult:
+        """The untraced execution body (plan → cache → run → record)."""
         started = time.perf_counter()
         handle = self.registry.get(query.graph)
         plan = self.plan(query)

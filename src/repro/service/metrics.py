@@ -104,6 +104,8 @@ class ServiceMetrics:
         self.sessions_closed = 0
         self.sessions_expired = 0
         self.errors = 0
+        #: Errors by exception type name (``observe_error(kind=...)``).
+        self.by_error: Dict[str, int] = defaultdict(int)
         # Server tier (repro.server): connection lifecycle, batch
         # coalescing, and scheduler queue pressure.
         self.connections_opened = 0
@@ -166,9 +168,12 @@ class ServiceMetrics:
                     self._families.move_to_end(family)
                 stats.record(elapsed_ms, source)
 
-    def observe_error(self) -> None:
+    def observe_error(self, kind: Optional[str] = None) -> None:
+        """Record one error; ``kind`` is the exception type name."""
         with self._lock:
             self.errors += 1
+            if kind is not None:
+                self.by_error[kind] += 1
 
     def session_opened(self) -> None:
         with self._lock:
@@ -231,16 +236,18 @@ class ServiceMetrics:
         """Fraction of queries answered without a fresh computation
         (cache slice, resumed cursor, or coalesced onto a shared batch)."""
         with self._lock:
+            # .get (never index) — by_source is a defaultdict, and a
+            # *read* must not insert zero-count keys into snapshots.
             served = sum(
-                self.by_source[s]
+                self.by_source.get(s, 0)
                 for s in ("cache", "extended", "cold", "coalesced")
             )
             if not served:
                 return 0.0
             return (
-                self.by_source["cache"]
-                + self.by_source["extended"]
-                + self.by_source["coalesced"]
+                self.by_source.get("cache", 0)
+                + self.by_source.get("extended", 0)
+                + self.by_source.get("coalesced", 0)
             ) / served
 
     @property
@@ -309,6 +316,7 @@ class ServiceMetrics:
                 "sessions_closed": self.sessions_closed,
                 "sessions_expired": self.sessions_expired,
                 "errors": self.errors,
+                "by_error": dict(self.by_error),
                 "server": {
                     "connections_opened": self.connections_opened,
                     "connections_closed": self.connections_closed,

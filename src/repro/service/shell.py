@@ -29,6 +29,7 @@ from typing import Callable, Dict, List, Optional, Sequence, TextIO, Tuple
 
 from ..api.spec import QuerySpec, parse_spec_tokens, parse_wire_query
 from ..errors import QueryParameterError, ReproError
+from ..obs.trace import Tracer, format_trace, format_trace_line
 from .engine import QueryEngine
 from .metrics import ServiceMetrics
 from .model import CommunityView, QueryResult
@@ -49,6 +50,7 @@ commands:
   sessions                              list active sessions
   metrics [json]                        service counters and latencies
                                         (one JSON document with 'json')
+  trace [slow] [json] [ID] [limit=N]    recent (or slow / one) traces
   help                                  this text
   quit                                  close this connection / loop
   shutdown                              stop the whole server gracefully\
@@ -85,6 +87,7 @@ class ServiceShell:
         metrics: Optional[ServiceMetrics] = None,
         prompt: str = "",
         on_shutdown: Optional[Callable[[], None]] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.engine = engine
         self.sessions = sessions
@@ -92,6 +95,7 @@ class ServiceShell:
         self.metrics = metrics if metrics is not None else engine.metrics
         self.prompt = prompt
         self.on_shutdown = on_shutdown
+        self.tracer = tracer if tracer is not None else engine.tracer
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -344,6 +348,54 @@ class ServiceShell:
                 f"depth_peak={cluster['queue_depth_peak']}"
             )
 
+    def _cmd_trace(self, tokens: List[str]) -> None:
+        """``trace [slow] [json] [ID] [limit=N]`` — inspect the trace rings."""
+        tracer = self.tracer
+        if tracer is None or tracer.store is None:
+            self._print("(tracing disabled — serve with --trace-sample)")
+            return
+        store = tracer.store
+        kv, flags = _parse_kv(tokens)
+        unknown = [key for key in kv if key != "limit"]
+        if unknown:
+            raise QueryParameterError(
+                f"unknown trace argument(s): {', '.join(unknown)} "
+                "(usage: trace [slow] [json] [ID] [limit=N])"
+            )
+        as_json = "json" in flags
+        slow = "slow" in flags
+        trace_id = next(
+            (f for f in flags if f not in ("json", "slow")), None
+        )
+        try:
+            limit = int(kv.get("limit", "20"))
+        except ValueError as exc:
+            raise QueryParameterError("limit must be an integer") from exc
+        if trace_id is not None:
+            trace = store.get(trace_id)
+            if trace is None:
+                raise QueryParameterError(f"no trace {trace_id!r} retained")
+            if as_json:
+                self._print(json.dumps(trace, sort_keys=True, default=str))
+            else:
+                for rendered in format_trace(trace):
+                    self._print(rendered)
+            return
+        traces = store.slow(limit) if slow else store.recent(limit)
+        if as_json:
+            self._print(json.dumps(traces, sort_keys=True, default=str))
+            return
+        if not traces:
+            hint = (
+                ""
+                if tracer.sampling
+                else " — sampling is off; serve with --trace-sample"
+            )
+            self._print(f"(no {'slow ' if slow else ''}traces retained{hint})")
+            return
+        for trace in traces:
+            self._print(format_trace_line(trace))
+
     # ------------------------------------------------------------------
     def execute_line(self, line: str) -> bool:
         """Run one protocol line; returns False when the loop should end."""
@@ -358,7 +410,7 @@ class ServiceShell:
                 self._cmd_query(remainder)
             except (ReproError, ValueError, OSError) as exc:
                 if self.metrics is not None:
-                    self.metrics.observe_error()
+                    self.metrics.observe_error(kind=type(exc).__name__)
                 self._print(f"error: {exc}")
             return True
         try:
@@ -382,6 +434,7 @@ class ServiceShell:
             "session": self._cmd_session,
             "sessions": self._cmd_sessions,
             "metrics": self._cmd_metrics,
+            "trace": self._cmd_trace,
             "help": lambda _tokens: self._print(_HELP),
         }.get(command)
         if handler is None:
@@ -393,7 +446,7 @@ class ServiceShell:
             handler(rest)
         except (ReproError, ValueError, OSError) as exc:
             if self.metrics is not None:
-                self.metrics.observe_error()
+                self.metrics.observe_error(kind=type(exc).__name__)
             self._print(f"error: {exc}")
         return True
 

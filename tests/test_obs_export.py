@@ -1,0 +1,180 @@
+"""repro.obs.export — Prometheus rendering, HTTP endpoints, repro trace."""
+
+from __future__ import annotations
+
+import io
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api.spec import FamilyKey
+from repro.cli import main
+from repro.obs.export import MetricsServer, render_prometheus
+from repro.obs.trace import TraceStore, Tracer
+from repro.service.metrics import ServiceMetrics
+
+
+def family(graph="g", gamma=2):
+    return FamilyKey(
+        graph=graph, gamma=gamma, algorithm="localsearch-p",
+        delta=2.0, kernel="fastpeel",
+    )
+
+
+def populated_metrics() -> ServiceMetrics:
+    metrics = ServiceMetrics()
+    for elapsed, source in ((4.0, "cold"), (1.0, "cache"), (2.0, "cache")):
+        metrics.observe_query(
+            "localsearch-p", elapsed, source,
+            kernel="fastpeel", family=family(),
+        )
+    metrics.observe_error(kind="QueryParameterError")
+    metrics.observe_batch(2)
+    metrics.observe_queue_depth(3)
+    return metrics
+
+
+class TestRenderPrometheus:
+    def test_core_series(self):
+        text = render_prometheus(populated_metrics().snapshot())
+        assert "repro_queries_served_total 3" in text
+        assert 'repro_queries_by_source_total{source="cache"} 2' in text
+        assert (
+            'repro_errors_by_kind_total{kind="QueryParameterError"} 1'
+            in text
+        )
+        assert "repro_server_queue_depth 3" in text
+        assert "repro_server_coalesce_rate" in text
+
+    def test_family_quantiles(self):
+        text = render_prometheus(populated_metrics().snapshot())
+        assert 'quantile="0.5"' in text
+        assert 'quantile="0.95"' in text
+        assert "repro_family_latency_ms" in text
+        assert "repro_family_queries_total" in text
+
+    def test_label_escaping(self):
+        metrics = ServiceMetrics()
+        metrics.observe_error(kind='Weird"Kind\nName\\x')
+        text = render_prometheus(metrics.snapshot())
+        assert r'kind="Weird\"Kind\nName\\x"' in text
+
+    def test_trace_counters(self):
+        tracer = Tracer(sample=1.0, slow_ms=0.0)
+        tracer.end(tracer.maybe_start("query"))
+        text = render_prometheus(
+            ServiceMetrics().snapshot(), tracer.store
+        )
+        assert "repro_traces_recorded_total 1" in text
+        assert "repro_traces_slow_total 1" in text
+
+    def test_help_and_type_headers_once(self):
+        text = render_prometheus(populated_metrics().snapshot())
+        assert text.count("# TYPE repro_queries_served_total counter") == 1
+
+
+@pytest.fixture()
+def exporter():
+    tracer = Tracer(sample=1.0)
+    root = tracer.maybe_start("transport")
+    child = tracer.start_span("engine", root)
+    tracer.end(child)
+    trace = tracer.end(root, source="cold")
+    server = MetricsServer(populated_metrics(), trace_store=tracer.store)
+    host, port = server.start()
+    try:
+        yield f"http://{host}:{port}", trace
+    finally:
+        server.stop()
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=10.0) as response:
+        return response.read().decode("utf-8")
+
+
+class TestMetricsServer:
+    def test_metrics_text(self, exporter):
+        base, _ = exporter
+        text = _get(base + "/metrics")
+        assert "repro_queries_served_total 3" in text
+        assert "repro_traces_recorded_total 1" in text
+
+    def test_metrics_json(self, exporter):
+        base, _ = exporter
+        doc = json.loads(_get(base + "/metrics.json"))
+        assert doc["queries_served"] == 3
+        assert doc["traces"]["traces_recorded"] == 1
+
+    def test_healthz(self, exporter):
+        base, _ = exporter
+        assert _get(base + "/healthz").strip() == "ok"
+
+    def test_traces_listing_and_by_id(self, exporter):
+        base, trace = exporter
+        listing = json.loads(_get(base + "/traces?limit=5"))["traces"]
+        assert listing[0]["trace_id"] == trace["trace_id"]
+        doc = json.loads(_get(base + f"/traces/{trace['trace_id']}"))
+        assert {s["name"] for s in doc["spans"]} == {"transport", "engine"}
+
+    def test_unknown_trace_404(self, exporter):
+        base, _ = exporter
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(base + "/traces/nope")
+        assert err.value.code == 404
+
+    def test_unknown_path_404(self, exporter):
+        base, _ = exporter
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(base + "/bogus")
+        assert err.value.code == 404
+
+    def test_start_and_stop_idempotent(self):
+        server = MetricsServer(ServiceMetrics())
+        address = server.start()
+        assert server.start() == address
+        server.stop()
+        server.stop()
+
+
+class TestTraceCli:
+    def _run(self, argv):
+        out = io.StringIO()
+        code = main(argv, out=out)
+        return code, out.getvalue()
+
+    def test_listing_and_render(self, exporter):
+        base, trace = exporter
+        port = base.rsplit(":", 1)[1]
+        code, text = self._run(["trace", "--port", port])
+        assert code == 0
+        assert trace["trace_id"] in text
+        code, text = self._run(
+            ["trace", "--port", port, "--id", trace["trace_id"]]
+        )
+        assert code == 0
+        assert "engine" in text
+
+    def test_json_mode(self, exporter):
+        base, trace = exporter
+        port = base.rsplit(":", 1)[1]
+        code, text = self._run(["trace", "--port", port, "--json"])
+        assert code == 0
+        doc = json.loads(text)
+        assert doc["traces"][0]["trace_id"] == trace["trace_id"]
+
+    def test_unknown_id_exits_nonzero(self, exporter):
+        base, _ = exporter
+        port = base.rsplit(":", 1)[1]
+        code, text = self._run(
+            ["trace", "--port", port, "--id", "missing"]
+        )
+        assert code == 1
+        assert "no trace" in text
+
+    def test_unreachable_server_exits_nonzero(self):
+        code, text = self._run(["trace", "--port", "1"])
+        assert code == 1
+        assert "cannot reach" in text

@@ -1,0 +1,134 @@
+"""ServiceMetrics satellites: snapshot purity, error kinds, bounding."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.api.spec import FamilyKey
+from repro.graph.builder import graph_from_arrays
+from repro.service import (
+    GraphRegistry,
+    QueryEngine,
+    ResultCache,
+    ServiceMetrics,
+    ServiceShell,
+    SessionManager,
+)
+from repro.service.metrics import family_label
+
+
+def k4():
+    return graph_from_arrays(
+        4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]
+    )
+
+
+def family(graph="g", gamma=2, delta=2.0):
+    return FamilyKey(
+        graph=graph, gamma=gamma, algorithm="localsearch-p",
+        delta=delta, kernel="fastpeel",
+    )
+
+
+class TestSnapshotPurity:
+    def test_fresh_snapshot_has_empty_by_source(self):
+        # Regression: cache_hit_rate used to *index* the by_source
+        # defaultdict, materialising zero-count keys on a pure read.
+        metrics = ServiceMetrics()
+        assert metrics.cache_hit_rate == 0.0
+        snap = metrics.snapshot()
+        assert snap["by_source"] == {}
+        assert snap["by_error"] == {}
+        assert snap["queries_served"] == 0
+
+    def test_hit_rate_read_does_not_mutate(self):
+        metrics = ServiceMetrics()
+        metrics.observe_query("localsearch-p", 1.0, "cold")
+        _ = metrics.cache_hit_rate
+        assert set(metrics.snapshot()["by_source"]) == {"cold"}
+
+
+class TestErrorKinds:
+    def test_observe_error_counts_by_kind(self):
+        metrics = ServiceMetrics()
+        metrics.observe_error(kind="UnknownGraphError")
+        metrics.observe_error(kind="UnknownGraphError")
+        metrics.observe_error()  # kind-less errors still count
+        snap = metrics.snapshot()
+        assert snap["errors"] == 3
+        assert snap["by_error"] == {"UnknownGraphError": 2}
+
+    def test_shell_error_path_records_kind(self):
+        registry = GraphRegistry(preload_datasets=False)
+        registry.register("g", k4)
+        metrics = ServiceMetrics()
+        shell = ServiceShell(
+            QueryEngine(registry, cache=ResultCache(), metrics=metrics),
+            SessionManager(registry),
+            io.StringIO(),
+            metrics=metrics,
+        )
+        assert shell.execute_line("query missing k=1 gamma=2")
+        by_error = metrics.snapshot()["by_error"]
+        assert by_error == {"UnknownGraphError": 1}
+
+
+class TestBounding:
+    def test_family_table_evicts_least_recently_active(self):
+        metrics = ServiceMetrics(max_families=4)
+        families = [family(gamma=g) for g in range(2, 8)]
+        for fam in families:
+            metrics.observe_query(
+                "localsearch-p", 1.0, "cold", family=fam
+            )
+        rows = metrics.by_family()
+        assert len(rows) == 4
+        kept = {family_label(fam) for fam in families[-4:]}
+        assert set(rows) == kept
+
+    def test_family_activity_refreshes_lru_position(self):
+        metrics = ServiceMetrics(max_families=2)
+        first, second, third = (family(gamma=g) for g in (2, 3, 4))
+        metrics.observe_query("localsearch-p", 1.0, "cold", family=first)
+        metrics.observe_query("localsearch-p", 1.0, "cold", family=second)
+        metrics.observe_query("localsearch-p", 1.0, "cache", family=first)
+        metrics.observe_query("localsearch-p", 1.0, "cold", family=third)
+        rows = metrics.by_family()
+        assert family_label(first) in rows  # refreshed, so second fell out
+        assert family_label(second) not in rows
+        assert rows[family_label(first)]["queries"] == 2
+
+    def test_reservoirs_are_bounded(self):
+        metrics = ServiceMetrics(max_samples=8)
+        fam = family()
+        for n in range(100):
+            metrics.observe_query(
+                "localsearch-p", float(n), "cold", family=fam
+            )
+        assert metrics._latency_ms["localsearch-p"].maxlen == 8
+        assert len(metrics._latency_ms["localsearch-p"]) == 8
+        row = metrics.by_family()[family_label(fam)]
+        # Percentiles reflect only the newest max_samples values.
+        assert row["p50_ms"] >= 92.0
+        assert row["queries"] == 100
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceMetrics(max_samples=0)
+        with pytest.raises(ValueError):
+            ServiceMetrics(max_families=0)
+
+
+class TestFamilyLabel:
+    def test_label_is_stable_and_json_safe(self):
+        label = family_label(family())
+        assert label == "g|gamma=2|localsearch-p|delta=2|kernel=fastpeel"
+        assert family_label(family()) == label
+
+    def test_label_distinguishes_fields(self):
+        assert family_label(family(gamma=2)) != family_label(family(gamma=3))
+        assert family_label(family(delta=2.0)) != family_label(
+            family(delta=2.5)
+        )

@@ -1,0 +1,219 @@
+"""End-to-end tracing through the serving tiers (thread and cluster).
+
+The PR-6 acceptance shape: one query through the full server yields one
+stitched trace — transport -> scheduler -> (cluster_dispatch -> worker,
+process backend) -> engine with kernel phases — retrievable over the
+shell ``trace`` command and the HTTP exporter alike.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import urllib.request
+
+import pytest
+
+from repro.api import QuerySpec
+from repro.cluster import ClusterPool
+from repro.graph.builder import graph_from_arrays
+from repro.obs.trace import Tracer
+from repro.server import BatchScheduler, ReproServer, ShardPool
+from repro.server.client import ReproClient
+from repro.service import GraphRegistry, QueryEngine, ResultCache
+
+needs_mp = pytest.mark.skipif(
+    not ClusterPool.available(), reason="multiprocessing unavailable"
+)
+
+
+def layered_cliques(num_cliques=6):
+    edges = []
+    for c in range(num_cliques):
+        base = 4 * c
+        for i in range(4):
+            for j in range(i + 1, 4):
+                edges.append((base + i, base + j))
+    return graph_from_arrays(4 * num_cliques, edges)
+
+
+@pytest.fixture()
+def registry():
+    registry = GraphRegistry(preload_datasets=False)
+    registry.register("cliques", layered_cliques)
+    return registry
+
+
+def _http_json(base: str, path: str):
+    with urllib.request.urlopen(base + path, timeout=10.0) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+class TestThreadBackendEndToEnd:
+    def test_stitched_trace_via_shell_and_http(self, registry):
+        async def main():
+            server = ReproServer(
+                registry=registry,
+                backend="thread",
+                trace_sample=1.0,
+                metrics_port=0,
+            )
+            await server.start(tcp=("127.0.0.1", 0))
+            try:
+                host, port = server.tcp_address
+                mhost, mport = server.metrics_address
+                base = f"http://{mhost}:{mport}"
+                client = await ReproClient.connect(host, port=port)
+                try:
+                    result = await client.execute(
+                        QuerySpec(graph="cliques", k=3, gamma=3)
+                    )
+                    assert result.communities
+
+                    [trace] = _http_json(base, "/traces?limit=1")["traces"]
+                    names = {s["name"] for s in trace["spans"]}
+                    assert {"transport", "scheduler", "engine"} <= names
+                    engine = next(
+                        s for s in trace["spans"] if s["name"] == "engine"
+                    )
+                    assert len(engine.get("phases", {})) >= 3
+
+                    listing = await client.request("trace limit=5")
+                    assert any(
+                        trace["trace_id"] in line for line in listing
+                    )
+                    rendered = await client.request(
+                        f"trace {trace['trace_id']}"
+                    )
+                    assert any("scheduler" in line for line in rendered)
+                finally:
+                    await client.close()
+            finally:
+                await server.stop()
+
+        asyncio.run(main())
+
+    def test_sampled_out_queries_leave_no_trace(self, registry):
+        async def main():
+            server = ReproServer(
+                registry=registry, backend="thread", trace_sample=0.0
+            )
+            await server.start(tcp=("127.0.0.1", 0))
+            try:
+                host, port = server.tcp_address
+                client = await ReproClient.connect(host, port=port)
+                try:
+                    await client.execute(
+                        QuerySpec(graph="cliques", k=3, gamma=3)
+                    )
+                finally:
+                    await client.close()
+                counters = server.tracer.store.counters()
+                assert counters["traces_recorded"] == 0
+            finally:
+                await server.stop()
+
+        asyncio.run(main())
+
+
+class TestCoalescedTraces:
+    def test_followers_record_coalesced_span(self, registry):
+        async def main():
+            tracer = Tracer(sample=1.0)
+            engine = QueryEngine(
+                registry, cache=ResultCache(), tracer=tracer
+            )
+            pool = ShardPool(2)
+            scheduler = BatchScheduler(
+                engine, pool, window_s=0.05, tracer=tracer
+            )
+            spans = [
+                tracer.maybe_start("transport"),
+                tracer.maybe_start("transport"),
+            ]
+            try:
+                queries = [
+                    QuerySpec(graph="cliques", gamma=3, k=k) for k in (5, 2)
+                ]
+                results = await asyncio.gather(
+                    *(
+                        scheduler.submit(query, span=span)
+                        for query, span in zip(queries, spans)
+                    )
+                )
+            finally:
+                pool.shutdown()
+            traces = [tracer.end(span) for span in spans]
+            assert sorted(r.source for r in results) == [
+                "coalesced", "cold"
+            ]
+            by_root = {
+                trace["trace_id"]: {s["name"] for s in trace["spans"]}
+                for trace in traces
+            }
+            all_names = set().union(*by_root.values())
+            assert "scheduler" in all_names
+            assert "coalesced" in all_names
+            # The follower's coalesced span points at the leader trace.
+            follower_span = next(
+                s
+                for trace in traces
+                for s in trace["spans"]
+                if s["name"] == "coalesced"
+            )
+            assert follower_span["tags"]["leader"] in by_root
+
+        asyncio.run(main())
+
+
+@needs_mp
+class TestClusterBackendEndToEnd:
+    def test_trace_stitches_across_worker_process(self, registry):
+        async def main():
+            server = ReproServer(
+                registry=registry,
+                workers=2,
+                trace_sample=1.0,
+                metrics_port=0,
+            )
+            await server.start(tcp=("127.0.0.1", 0))
+            try:
+                assert getattr(server.shards, "backend", None) == "process"
+                host, port = server.tcp_address
+                mhost, mport = server.metrics_address
+                base = f"http://{mhost}:{mport}"
+                client = await ReproClient.connect(host, port=port)
+                try:
+                    await client.execute(
+                        QuerySpec(graph="cliques", k=3, gamma=3)
+                    )
+                    [trace] = _http_json(base, "/traces?limit=1")["traces"]
+                    names = {s["name"] for s in trace["spans"]}
+                    assert {
+                        "transport",
+                        "scheduler",
+                        "cluster_dispatch",
+                        "worker",
+                        "engine",
+                    } <= names
+                    worker = next(
+                        s for s in trace["spans"] if s["name"] == "worker"
+                    )
+                    dispatch = next(
+                        s
+                        for s in trace["spans"]
+                        if s["name"] == "cluster_dispatch"
+                    )
+                    # The remote span hangs off the dispatch span: one
+                    # connected tree across the process edge.
+                    assert worker["parent_id"] == dispatch["span_id"]
+                    engine = next(
+                        s for s in trace["spans"] if s["name"] == "engine"
+                    )
+                    assert len(engine.get("phases", {})) >= 3
+                finally:
+                    await client.close()
+            finally:
+                await server.stop()
+
+        asyncio.run(main())
