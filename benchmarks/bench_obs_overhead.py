@@ -15,6 +15,13 @@ The fully-sampled warm ratio is also *reported* (ungated): a full span
 lifecycle is ~5 us of real work against a ~15 us cache hit, which is
 exactly why sampling — not span cheapness — is the hot-path story.
 
+The PR-7 criterion rides along: a :class:`~repro.obs.history.MetricsHistory`
+collector thread sampling the engine's live ``ServiceMetrics`` at the
+default 1 s cadence adds **< 2%** latency on the same warm-sampled and
+cold-traced workloads.  The collector reads ``snapshot()`` once per
+interval on its own thread; the query path itself gains zero code, so
+the only possible cost is GIL pressure — that is what the gate pins.
+
 Methodology mirrors ``bench_api_overhead.py``: shared registry,
 per-variant caches (identical hit behaviour), loop timings, and the
 minimum over several trials to strip scheduler noise.
@@ -40,8 +47,14 @@ except ImportError:  # pragma: no cover
 
 from repro.api import QuerySpec
 from repro.graph.builder import graph_from_arrays
+from repro.obs.history import MetricsHistory
 from repro.obs.trace import DEFAULT_TRACE_SAMPLE, Tracer
-from repro.service import GraphRegistry, QueryEngine, ResultCache
+from repro.service import (
+    GraphRegistry,
+    QueryEngine,
+    ResultCache,
+    ServiceMetrics,
+)
 
 GAMMA = 3
 K = 8
@@ -51,6 +64,10 @@ K = 8
 COLD_K = 128
 #: Overhead budget: traced <= (1 + TOLERANCE) * untraced.
 TOLERANCE = 0.05
+#: History-collector budget: with-collector <= (1 + this) * without.
+HISTORY_TOLERANCE = 0.02
+#: The collector cadence under test — the `repro serve` default.
+HISTORY_INTERVAL_S = 1.0
 
 WARM_LOOP = 400
 COLD_LOOP = 12
@@ -149,6 +166,86 @@ def measure_overhead(registry: GraphRegistry) -> Dict[str, float]:
     }
 
 
+def measure_history_overhead(registry: GraphRegistry) -> Dict[str, float]:
+    """Engine + live metrics, with vs without a running collector.
+
+    Both variants meter into a :class:`ServiceMetrics`; the *history*
+    variant additionally runs a :class:`MetricsHistory` thread sampling
+    that metrics object at the default serve cadence while the timed
+    loops execute.  The ratio therefore isolates exactly the collector
+    thread's cost to the query path.
+    """
+
+    def timed_pair(sample: float, timer: Callable[[QueryEngine], float]):
+        base = QueryEngine(
+            registry,
+            cache=ResultCache(4096),
+            metrics=ServiceMetrics(),
+            tracer=Tracer(sample=sample),
+        )
+        base_s = timer(base)
+        live_metrics = ServiceMetrics()
+        live = QueryEngine(
+            registry,
+            cache=ResultCache(4096),
+            metrics=live_metrics,
+            tracer=Tracer(sample=sample),
+        )
+        history = MetricsHistory(
+            live_metrics, interval_s=HISTORY_INTERVAL_S
+        )
+        history.start()
+        try:
+            live_s = timer(live)
+        finally:
+            history.stop()
+        return base_s, live_s
+
+    warm_base_s, warm_hist_s = timed_pair(DEFAULT_TRACE_SAMPLE, _warm_us)
+    counter = [0]
+    cold_base_s, cold_hist_s = timed_pair(
+        1.0, lambda engine: _cold_us(engine, counter)
+    )
+    return {
+        "history_warm_baseline_us": warm_base_s / WARM_LOOP * 1e6,
+        "history_warm_us": warm_hist_s / WARM_LOOP * 1e6,
+        "history_warm_overhead": warm_hist_s / warm_base_s - 1.0,
+        "history_cold_baseline_us": cold_base_s / COLD_LOOP * 1e6,
+        "history_cold_us": cold_hist_s / COLD_LOOP * 1e6,
+        "history_cold_overhead": cold_hist_s / cold_base_s - 1.0,
+        "history_interval_s": HISTORY_INTERVAL_S,
+        "history_tolerance": HISTORY_TOLERANCE,
+    }
+
+
+def run_history_until_within_budget(
+    max_attempts: int = 5, registry: Optional[GraphRegistry] = None
+) -> Dict[str, float]:
+    """Same outlier-retry shape as :func:`run_until_within_budget` —
+    a <2% bound on micro-second loops is even tighter against OS noise
+    than the tracing gate's 5%."""
+    attempts: List[Dict[str, float]] = []
+    if registry is None:
+        registry = make_registry()
+    for _ in range(max_attempts):
+        report = measure_history_overhead(registry)
+        attempts.append(report)
+        if (
+            report["history_warm_overhead"] <= HISTORY_TOLERANCE
+            and report["history_cold_overhead"] <= HISTORY_TOLERANCE
+        ):
+            report["history_attempts"] = len(attempts)
+            return report
+    best = min(
+        attempts,
+        key=lambda r: max(
+            r["history_warm_overhead"], r["history_cold_overhead"]
+        ),
+    )
+    best["history_attempts"] = len(attempts)
+    return best
+
+
 def run_until_within_budget(max_attempts: int = 5) -> Dict[str, float]:
     """Measure, retrying on outlier runs (same rationale as the api
     bench: a <5% bound on micro-second loops is tight against OS noise;
@@ -204,6 +301,17 @@ if pytest is not None:
         assert report["warm_overhead"] <= TOLERANCE, report
         assert report["cold_overhead"] <= TOLERANCE, report
 
+    @pytest.mark.benchmark(group="obs-acceptance")
+    def bench_acceptance_history_overhead(benchmark, registry):
+        report = benchmark.pedantic(
+            run_history_until_within_budget,
+            kwargs={"registry": registry},
+            rounds=1,
+            iterations=1,
+        )
+        assert report["history_warm_overhead"] <= HISTORY_TOLERANCE, report
+        assert report["history_cold_overhead"] <= HISTORY_TOLERANCE, report
+
 
 # ----------------------------------------------------------------------
 # standalone entry point
@@ -236,6 +344,25 @@ def main(argv=None) -> int:
     print(f"acceptance (<{TOLERANCE:.0%} overhead, warm sampled & cold "
           "full):", "PASS" if ok else "FAIL",
           f"({report['attempts']} attempt(s))")
+
+    print("measuring history-collector overhead "
+          f"(@{HISTORY_INTERVAL_S:g}s cadence)...", flush=True)
+    history_report = run_history_until_within_budget()
+    report.update(history_report)
+    print(f"warm  no collector: {report['history_warm_baseline_us']:9.2f} "
+          f"us/query   with collector: {report['history_warm_us']:9.2f} "
+          f"us/query   overhead: {report['history_warm_overhead']:+.1%}")
+    print(f"cold  no collector: {report['history_cold_baseline_us']:9.2f} "
+          f"us/query   with collector: {report['history_cold_us']:9.2f} "
+          f"us/query   overhead: {report['history_cold_overhead']:+.1%}")
+    history_ok = (
+        report["history_warm_overhead"] <= HISTORY_TOLERANCE
+        and report["history_cold_overhead"] <= HISTORY_TOLERANCE
+    )
+    print(f"acceptance (<{HISTORY_TOLERANCE:.0%} collector overhead, warm "
+          "& cold):", "PASS" if history_ok else "FAIL",
+          f"({report['history_attempts']} attempt(s))")
+    ok = ok and history_ok
 
     if args.output:
         payload = {"benchmark": "obs_overhead", "pass": ok, **report}

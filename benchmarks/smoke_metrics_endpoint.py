@@ -15,15 +15,24 @@ PR-6 acceptance path:
 * the shell ``trace`` command over the *same* TCP connection lists
   that trace and renders it by id.
 
+The PR-7 surface rides the same boot: ``/readyz`` reports ready with
+per-worker liveness, ``/history.json`` returns collector points with
+the configured SLO attached, and ``/dashboard`` renders the full
+stdlib-only page (no scripts, no external fetches) — asserted under
+both start methods.  ``--history-output FILE`` saves the history
+document as a CI artifact.
+
 Honours ``REPRO_MP_START`` (`""`/`fork`/`spawn`) like the cluster
 benchmarks, so CI exercises both start methods.  Exit code 0 on PASS.
 """
 
 from __future__ import annotations
 
+import argparse
 import asyncio
 import json
 import sys
+import time
 import urllib.request
 
 from repro.api import QuerySpec
@@ -64,6 +73,50 @@ def check_prometheus(text: str, process_backend: bool) -> None:
     )
 
 
+#: Substrings every dashboard render must contain, and markup it must
+#: not: the page works airgapped, with zero scripts or external fetches.
+DASHBOARD_REQUIRED = (
+    "<!DOCTYPE html>",
+    "<title>repro dashboard</title>",
+    '<meta http-equiv="refresh"',
+    'id="queues"',
+)
+DASHBOARD_FORBIDDEN = ("<script", "<link", "http://", "https://")
+
+
+def check_dashboard(html: str) -> None:
+    missing = [needle for needle in DASHBOARD_REQUIRED if needle not in html]
+    assert not missing, f"/dashboard missing markup: {missing}"
+    lowered = html.lower()
+    present = [tag for tag in DASHBOARD_FORBIDDEN if tag in lowered]
+    assert not present, f"/dashboard has external/script markup: {present}"
+
+
+def check_history(doc: dict, process_backend: bool) -> None:
+    points = doc.get("points", [])
+    assert points, f"history document has no points: {doc}"
+    newest = points[-1]
+    for key in ("t", "dt", "qps", "error_rate", "queue_depth"):
+        assert key in newest, f"history point lacks {key!r}: {newest}"
+    assert doc.get("slo"), f"configured SLO absent from document: {doc}"
+    status = doc.get("slo_status")
+    assert status and status["ok"], f"lenient smoke SLO breached: {status}"
+    assert doc.get("breach_count") == 0, doc
+    if process_backend:
+        # Dispatch meters depth per worker actually used; one query
+        # touches at least one of them.
+        ticked = [p for p in points if p.get("workers")]
+        assert ticked, "no per-worker queue depths in any history point"
+
+
+def check_readyz(doc: dict, workers: int, process_backend: bool) -> None:
+    assert doc.get("ready") is True, f"/readyz not ready: {doc}"
+    assert doc.get("reasons") == [], doc
+    if process_backend:
+        liveness = doc.get("workers", {})
+        assert len(liveness) == workers and all(liveness.values()), doc
+
+
 def check_trace(trace: dict, process_backend: bool) -> None:
     spans = trace.get("spans", [])
     names = {span["name"] for span in spans}
@@ -82,12 +135,17 @@ def check_trace(trace: dict, process_backend: bool) -> None:
     )
 
 
-async def main() -> int:
+async def main(history_output: str = "") -> int:
+    workers = 2
     server = ReproServer(
-        workers=2,
+        workers=workers,
         metrics_port=0,
         trace_sample=1.0,
         batch_window_ms=0.0,
+        # Lenient SLO: the smoke asserts the machinery reports *ok*,
+        # not that CI hardware meets a production latency target.
+        slo="p95_ms=60000,err_rate=0.99,window_s=60",
+        history_interval=0.2,
     )
     await server.start(tcp=("127.0.0.1", 0))
     backend = getattr(server.shards, "backend", "thread")
@@ -125,6 +183,21 @@ async def main() -> int:
             ), f"shell 'trace' listing lacks {trace['trace_id']}: {lines}"
             rendered = await client.request(f"trace {trace['trace_id']}")
             assert any("engine" in line for line in rendered), rendered
+
+            # PR-7 surface: readiness, collector history, dashboard.
+            check_readyz(
+                _http_json(base, "/readyz"), workers, process_backend
+            )
+            history = _wait_for_history(base)
+            check_history(history, process_backend)
+            check_dashboard(_http_text(base, "/dashboard?window=60"))
+            assert "repro_slo_ok{" in _http_text(base, "/metrics"), (
+                "/metrics lacks repro_slo_* with an SLO configured"
+            )
+            if history_output:
+                with open(history_output, "w", encoding="utf-8") as fh:
+                    json.dump(history, fh, indent=2, sort_keys=True)
+                print(f"history document written to {history_output}")
         finally:
             await client.close()
     finally:
@@ -132,10 +205,30 @@ async def main() -> int:
 
     print(
         f"smoke_metrics_endpoint: PASS (backend={backend}, "
-        f"trace spans stitched, /metrics + /traces live)"
+        "trace spans stitched, /metrics + /traces + /readyz + "
+        "/history.json + /dashboard live)"
     )
     return 0
 
 
+def _wait_for_history(base: str, timeout_s: float = 10.0) -> dict:
+    """Poll until the collector has at least one derived point (two
+    ticks at the 0.2 s cadence)."""
+    deadline = time.time() + timeout_s
+    doc: dict = {}
+    while time.time() < deadline:
+        doc = _http_json(base, "/history.json?window=60")
+        if doc.get("points"):
+            return doc
+        time.sleep(0.1)
+    raise AssertionError(f"history never produced points: {doc}")
+
+
 if __name__ == "__main__":
-    sys.exit(asyncio.run(main()))
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--history-output", metavar="FILE", default="",
+        help="also write the /history.json document (CI artifact)",
+    )
+    cli_args = parser.parse_args()
+    sys.exit(asyncio.run(main(history_output=cli_args.history_output)))

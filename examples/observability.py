@@ -7,12 +7,19 @@ engine mints one trace per sampled query, down to the peel kernel's
 per-phase timings; a :class:`~repro.obs.export.MetricsServer` then
 serves the standard endpoints from the same process.
 
+Part two boots a real 2-worker :class:`~repro.server.transport.ReproServer`
+with the history collector and an SLO, runs traffic, and pulls the
+server-rendered ``/dashboard`` plus ``/history.json`` and ``/readyz``
+— the full live-ops surface, all stdlib.
+
 Run:  python examples/observability.py
 """
 
 from __future__ import annotations
 
+import asyncio
 import json
+import time
 import urllib.request
 
 import repro
@@ -63,3 +70,67 @@ with repro.open(metrics=metrics, tracer=tracer) as rp:
         print(f"\nslow-query exemplars retained (>=5ms): {len(slow)}")
     finally:
         exporter.stop()
+
+
+# ----------------------------------------------------------------------
+# Part two: the live dashboard against a real 2-worker server.
+# ----------------------------------------------------------------------
+async def live_dashboard() -> None:
+    from repro.server.client import ReproClient
+    from repro.server.transport import ReproServer
+
+    server = ReproServer(
+        workers=2,
+        metrics_port=0,          # ephemeral exporter port
+        trace_sample=1.0,
+        slo="p95_ms=500,err_rate=0.05,window_s=60",
+        history_interval=0.2,    # fast cadence so the demo has points
+    )
+    await server.start(tcp=("127.0.0.1", 0))
+    try:
+        host, port = server.tcp_address
+        mhost, mport = server.metrics_address
+        base = f"http://{mhost}:{mport}"
+
+        client = await ReproClient.connect(host, port=port)
+        try:
+            for gamma in (3, 5, 3):  # cold, cold, cache hit
+                await client.execute(QuerySpec(graph="email", k=5, gamma=gamma))
+        finally:
+            await client.close()
+
+        # Three collector ticks -> two derived rate points, enough for
+        # the dashboard sparklines to draw a segment.
+        deadline = time.time() + 10.0
+        doc = {}
+        while time.time() < deadline:
+            doc = json.loads(
+                urllib.request.urlopen(base + "/history.json?window=60").read()
+            )
+            if len(doc.get("points", [])) >= 2:
+                break
+            await asyncio.sleep(0.1)
+
+        newest = doc["points"][-1]
+        print(f"\nlive server on {host}:{port}, dashboard at {base}/dashboard")
+        print(
+            f"history: {len(doc['points'])} point(s), newest "
+            f"qps={newest['qps']:.2f} queue={newest['queue_depth']} "
+            f"workers={newest['workers']}"
+        )
+        ready = json.loads(urllib.request.urlopen(base + "/readyz").read())
+        print(f"readyz: ready={ready['ready']} workers={ready.get('workers')}")
+        slo = doc.get("slo_status") or {}
+        print(f"slo: ok={slo.get('ok')} over {slo.get('window_s'):g}s window")
+
+        html = urllib.request.urlopen(base + "/dashboard").read().decode()
+        has_heatmap = 'id="heatmap"' in html
+        print(
+            f"dashboard: {len(html)} bytes of pure-stdlib HTML "
+            f"(sparklines={'spark-qps' in html}, heatmap={has_heatmap})"
+        )
+    finally:
+        await server.stop()
+
+
+asyncio.run(live_dashboard())

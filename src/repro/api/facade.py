@@ -294,6 +294,7 @@ def open(
     max_cached_k: Optional[int] = None,
     metrics: Optional[ServiceMetrics] = None,
     tracer: Optional[Tracer] = None,
+    profiler: Optional[Any] = None,
 ) -> Repro:
     """An in-process :class:`Repro` facade.
 
@@ -319,6 +320,10 @@ def open(
         Optional :class:`~repro.obs.trace.Tracer`; the facade's engine
         is the serving edge here, so its sampling mints ``query`` root
         traces, retained in ``tracer.store``.
+    profiler:
+        Optional :class:`~repro.obs.profiling.OnDemandProfiler`
+        attached to the engine's execute path, so ``capture()`` windows
+        see the facade's live queries.
     """
     if registry is None:
         registry = GraphRegistry(preload_datasets=datasets)
@@ -342,6 +347,8 @@ def open(
         default_graph=default_graph,
         tracer=tracer,
     )
+    if profiler is not None:
+        backend.engine.profiler = profiler
     return Repro(backend)
 
 

@@ -189,9 +189,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--metrics-port", type=int, default=None, metavar="PORT",
-        help="serve Prometheus-text /metrics, /metrics.json and /traces "
-             "over HTTP on this port (0 = ephemeral; stdlib only, "
-             "works in both stdio and network modes)",
+        help="serve Prometheus-text /metrics, /metrics.json, /traces, "
+             "/dashboard, /history.json, /readyz and /profile over HTTP "
+             "on this port (0 = ephemeral; stdlib only, works in both "
+             "stdio and network modes)",
     )
     serve.add_argument(
         "--trace-sample", type=float, default=None, metavar="RATE",
@@ -203,6 +204,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--slow-ms", type=float, default=None, metavar="MS",
         help="traces slower than this are retained as slow-query "
              "exemplars ('trace slow' / /traces/slow; default 250)",
+    )
+    serve.add_argument(
+        "--slo", metavar="SPEC", default=None,
+        help="serving objectives, e.g. 'p95_ms=50,err_rate=0.01"
+             "[,window_s=60]' — evaluated continuously; breaches flip "
+             "/readyz to 503 and export repro_slo_* series",
+    )
+    serve.add_argument(
+        "--history-interval", type=float, default=None, metavar="SECONDS",
+        help="seconds between metrics-history samples feeding "
+             "/dashboard and /history.json (default 1.0)",
     )
 
     trace = sub.add_parser(
@@ -230,6 +242,30 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--limit", type=int, default=20,
         help="maximum traces to list (default 20)",
+    )
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="fetch metrics from a serving repro's metrics endpoint",
+    )
+    metrics.add_argument(
+        "--port", type=int, required=True,
+        help="the server's --metrics-port",
+    )
+    metrics.add_argument(
+        "--host", default="127.0.0.1", help="metrics host (default local)"
+    )
+    metrics.add_argument(
+        "--json", action="store_true", help="raw JSON instead of rendering"
+    )
+    metrics.add_argument(
+        "--history", action="store_true",
+        help="fetch the derived time-series (/history.json) instead of "
+             "the instantaneous snapshot",
+    )
+    metrics.add_argument(
+        "--window", type=float, default=None, metavar="SECONDS",
+        help="history window to fetch (with --history; default 300)",
     )
     return parser
 
@@ -354,6 +390,12 @@ def _run_server_async(args: argparse.Namespace, out) -> int:
             metrics_port=args.metrics_port,
             trace_sample=args.trace_sample,
             slow_ms=args.slow_ms,
+            slo=args.slo,
+            history_interval=(
+                args.history_interval
+                if args.history_interval is not None
+                else 1.0
+            ),
         )
     except ValueError as exc:
         print(f"error: {exc}", file=out)
@@ -458,6 +500,7 @@ def _run_serve(args: argparse.Namespace, out, in_stream) -> int:
         args.metrics_port is not None
         or args.trace_sample is not None
         or args.slow_ms is not None
+        or args.slo is not None
     )
     tracer = None
     if obs_enabled:
@@ -484,14 +527,58 @@ def _run_serve(args: argparse.Namespace, out, in_stream) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=out)
         return 2
+    history = None
     metrics_server = None
+    if obs_enabled:
+        # The stdio loop carries the same observability tier as the
+        # network server: history collector + SLO verdicts, an armed
+        # profiler behind the `profile` command, and (with a port) the
+        # HTTP explorer.
+        from .obs.history import MetricsHistory, parse_slo
+        from .obs.profiling import OnDemandProfiler
+
+        try:
+            slo = parse_slo(args.slo) if args.slo is not None else None
+        except ValueError as exc:
+            print(f"error: {exc}", file=out)
+            return 2
+        history = MetricsHistory(
+            metrics,
+            trace_store=tracer.store if tracer is not None else None,
+            interval_s=(
+                args.history_interval
+                if args.history_interval is not None
+                else 1.0
+            ),
+            slo=slo,
+        )
+        history.start()
+        engine.profiler = OnDemandProfiler()
     if args.metrics_port is not None:
         from .obs.export import MetricsServer
+
+        def _readiness():
+            status = history.slo_status() if history is not None else None
+            if status is None or status["ok"]:
+                return {"ready": True, "reasons": []}
+            breached = sorted(
+                name
+                for name, objective in status["objectives"].items()
+                if not objective["ok"]
+            )
+            return {
+                "ready": False,
+                "reasons": [f"slo breach: {', '.join(breached)}"],
+                "slo": status,
+            }
 
         metrics_server = MetricsServer(
             metrics,
             trace_store=tracer.store if tracer is not None else None,
             port=args.metrics_port,
+            history=history,
+            readiness=_readiness,
+            profiler=engine.profiler,
         )
         mhost, mport = metrics_server.start()
         print(f"metrics on http://{mhost}:{mport}/metrics", file=out)
@@ -508,6 +595,8 @@ def _run_serve(args: argparse.Namespace, out, in_stream) -> int:
         shell = ServiceShell(engine, sessions, out, prompt=prompt, tracer=tracer)
         return shell.run(in_stream)
     finally:
+        if history is not None:
+            history.stop()
         if metrics_server is not None:
             metrics_server.stop()
 
@@ -560,6 +649,82 @@ def _run_trace(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _run_metrics(args: argparse.Namespace, out) -> int:
+    """``repro metrics`` — pull the snapshot / history off a server."""
+    import json as _json
+    import urllib.error
+    import urllib.request
+
+    base = f"http://{args.host}:{args.port}"
+    if args.history:
+        window = args.window if args.window is not None else 300.0
+        url = f"{base}/history.json?window={window:g}"
+    else:
+        url = f"{base}/metrics.json"
+    try:
+        with urllib.request.urlopen(url, timeout=10.0) as response:
+            payload = _json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        if exc.code == 404 and args.history:
+            print(
+                "error: history collector disabled on this server",
+                file=out,
+            )
+        else:
+            print(f"error: {url}: HTTP {exc.code}", file=out)
+        return 1
+    except (urllib.error.URLError, OSError) as exc:
+        reason = getattr(exc, "reason", exc)
+        print(
+            f"error: cannot reach {base} ({reason}) — is the server "
+            "running with --metrics-port?",
+            file=out,
+        )
+        return 1
+    if args.json:
+        print(_json.dumps(payload, sort_keys=True), file=out)
+        return 0
+    if args.history:
+        points = payload.get("points", [])
+        if not points:
+            print("(no history points yet — is traffic flowing?)", file=out)
+        for point in points:
+            lat = point.get("latency_overall_ms") or {}
+            p95 = lat.get("p95")
+            hit = point.get("hit_rate")
+            print(
+                f"t={point['t']:.1f} qps={point['qps']:.2f} "
+                f"err_rate={point['error_rate']:.3f} "
+                + (f"hit_rate={hit:.3f} " if hit is not None else "hit_rate=– ")
+                + (f"p95={p95:.3f}ms " if p95 is not None else "p95=– ")
+                + f"queue={point['queue_depth']}",
+                file=out,
+            )
+        status = payload.get("slo_status")
+        if status is not None:
+            verdict = "ok" if status["ok"] else "BREACH"
+            objectives = ", ".join(
+                f"{name}={obj['value'] if obj['value'] is not None else '–'}"
+                f"/{obj['target']:g}"
+                for name, obj in sorted(status["objectives"].items())
+            )
+            print(f"slo[{verdict}]: {objectives}", file=out)
+        return 0
+    from .service.shell import render_metrics
+
+    for line in render_metrics(payload):
+        print(line, file=out)
+    traces = payload.get("traces")
+    if traces:
+        print(
+            f"traces: recorded={traces['traces_recorded']} "
+            f"slow={traces['slow_traces']} "
+            f"spans={traces['spans_recorded']}",
+            file=out,
+        )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None, out=None, in_stream=None) -> int:
     """CLI entry point; returns a process exit code."""
     out = out if out is not None else sys.stdout
@@ -570,6 +735,9 @@ def main(argv: Optional[List[str]] = None, out=None, in_stream=None) -> int:
 
     if args.command == "trace":
         return _run_trace(args, out)
+
+    if args.command == "metrics":
+        return _run_metrics(args, out)
 
     if args.command == "stats":
         graph = (

@@ -210,6 +210,13 @@ class ClusterPool:
         """Queued + in-flight jobs per worker (parent view)."""
         return [worker.depth for worker in self._workers]
 
+    def liveness(self) -> Dict[str, bool]:
+        """``{worker tag: alive}`` — a pure probe, unlike
+        :meth:`health_check`, which restarts what it finds dead.
+        Readiness checks call this so probing never mutates the pool.
+        """
+        return {worker.tag: worker.alive for worker in self._workers}
+
     @staticmethod
     def available(start_method: Optional[str] = None) -> bool:
         """True when worker processes can actually be created here."""

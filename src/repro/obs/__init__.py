@@ -9,6 +9,7 @@ pulls in ``http.server``) loads lazily so the kernel hot path's
 ``record_phase`` import stays featherweight.
 """
 
+from .history import SLO, MetricsHistory, parse_slo
 from .trace import (
     DEFAULT_SLOW_MS,
     DEFAULT_TRACE_SAMPLE,
@@ -26,23 +27,41 @@ from .trace import (
 __all__ = [
     "DEFAULT_SLOW_MS",
     "DEFAULT_TRACE_SAMPLE",
+    "MetricsHistory",
     "MetricsServer",
     "NO_TRACE",
+    "OnDemandProfiler",
+    "ProfileBusyError",
+    "SLO",
     "Span",
     "TraceStore",
     "Tracer",
     "current_span",
     "format_trace",
     "format_trace_line",
+    "parse_slo",
     "record_phase",
+    "render_dashboard",
     "render_prometheus",
     "use_span",
 ]
 
+#: Lazily-resolved exports (PEP 562): attribute -> submodule.  Keeps
+#: the kernel hot path's ``record_phase`` import from dragging in
+#: ``http.server`` / ``cProfile`` / the dashboard renderer.
+_LAZY = {
+    "MetricsServer": "export",
+    "render_prometheus": "export",
+    "render_dashboard": "dashboard",
+    "OnDemandProfiler": "profiling",
+    "ProfileBusyError": "profiling",
+}
 
-def __getattr__(name):  # PEP 562: defer the http.server import chain
-    if name in ("MetricsServer", "render_prometheus"):
-        from . import export
 
-        return getattr(export, name)
+def __getattr__(name):
+    submodule = _LAZY.get(name)
+    if submodule is not None:
+        from importlib import import_module
+
+        return getattr(import_module(f".{submodule}", __name__), name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -12,12 +12,22 @@ the raw snapshot and the trace rings:
 * ``GET /traces``         — recent traces (``?limit=N``, default 20)
 * ``GET /traces/slow``    — slow-query exemplars (``?limit=N``)
 * ``GET /traces/<id>``    — one trace by id (404 when unknown)
-* ``GET /healthz``        — liveness probe (``ok``)
+* ``GET /healthz``        — bare liveness probe (``ok``; answers iff
+  the process serves HTTP — never consults workers or SLOs)
+* ``GET /readyz``         — readiness: 200 when the server should
+  receive traffic, 503 with a JSON reason when cluster workers are
+  dead or an SLO is breached
+* ``GET /dashboard``      — the server-rendered HTML explorer
+  (:mod:`repro.obs.dashboard`; ``?window=S`` bounds the series)
+* ``GET /history.json``   — derived time-series points (``?window=S``)
+* ``GET /profile``        — on-demand cProfile capture
+  (``?seconds=N&top=M``; 409 while another capture runs)
 
 The server thread only ever *reads* shared state (snapshot() and the
-trace store are internally locked), so it needs no coordination with
-the serving loop; ``repro serve --metrics-port N`` starts it next to
-the transport and ``repro trace`` is its CLI client.
+trace store are internally locked; the history collector samples on its
+own thread), so it needs no coordination with the serving loop;
+``repro serve --metrics-port N`` starts it next to the transport and
+``repro trace`` / ``repro metrics`` are its CLI clients.
 """
 
 from __future__ import annotations
@@ -25,12 +35,18 @@ from __future__ import annotations
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
+from .dashboard import render_dashboard
+from .history import MetricsHistory
+from .profiling import OnDemandProfiler, ProfileBusyError
 from .trace import TraceStore
 
 __all__ = ["MetricsServer", "render_prometheus"]
+
+#: Default dashboard/history window, seconds.
+DEFAULT_WINDOW_S = 300.0
 
 
 def _escape_label(value: Any) -> str:
@@ -88,9 +104,16 @@ class _Lines:
 
 
 def render_prometheus(
-    snapshot: Dict[str, Any], trace_store: Optional[TraceStore] = None
+    snapshot: Dict[str, Any],
+    trace_store: Optional[TraceStore] = None,
+    history: Optional[MetricsHistory] = None,
 ) -> str:
-    """Prometheus text exposition of one metrics snapshot."""
+    """Prometheus text exposition of one metrics snapshot.
+
+    With a ``history`` whose SLO is configured, the ``repro_slo_*``
+    series (per-objective target/value/verdict plus the cumulative
+    breach counter) ride along.
+    """
     out = _Lines()
     out.sample(
         "repro_queries_served_total",
@@ -159,6 +182,15 @@ def render_prometheus(
                 },
                 help_text="Nearest-rank latency percentiles per algorithm.",
             )
+    for pname, value in sorted(
+        (snapshot.get("latency_overall_ms") or {}).items()
+    ):
+        out.sample(
+            "repro_latency_overall_ms",
+            value,
+            labels={"quantile": f"{int(pname[1:]) / 100:g}"},
+            help_text="Pooled latency percentiles across all algorithms.",
+        )
 
     for family, row in sorted((snapshot.get("by_family") or {}).items()):
         out.sample(
@@ -233,6 +265,35 @@ def render_prometheus(
             counters["spans_recorded"],
             kind="counter",
         )
+
+    status = history.slo_status() if history is not None else None
+    if status is not None:
+        for name, objective in sorted(status["objectives"].items()):
+            labels = {"objective": name}
+            out.sample(
+                "repro_slo_target",
+                objective.get("target"),
+                labels=labels,
+                help_text="Configured SLO target per objective.",
+            )
+            out.sample(
+                "repro_slo_value",
+                objective.get("value"),
+                labels=labels,
+                help_text="Observed value over the SLO window.",
+            )
+            out.sample(
+                "repro_slo_ok",
+                1 if objective.get("ok") else 0,
+                labels=labels,
+                help_text="1 when the objective holds, 0 on breach.",
+            )
+        out.sample(
+            "repro_slo_breaches_total",
+            history.breach_count,
+            help_text="Cumulative ok->breach transitions.",
+            kind="counter",
+        )
     return out.text()
 
 
@@ -262,18 +323,31 @@ class _Handler(BaseHTTPRequestHandler):
             status,
         )
 
+    @staticmethod
+    def _query_float(
+        params: Dict[str, List[str]], key: str, default: float
+    ) -> float:
+        try:
+            return float(params.get(key, [default])[0])
+        except (TypeError, ValueError):
+            return default
+
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
         exporter: "MetricsServer" = self.server.exporter  # type: ignore[attr-defined]
         parsed = urlparse(self.path)
         path = parsed.path.rstrip("/") or "/"
+        params = parse_qs(parsed.query)
         try:
-            limit = int(parse_qs(parsed.query).get("limit", ["20"])[0])
+            limit = int(params.get("limit", ["20"])[0])
         except ValueError:
             limit = 20
         store = exporter.trace_store
+        history = exporter.history
         if path == "/metrics":
             self._reply(
-                render_prometheus(exporter.metrics.snapshot(), store),
+                render_prometheus(
+                    exporter.metrics.snapshot(), store, history
+                ),
                 "text/plain",
             )
         elif path == "/metrics.json":
@@ -283,6 +357,27 @@ class _Handler(BaseHTTPRequestHandler):
             self._reply_json(snapshot)
         elif path == "/healthz":
             self._reply("ok\n", "text/plain")
+        elif path == "/readyz":
+            doc = (
+                exporter.readiness()
+                if exporter.readiness is not None
+                else {"ready": True, "reasons": []}
+            )
+            self._reply_json(doc, status=200 if doc.get("ready") else 503)
+        elif path == "/dashboard":
+            self._reply(exporter.render_dashboard_page(params), "text/html")
+        elif path == "/history.json":
+            if history is None:
+                self._reply_json(
+                    {"error": "history collector disabled"}, status=404
+                )
+            else:
+                window = self._query_float(
+                    params, "window", DEFAULT_WINDOW_S
+                )
+                self._reply_json(history.document(window))
+        elif path == "/profile":
+            self._serve_profile(exporter, params)
         elif path == "/traces" and store is not None:
             self._reply_json({"traces": store.recent(limit)})
         elif path == "/traces/slow" and store is not None:
@@ -296,6 +391,30 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             self._reply_json({"error": f"unknown path {path!r}"}, status=404)
 
+    def _serve_profile(
+        self, exporter: "MetricsServer", params: Dict[str, List[str]]
+    ) -> None:
+        profiler = exporter.profiler
+        if profiler is None:
+            self._reply_json(
+                {"error": "profiling disabled (no engine attached)"},
+                status=404,
+            )
+            return
+        seconds = self._query_float(params, "seconds", 5.0)
+        try:
+            top = int(params.get("top", ["25"])[0])
+        except ValueError:
+            top = 25
+        try:
+            report = profiler.capture(seconds, top=top)
+        except ProfileBusyError as exc:
+            self._reply_json({"error": str(exc)}, status=409)
+        except ValueError as exc:
+            self._reply_json({"error": str(exc)}, status=400)
+        else:
+            self._reply(report, "text/plain")
+
 
 class MetricsServer:
     """A daemon-threaded HTTP exposition server (port 0 = ephemeral)."""
@@ -306,13 +425,51 @@ class MetricsServer:
         trace_store: Optional[TraceStore] = None,
         host: str = "127.0.0.1",
         port: int = 0,
+        history: Optional[MetricsHistory] = None,
+        readiness: Optional[Callable[[], Dict[str, Any]]] = None,
+        profiler: Optional[OnDemandProfiler] = None,
     ) -> None:
         self.metrics = metrics
         self.trace_store = trace_store
+        #: Optional :class:`MetricsHistory` backing ``/history.json``,
+        #: the dashboard series, and the ``repro_slo_*`` exposition.
+        #: The caller owns its lifecycle (start/stop).
+        self.history = history
+        #: Optional zero-arg callable returning the ``/readyz``
+        #: document (``{"ready": bool, "reasons": [...], ...}``).
+        self.readiness = readiness
+        #: Optional :class:`OnDemandProfiler` backing ``/profile``.
+        self.profiler = profiler
         self._host = host
         self._port = port
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
+
+    def render_dashboard_page(self, params: Dict[str, List[str]]) -> str:
+        """Assemble the ``/dashboard`` HTML from the live state."""
+        window = _Handler._query_float(params, "window", DEFAULT_WINDOW_S)
+        points: List[Dict[str, Any]] = []
+        slo_status = None
+        breaches: List[Dict[str, Any]] = []
+        if self.history is not None:
+            points = self.history.series(window)
+            slo_status = self.history.slo_status()
+            breaches = self.history.breaches()
+        slow_traces: List[Dict[str, Any]] = []
+        if self.trace_store is not None:
+            slow_traces = self.trace_store.summaries(8, slow=True)
+            if not slow_traces:
+                slow_traces = self.trace_store.summaries(8)
+        readiness = self.readiness() if self.readiness is not None else None
+        return render_dashboard(
+            self.metrics.snapshot(),
+            points=points,
+            slo_status=slo_status,
+            breaches=breaches,
+            slow_traces=slow_traces,
+            readiness=readiness,
+            window_s=window,
+        )
 
     @property
     def address(self) -> Optional[Tuple[str, int]]:

@@ -252,6 +252,28 @@ class TraceStore:
                         return trace
         return None
 
+    def summaries(
+        self, limit: int = 20, slow: bool = False
+    ) -> List[Dict[str, Any]]:
+        """Compact newest-first rows for listings (no span payloads).
+
+        The dashboard's exemplar table wants ids, names and durations —
+        not the full span trees — so this projection keeps the render
+        path from copying every retained span on each page load.
+        """
+        rows = self.slow(limit) if slow else self.recent(limit)
+        return [
+            {
+                "trace_id": trace["trace_id"],
+                "name": trace["name"],
+                "start_ms": trace["start_ms"],
+                "duration_ms": trace["duration_ms"],
+                "spans": len(trace["spans"]),
+                "slow": bool(trace.get("slow")),
+            }
+            for trace in rows
+        ]
+
     def counters(self) -> Dict[str, int]:
         with self._lock:
             return {

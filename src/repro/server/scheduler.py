@@ -27,7 +27,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from ..api.spec import FamilyKey, QuerySpec
 from ..obs.trace import Span, Tracer
 from ..service.engine import QueryEngine
-from ..service.metrics import ServiceMetrics
+from ..service.metrics import ServiceMetrics, family_label
 from ..service.model import QueryResult
 from .shards import ShardPool
 
@@ -148,6 +148,18 @@ class BatchScheduler:
     @property
     def queue_depth(self) -> int:
         return sum(len(waiters) for waiters in self._pending.values())
+
+    def pending_by_family(self) -> Dict[str, int]:
+        """Waiters per family label, for the history collector's gauges.
+
+        Called from the collector's thread while the event loop mutates
+        ``_pending``; ``list(dict.items())`` is atomic under the GIL, so
+        this sees a coherent point-in-time copy without locking.
+        """
+        return {
+            family_label(key): len(waiters)
+            for key, waiters in list(self._pending.items())
+        }
 
     async def submit(
         self, query: QuerySpec, span: Optional[Span] = None

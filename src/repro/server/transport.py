@@ -29,9 +29,11 @@ import contextlib
 import errno
 import io
 import os
-from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Set, Tuple, Union
 
 from ..errors import ReproError, UnknownSessionError
+from ..obs.history import SLO, MetricsHistory, parse_slo
+from ..obs.profiling import OnDemandProfiler
 from ..obs.trace import (
     DEFAULT_SLOW_MS,
     DEFAULT_TRACE_SAMPLE,
@@ -93,16 +95,26 @@ class ReproServer:
         When ``metrics_port`` is set (0 = ephemeral), :meth:`start`
         additionally binds a zero-dep HTTP exporter
         (:class:`~repro.obs.export.MetricsServer`) serving
-        ``/metrics`` (Prometheus text), ``/metrics.json``, ``/traces``
-        and ``/healthz``; the bound address is ``metrics_address``.
+        ``/metrics`` (Prometheus text), ``/metrics.json``, ``/traces``,
+        ``/healthz``, ``/readyz``, ``/dashboard``, ``/history.json``
+        and ``/profile``; the bound address is ``metrics_address``.
     trace_sample / slow_ms:
         Tracing knobs.  Observability is enabled when any of
-        ``metrics_port`` / ``trace_sample`` / ``slow_ms`` is set;
-        ``trace_sample`` defaults to
+        ``metrics_port`` / ``trace_sample`` / ``slow_ms`` / ``slo`` is
+        set; ``trace_sample`` defaults to
         :data:`~repro.obs.trace.DEFAULT_TRACE_SAMPLE` when enabled
         (first query is always traced — the sampler fires on tick 0),
         and ``slow_ms`` marks slower traces as retained exemplars.
         A pre-built ``tracer`` overrides both.
+    slo:
+        Optional SLO spec — a ``"p95_ms=50,err_rate=0.01"`` string (see
+        :func:`~repro.obs.history.parse_slo`) or a pre-built
+        :class:`~repro.obs.history.SLO`.  Evaluated by the history
+        collector each tick; drives ``/readyz`` and the
+        ``repro_slo_*`` exposition.
+    history_interval:
+        Seconds between history collector samples (default 1.0).  The
+        collector starts whenever observability is enabled.
     """
 
     def __init__(
@@ -127,17 +139,21 @@ class ReproServer:
         trace_sample: Optional[float] = None,
         slow_ms: Optional[float] = None,
         tracer: Optional[Tracer] = None,
+        slo: Optional[Union[str, SLO]] = None,
+        history_interval: float = 1.0,
     ) -> None:
         self.metrics = metrics if metrics is not None else ServiceMetrics()
+        obs_enabled = (
+            metrics_port is not None
+            or trace_sample is not None
+            or slow_ms is not None
+            or slo is not None
+            or tracer is not None
+        )
         if tracer is None:
             # Observability opts in via any of its knobs; the tracer
             # object always exists (sample=0 = off) so every layer can
             # hold a reference unconditionally.
-            obs_enabled = (
-                metrics_port is not None
-                or trace_sample is not None
-                or slow_ms is not None
-            )
             sample = (
                 trace_sample
                 if trace_sample is not None
@@ -148,6 +164,20 @@ class ReproServer:
                 slow_ms=slow_ms if slow_ms is not None else DEFAULT_SLOW_MS,
             )
         self.tracer = tracer
+        self.slo: Optional[SLO] = (
+            parse_slo(slo) if isinstance(slo, str) else slo
+        )
+        self.history: Optional[MetricsHistory] = (
+            MetricsHistory(
+                self.metrics,
+                trace_store=self.tracer.store,
+                interval_s=history_interval,
+                slo=self.slo,
+                gauges=self._history_gauges,
+            )
+            if obs_enabled
+            else None
+        )
         self.metrics_port = metrics_port
         self.metrics_host = metrics_host
         self.metrics_server = None
@@ -164,6 +194,11 @@ class ReproServer:
             metrics=self.metrics,
             tracer=self.tracer,
         )
+        self.profiler: Optional[OnDemandProfiler] = (
+            OnDemandProfiler() if obs_enabled else None
+        )
+        if self.profiler is not None:
+            self.engine.profiler = self.profiler
         self.shards = create_pool(
             backend,
             shards=shards,
@@ -228,6 +263,8 @@ class ReproServer:
             # across crashes, not just clean shutdowns; the thread is
             # the WarmStart's own and never touches the event loop.
             self.warmstart.start_periodic(self.cache, self.registry)
+        if self.history is not None:
+            self.history.start()
         if self.metrics_port is not None and self.metrics_server is None:
             from ..obs.export import MetricsServer
 
@@ -236,6 +273,9 @@ class ReproServer:
                 trace_store=self.tracer.store,
                 host=self.metrics_host,
                 port=self.metrics_port,
+                history=self.history,
+                readiness=self._readiness,
+                profiler=self.profiler,
             )
             self.metrics_address = self.metrics_server.start()
         if tcp is not None:
@@ -330,11 +370,51 @@ class ReproServer:
                 None, self.warmstart.save, self.cache, self.registry
             )
         self.shards.shutdown(wait=False)
+        if self.history is not None:
+            self.history.stop()
         if self.metrics_server is not None:
             self.metrics_server.stop()
         if self.unix_path is not None:
             with contextlib.suppress(OSError):
                 os.unlink(self.unix_path)
+
+    # ------------------------------------------------------------------
+    def _history_gauges(self) -> Dict[str, Any]:
+        """Server-side gauges sampled into each history tick."""
+        return {"pending_families": self.scheduler.pending_by_family()}
+
+    def _readiness(self) -> Dict[str, Any]:
+        """The ``/readyz`` document: worker liveness + SLO verdict.
+
+        Liveness uses the cluster pool's non-mutating probe (thread
+        pools have no processes to die and always read ready); dead
+        workers and breached objectives each contribute a reason, and
+        :meth:`~repro.cluster.pool.ClusterPool.health_check` (the
+        mutating recovery path) flips the answer back once the worker
+        is restarted.
+        """
+        reasons: List[str] = []
+        doc: Dict[str, Any] = {"ready": True, "reasons": reasons}
+        liveness = getattr(self.shards, "liveness", None)
+        if liveness is not None:
+            workers = liveness()
+            doc["workers"] = workers
+            dead = sorted(tag for tag, alive in workers.items() if not alive)
+            if dead:
+                reasons.append(f"dead workers: {', '.join(dead)}")
+        if self.history is not None and self.slo is not None:
+            status = self.history.slo_status()
+            if status is not None:
+                doc["slo"] = status
+                if not status["ok"]:
+                    breached = sorted(
+                        name
+                        for name, objective in status["objectives"].items()
+                        if not objective["ok"]
+                    )
+                    reasons.append(f"slo breach: {', '.join(breached)}")
+        doc["ready"] = not reasons
+        return doc
 
     # ------------------------------------------------------------------
     async def _handle(

@@ -121,6 +121,11 @@ class QueryEngine:
         self.cache = cache
         self.metrics = metrics
         self.tracer = tracer
+        #: Optional :class:`~repro.obs.profiling.OnDemandProfiler`.
+        #: When armed, :meth:`_execute` routes through it so one live
+        #: execution at a time is captured; unarmed cost is one
+        #: attribute load per query.
+        self.profiler = None
 
     # ------------------------------------------------------------------
     def plan(self, query: QuerySpec) -> QueryPlan:
@@ -236,6 +241,13 @@ class QueryEngine:
         return result
 
     def _execute(self, query: QuerySpec) -> QueryResult:
+        """Dispatch to the execution body, via the profiler when armed."""
+        profiler = self.profiler
+        if profiler is not None:
+            return profiler.profile_call(self._execute_impl, query)
+        return self._execute_impl(query)
+
+    def _execute_impl(self, query: QuerySpec) -> QueryResult:
         """The untraced execution body (plan → cache → run → record)."""
         started = time.perf_counter()
         handle = self.registry.get(query.graph)

@@ -79,6 +79,9 @@ class ServiceMetrics:
     PERCENTILES = (50.0, 90.0, 99.0)
     #: Percentiles reported per family (the satellite contract: p50/p95).
     FAMILY_PERCENTILES = (50.0, 95.0)
+    #: Percentiles over the global reservoir (all algorithms pooled) —
+    #: the gauge the p95 SLO and the dashboard stat tile read.
+    OVERALL_PERCENTILES = (50.0, 95.0, 99.0)
 
     def __init__(
         self, max_samples: int = 1024, max_families: int = 512
@@ -99,6 +102,9 @@ class ServiceMetrics:
         #: under the cluster backend), ``process`` = cluster workers.
         self.by_backend: Dict[str, int] = defaultdict(int)
         self._latency_ms: Dict[str, Deque[float]] = {}
+        #: Global latency reservoir across every algorithm — one pooled
+        #: p95 gauge for SLO evaluation and the dashboard.
+        self._latency_all: Deque[float] = deque(maxlen=max_samples)
         self._families: "OrderedDict[object, _FamilyStats]" = OrderedDict()
         self.sessions_opened = 0
         self.sessions_closed = 0
@@ -157,6 +163,7 @@ class ServiceMetrics:
                 reservoir = deque(maxlen=self._max_samples)
                 self._latency_ms[algorithm] = reservoir
             reservoir.append(elapsed_ms)
+            self._latency_all.append(elapsed_ms)
             if family is not None:
                 stats = self._families.get(family)
                 if stats is None:
@@ -267,6 +274,15 @@ class ServiceMetrics:
             f"p{int(q)}": percentile(samples, q) for q in self.PERCENTILES
         }
 
+    def overall_latency(self) -> Dict[str, Optional[float]]:
+        """Pooled p50/p95/p99 over the global reservoir (all algorithms)."""
+        with self._lock:
+            samples = list(self._latency_all)
+        return {
+            f"p{int(q)}": percentile(samples, q)
+            for q in self.OVERALL_PERCENTILES
+        }
+
     def by_family(self) -> Dict[str, Dict[str, object]]:
         """Spec-addressed aggregates: one row per active FamilyKey.
 
@@ -293,12 +309,22 @@ class ServiceMetrics:
         return out
 
     def snapshot(self) -> Dict[str, object]:
-        """A point-in-time, JSON-friendly view of everything."""
+        """A point-in-time, JSON-friendly view of everything.
+
+        Every container in the document is a **defensive copy** built
+        under the lock (``by_error``, the cluster depth dicts, the
+        family rows, the latency tables): mutating a snapshot never
+        writes through to live state, and live updates never mutate an
+        already-returned snapshot — both directions are regression-
+        tested, since the history collector and the HTTP exporter hold
+        snapshots across threads.
+        """
         with self._lock:
             latencies = {
                 algo: list(samples)
                 for algo, samples in self._latency_ms.items()
             }
+            overall = list(self._latency_all)
             cluster = {
                 "by_worker": dict(self.by_worker),
                 "segment_attaches": dict(self.segment_attaches),
@@ -338,5 +364,9 @@ class ServiceMetrics:
                 for q in self.PERCENTILES
             }
             for algo, samples in latencies.items()
+        }
+        out["latency_overall_ms"] = {
+            f"p{int(q)}": percentile(overall, q)
+            for q in self.OVERALL_PERCENTILES
         }
         return out

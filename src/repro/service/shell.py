@@ -35,7 +35,7 @@ from .metrics import ServiceMetrics
 from .model import CommunityView, QueryResult
 from .sessions import SessionManager
 
-__all__ = ["ServiceShell"]
+__all__ = ["ServiceShell", "render_metrics"]
 
 _HELP = """\
 commands:
@@ -51,10 +51,86 @@ commands:
   metrics [json]                        service counters and latencies
                                         (one JSON document with 'json')
   trace [slow] [json] [ID] [limit=N]    recent (or slow / one) traces
+  profile [seconds=N] [top=N]           cProfile the live engine for N s
   help                                  this text
   quit                                  close this connection / loop
   shutdown                              stop the whole server gracefully\
 """
+
+
+def render_metrics(snap: Dict) -> List[str]:
+    """The ``metrics`` command's text rendering of one snapshot.
+
+    Shared verbatim by the shell command and the ``repro metrics`` CLI
+    client (which fetches the same snapshot over ``/metrics.json``), so
+    the two frontends can never drift apart.
+    """
+    lines: List[str] = []
+    lines.append(f"queries_served: {snap['queries_served']}")
+    lines.append(f"cache_hit_rate: {snap['cache_hit_rate']:.3f}")
+    for source, count in sorted(snap["by_source"].items()):
+        lines.append(f"source[{source}]: {count}")
+    for kernel, count in sorted(snap.get("by_kernel", {}).items()):
+        lines.append(f"kernel[{kernel}]: {count}")
+    for backend, count in sorted(snap.get("by_backend", {}).items()):
+        lines.append(f"backend[{backend}]: {count}")
+    for algo, pcts in sorted(snap["latency_ms"].items()):
+        rendered = ", ".join(
+            f"{name}={value:.3f}ms" if value is not None else f"{name}=–"
+            for name, value in pcts.items()
+        )
+        lines.append(f"latency[{algo}]: {rendered}")
+    for family, row in sorted(snap.get("by_family", {}).items()):
+        p50, p95 = row.get("p50_ms"), row.get("p95_ms")
+        lines.append(
+            f"family[{family}]: queries={row['queries']} "
+            f"hit_rate={row['hit_rate']:.3f} "
+            + (f"p50={p50:.3f}ms " if p50 is not None else "p50=– ")
+            + (f"p95={p95:.3f}ms" if p95 is not None else "p95=–")
+        )
+    lines.append(
+        f"sessions: opened={snap['sessions_opened']} "
+        f"closed={snap['sessions_closed']} "
+        f"expired={snap['sessions_expired']}"
+    )
+    server = snap.get("server") or {}
+    if server.get("connections_opened") or server.get("batches"):
+        lines.append(
+            f"connections: opened={server['connections_opened']} "
+            f"closed={server['connections_closed']}"
+        )
+        lines.append(
+            f"batches: {server['batches']} "
+            f"(queries={server['batched_queries']}, "
+            f"max_width={server['max_batch_width']}, "
+            f"coalesce_rate={server['coalesce_rate']:.3f})"
+        )
+        lines.append(
+            f"queue_depth: now={server['queue_depth']} "
+            f"peak={server['queue_depth_peak']}"
+        )
+        if server.get("replica_idle_dispatches"):
+            lines.append(
+                "replica_idle_dispatches: "
+                f"{server['replica_idle_dispatches']}"
+            )
+    cluster = snap.get("cluster") or {}
+    if cluster.get("by_worker") or cluster.get("worker_restarts"):
+        for worker, count in sorted(cluster["by_worker"].items()):
+            depth = cluster.get("queue_depth", {}).get(worker, 0)
+            lines.append(
+                f"cluster[{worker}]: dispatches={count} depth={depth}"
+            )
+        attaches = ", ".join(
+            f"{mode}={count}"
+            for mode, count in sorted(cluster["segment_attaches"].items())
+        )
+        lines.append(
+            f"cluster: attaches=({attaches or 'none'}) "
+            f"restarts={cluster['worker_restarts']} "
+            f"depth_peak={cluster['queue_depth_peak']}"
+        )
+    return lines
 
 
 def _parse_kv(tokens: List[str]) -> Tuple[Dict[str, str], List[str]]:
@@ -283,70 +359,38 @@ class ServiceShell:
             # text rendering below, for programmatic scrapers.
             self._print(json.dumps(snap, sort_keys=True, default=str))
             return
-        self._print(f"queries_served: {snap['queries_served']}")
-        self._print(f"cache_hit_rate: {snap['cache_hit_rate']:.3f}")
-        for source, count in sorted(snap["by_source"].items()):
-            self._print(f"source[{source}]: {count}")
-        for kernel, count in sorted(snap.get("by_kernel", {}).items()):
-            self._print(f"kernel[{kernel}]: {count}")
-        for backend, count in sorted(snap.get("by_backend", {}).items()):
-            self._print(f"backend[{backend}]: {count}")
-        for algo, pcts in sorted(snap["latency_ms"].items()):
-            rendered = ", ".join(
-                f"{name}={value:.3f}ms" if value is not None else f"{name}=–"
-                for name, value in pcts.items()
-            )
-            self._print(f"latency[{algo}]: {rendered}")
-        for family, row in sorted(snap.get("by_family", {}).items()):
-            p50, p95 = row.get("p50_ms"), row.get("p95_ms")
+        for line in render_metrics(snap):
+            self._print(line)
+
+    def _cmd_profile(self, tokens: List[str]) -> None:
+        """``profile [seconds=N] [top=N]`` — capture a cProfile window."""
+        profiler = getattr(self.engine, "profiler", None)
+        if profiler is None:
             self._print(
-                f"family[{family}]: queries={row['queries']} "
-                f"hit_rate={row['hit_rate']:.3f} "
-                + (f"p50={p50:.3f}ms " if p50 is not None else "p50=– ")
-                + (f"p95={p95:.3f}ms" if p95 is not None else "p95=–")
+                "(profiling disabled — serve with --metrics-port or "
+                "--trace-sample)"
             )
-        self._print(
-            f"sessions: opened={snap['sessions_opened']} "
-            f"closed={snap['sessions_closed']} "
-            f"expired={snap['sessions_expired']}"
-        )
-        server = snap.get("server") or {}
-        if server.get("connections_opened") or server.get("batches"):
-            self._print(
-                f"connections: opened={server['connections_opened']} "
-                f"closed={server['connections_closed']}"
+            return
+        kv, flags = _parse_kv(tokens)
+        unknown = flags + [key for key in kv if key not in ("seconds", "top")]
+        if unknown:
+            raise QueryParameterError(
+                f"unknown profile argument(s): {', '.join(unknown)} "
+                "(usage: profile [seconds=N] [top=N])"
             )
-            self._print(
-                f"batches: {server['batches']} "
-                f"(queries={server['batched_queries']}, "
-                f"max_width={server['max_batch_width']}, "
-                f"coalesce_rate={server['coalesce_rate']:.3f})"
-            )
-            self._print(
-                f"queue_depth: now={server['queue_depth']} "
-                f"peak={server['queue_depth_peak']}"
-            )
-            if server.get("replica_idle_dispatches"):
-                self._print(
-                    "replica_idle_dispatches: "
-                    f"{server['replica_idle_dispatches']}"
-                )
-        cluster = snap.get("cluster") or {}
-        if cluster.get("by_worker") or cluster.get("worker_restarts"):
-            for worker, count in sorted(cluster["by_worker"].items()):
-                depth = cluster.get("queue_depth", {}).get(worker, 0)
-                self._print(
-                    f"cluster[{worker}]: dispatches={count} depth={depth}"
-                )
-            attaches = ", ".join(
-                f"{mode}={count}"
-                for mode, count in sorted(cluster["segment_attaches"].items())
-            )
-            self._print(
-                f"cluster: attaches=({attaches or 'none'}) "
-                f"restarts={cluster['worker_restarts']} "
-                f"depth_peak={cluster['queue_depth_peak']}"
-            )
+        try:
+            seconds = float(kv.get("seconds", "5"))
+            top = int(kv.get("top", "25"))
+        except ValueError as exc:
+            raise QueryParameterError(str(exc)) from exc
+        try:
+            report = profiler.capture(seconds, top=top)
+        except Exception as exc:
+            # ProfileBusyError (and bad-window ValueError) both render
+            # as protocol errors; the capture slot stays usable.
+            raise QueryParameterError(str(exc)) from exc
+        for line in report.rstrip("\n").split("\n"):
+            self._print(line)
 
     def _cmd_trace(self, tokens: List[str]) -> None:
         """``trace [slow] [json] [ID] [limit=N]`` — inspect the trace rings."""
@@ -435,6 +479,7 @@ class ServiceShell:
             "sessions": self._cmd_sessions,
             "metrics": self._cmd_metrics,
             "trace": self._cmd_trace,
+            "profile": self._cmd_profile,
             "help": lambda _tokens: self._print(_HELP),
         }.get(command)
         if handler is None:

@@ -12,6 +12,7 @@ import pytest
 from repro.api.spec import FamilyKey
 from repro.cli import main
 from repro.obs.export import MetricsServer, render_prometheus
+from repro.obs.history import SLO, MetricsHistory
 from repro.obs.trace import TraceStore, Tracer
 from repro.service.metrics import ServiceMetrics
 
@@ -73,6 +74,58 @@ class TestRenderPrometheus:
     def test_help_and_type_headers_once(self):
         text = render_prometheus(populated_metrics().snapshot())
         assert text.count("# TYPE repro_queries_served_total counter") == 1
+
+
+class TestSloRender:
+    """``repro_slo_*`` series from a history with a configured SLO."""
+
+    @staticmethod
+    def _history(metrics, slo, mutate=None):
+        clock = {"now": 1000.0}
+        history = MetricsHistory(
+            metrics, slo=slo, clock=lambda: clock["now"]
+        )
+        history.sample()
+        if mutate is not None:
+            mutate()
+        clock["now"] += 1.0
+        history.sample()
+        return history
+
+    def test_slo_block_renders_target_value_and_ok(self):
+        metrics = populated_metrics()
+        history = self._history(
+            metrics, SLO(err_rate=0.5, p95_ms=1000.0)
+        )
+        text = render_prometheus(metrics.snapshot(), history=history)
+        assert 'repro_slo_target{objective="err_rate"} 0.5' in text
+        assert 'repro_slo_target{objective="p95_ms"} 1000.0' in text
+        assert 'repro_slo_ok{objective="err_rate"} 1' in text
+        assert "repro_slo_breaches_total 0" in text
+
+    def test_breach_flips_ok_and_counts(self):
+        metrics = populated_metrics()
+
+        def fail_everything():
+            for _ in range(5):
+                metrics.observe_error(kind="Boom")
+
+        history = self._history(
+            metrics, SLO(err_rate=0.1), mutate=fail_everything
+        )
+        text = render_prometheus(metrics.snapshot(), history=history)
+        assert 'repro_slo_ok{objective="err_rate"} 0' in text
+        assert "repro_slo_breaches_total 1" in text
+
+    def test_no_slo_no_block(self):
+        metrics = populated_metrics()
+        # A history without an SLO contributes nothing, same as none.
+        history = MetricsHistory(metrics, clock=lambda: 0.0)
+        for text in (
+            render_prometheus(metrics.snapshot()),
+            render_prometheus(metrics.snapshot(), history=history),
+        ):
+            assert "repro_slo_" not in text
 
 
 @pytest.fixture()
@@ -176,5 +229,65 @@ class TestTraceCli:
 
     def test_unreachable_server_exits_nonzero(self):
         code, text = self._run(["trace", "--port", "1"])
+        assert code == 1
+        assert "cannot reach" in text
+
+
+class TestMetricsCli:
+    """``repro metrics`` — the snapshot/history puller."""
+
+    def _run(self, argv):
+        out = io.StringIO()
+        code = main(argv, out=out)
+        return code, out.getvalue()
+
+    def test_snapshot_text(self, exporter):
+        base, _ = exporter
+        port = base.rsplit(":", 1)[1]
+        code, text = self._run(["metrics", "--port", port])
+        assert code == 0
+        assert "queries_served: 3" in text
+        assert "cache_hit_rate:" in text
+        assert "traces: recorded=1" in text
+
+    def test_json_mode_dumps_snapshot(self, exporter):
+        base, _ = exporter
+        port = base.rsplit(":", 1)[1]
+        code, text = self._run(["metrics", "--port", port, "--json"])
+        assert code == 0
+        doc = json.loads(text)
+        assert doc["queries_served"] == 3
+
+    def test_history_against_disabled_server(self, exporter):
+        base, _ = exporter
+        port = base.rsplit(":", 1)[1]
+        code, text = self._run(["metrics", "--port", port, "--history"])
+        assert code == 1
+        assert "history collector disabled" in text
+
+    def test_history_text_renders_points_and_slo(self):
+        metrics = populated_metrics()
+        clock = {"now": 1000.0}
+        history = MetricsHistory(
+            metrics, slo=SLO(err_rate=0.5), clock=lambda: clock["now"]
+        )
+        history.sample()
+        metrics.observe_query("localsearch-p", 2.0, "cache")
+        clock["now"] += 1.0
+        history.sample()
+        server = MetricsServer(metrics, history=history)
+        _, port = server.start()
+        try:
+            code, text = self._run(
+                ["metrics", "--port", str(port), "--history"]
+            )
+        finally:
+            server.stop()
+        assert code == 0
+        assert "qps=1.00" in text
+        assert "slo[ok]:" in text
+
+    def test_unreachable_server_exits_nonzero(self):
+        code, text = self._run(["metrics", "--port", "1"])
         assert code == 1
         assert "cannot reach" in text

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import io
+import json
 
 import pytest
 
@@ -48,6 +49,105 @@ class TestSnapshotPurity:
         metrics.observe_query("localsearch-p", 1.0, "cold")
         _ = metrics.cache_hit_rate
         assert set(metrics.snapshot()["by_source"]) == {"cold"}
+
+
+def populated_metrics():
+    """Every snapshot table populated at least once."""
+    metrics = ServiceMetrics()
+    for i, source in enumerate(("cold", "cache", "coalesced")):
+        metrics.observe_query(
+            "localsearch-p",
+            1.0 + i,
+            source,
+            kernel="python",
+            family=family(),
+            backend="process",
+            worker="worker:0",
+        )
+    metrics.observe_error(kind="ValueError")
+    metrics.session_opened()
+    metrics.connection_opened()
+    metrics.observe_batch(2)
+    metrics.observe_queue_depth(3)
+    metrics.observe_segment_attach("create")
+    metrics.observe_worker_restart()
+    metrics.observe_cluster_depth("worker:0", 2)
+    return metrics
+
+
+class TestSnapshotIsolation:
+    """The snapshot() defensive-copy contract, both directions.
+
+    The history collector retains snapshots for minutes; a container
+    aliasing live state would silently rewrite retained ticks (and a
+    caller scribbling on a snapshot must never reach the live tables).
+    """
+
+    MUTABLE_PATHS = (
+        ("by_source",),
+        ("by_algorithm",),
+        ("by_kernel",),
+        ("by_backend",),
+        ("by_error",),
+        ("by_family",),
+        ("latency_ms",),
+        ("latency_overall_ms",),
+        ("server",),
+        ("cluster",),
+        ("cluster", "by_worker"),
+        ("cluster", "queue_depth"),
+        ("cluster", "segment_attaches"),
+    )
+
+    @staticmethod
+    def _dig(snap, path):
+        node = snap
+        for key in path:
+            node = node[key]
+        return node
+
+    def test_later_mutation_does_not_rewrite_snapshot(self):
+        metrics = populated_metrics()
+        before = metrics.snapshot()
+        frozen = json.dumps(before, sort_keys=True, default=str)
+        # Keep observing: every table the snapshot carries moves.
+        metrics.observe_query(
+            "forward", 9.0, "cold", kernel="numpy",
+            family=family(gamma=9), backend="process", worker="worker:1",
+        )
+        metrics.observe_error(kind="OSError")
+        metrics.observe_batch(5)
+        metrics.observe_cluster_depth("worker:1", 7)
+        metrics.observe_segment_attach("attach")
+        assert json.dumps(before, sort_keys=True, default=str) == frozen
+
+    def test_mutating_snapshot_does_not_leak_into_live_state(self):
+        metrics = populated_metrics()
+        snap = metrics.snapshot()
+        # Resolve every node before clearing any: clearing a parent
+        # first would make its nested paths unreachable.
+        nodes = [(path, self._dig(snap, path)) for path in self.MUTABLE_PATHS]
+        for path, node in nodes:
+            assert isinstance(node, dict), path
+            node.clear()
+            node["poisoned"] = 1
+        for row in snap.get("by_family", {}).values():
+            if isinstance(row, dict):
+                row["poisoned"] = 1
+        clean = metrics.snapshot()
+        for path in self.MUTABLE_PATHS:
+            node = self._dig(clean, path)
+            assert "poisoned" not in node, path
+        assert clean["by_source"]["cold"] == 1
+        assert clean["cluster"]["queue_depth"] == {"worker:0": 2}
+
+    def test_snapshot_containers_are_distinct_objects(self):
+        metrics = populated_metrics()
+        first, second = metrics.snapshot(), metrics.snapshot()
+        for path in self.MUTABLE_PATHS:
+            a, b = self._dig(first, path), self._dig(second, path)
+            assert a is not b, path
+            assert a == b, path
 
 
 class TestErrorKinds:

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import asyncio
 import json
+import time
+import urllib.error
 import urllib.request
 
 import pytest
@@ -47,6 +49,15 @@ def registry():
 def _http_json(base: str, path: str):
     with urllib.request.urlopen(base + path, timeout=10.0) as response:
         return json.loads(response.read().decode("utf-8"))
+
+
+def _http_get(base: str, path: str):
+    """(status, body) — non-2xx statuses returned, not raised."""
+    try:
+        with urllib.request.urlopen(base + path, timeout=10.0) as response:
+            return response.status, response.read().decode("utf-8")
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read().decode("utf-8")
 
 
 class TestThreadBackendEndToEnd:
@@ -162,6 +173,261 @@ class TestCoalescedTraces:
                 if s["name"] == "coalesced"
             )
             assert follower_span["tags"]["leader"] in by_root
+
+        asyncio.run(main())
+
+
+class TestObservabilityEndpoints:
+    """The PR-7 surface over a live thread-backend server."""
+
+    def test_dashboard_history_readyz_profile(self, registry):
+        async def main():
+            server = ReproServer(
+                registry=registry,
+                backend="thread",
+                trace_sample=1.0,
+                metrics_port=0,
+                slo="p95_ms=60000,err_rate=0.9,window_s=30",
+                history_interval=0.1,
+            )
+            await server.start(tcp=("127.0.0.1", 0))
+            try:
+                host, port = server.tcp_address
+                mhost, mport = server.metrics_address
+                base = f"http://{mhost}:{mport}"
+                client = await ReproClient.connect(host, port=port)
+                try:
+                    for k in (2, 3, 4):
+                        await client.execute(
+                            QuerySpec(graph="cliques", k=k, gamma=3)
+                        )
+                    # Let the collector take a couple of post-traffic
+                    # ticks so rates exist.
+                    deadline = time.time() + 5.0
+                    while (
+                        len(server.history.ticks()) < 3
+                        and time.time() < deadline
+                    ):
+                        await asyncio.sleep(0.05)
+
+                    # liveness is bare; readiness is a judgement
+                    status, body = _http_get(base, "/healthz")
+                    assert (status, body) == (200, "ok\n")
+                    status, body = _http_get(base, "/readyz")
+                    assert status == 200
+                    ready = json.loads(body)
+                    assert ready["ready"] and ready["reasons"] == []
+                    assert ready["slo"]["ok"]
+
+                    doc = _http_json(base, "/history.json?window=60")
+                    assert doc["points"], "derived points expected"
+                    point = doc["points"][-1]
+                    assert point["qps"] >= 0.0
+                    assert doc["slo"]["window_s"] == 30.0
+                    assert doc["breach_count"] == 0
+
+                    status, html = _http_get(base, "/dashboard")
+                    assert status == 200
+                    assert "<title>repro dashboard</title>" in html
+                    assert 'id="queues"' in html
+                    assert 'id="slo"' in html
+                    assert "/traces/" in html  # exemplar links
+                    assert "<script" not in html.lower()
+                    assert "https://" not in html
+
+                    # the Prometheus exposition grew the SLO series
+                    status, text = _http_get(base, "/metrics")
+                    assert "repro_slo_ok{" in text
+                    assert "repro_slo_breaches_total 0" in text
+                    assert "repro_latency_overall_ms{" in text
+
+                    status, report = _http_get(
+                        base, "/profile?seconds=0.05"
+                    )
+                    assert status == 200
+                    assert report.startswith("profile:")
+                    status, body = _http_get(base, "/profile?seconds=-1")
+                    assert status == 400
+                finally:
+                    await client.close()
+            finally:
+                await server.stop()
+            assert not server.history.running  # stop() stops collecting
+
+        asyncio.run(main())
+
+    def test_slo_breach_flips_readyz_and_recovers(self, registry):
+        async def main():
+            server = ReproServer(
+                registry=registry,
+                backend="thread",
+                metrics_port=0,
+                slo="err_rate=0.5,window_s=2",
+                history_interval=0.2,
+            )
+            await server.start(tcp=("127.0.0.1", 0))
+            try:
+                host, port = server.tcp_address
+                mhost, mport = server.metrics_address
+                base = f"http://{mhost}:{mport}"
+                client = await ReproClient.connect(host, port=port)
+                try:
+                    # Every request errors: unknown graph.
+                    for _ in range(4):
+                        lines = await client.request(
+                            "query no-such-graph k=2"
+                        )
+                        assert lines[0].startswith("error:")
+                    deadline = time.time() + 10.0
+                    status = None
+                    while time.time() < deadline:
+                        status, body = _http_get(base, "/readyz")
+                        if status == 503:
+                            break
+                        await asyncio.sleep(0.1)
+                    assert status == 503
+                    doc = json.loads(body)
+                    assert any(
+                        "slo breach" in reason for reason in doc["reasons"]
+                    )
+                    assert server.history.breach_count >= 1
+
+                    # Breach events surface on the dashboard too.
+                    _, html = _http_get(base, "/dashboard")
+                    assert "✗ breach" in html
+
+                    # Good traffic + the 2s window sliding past the
+                    # failures recovers readiness end to end.
+                    deadline = time.time() + 15.0
+                    while time.time() < deadline:
+                        await client.execute(
+                            QuerySpec(graph="cliques", k=2, gamma=3)
+                        )
+                        status, body = _http_get(base, "/readyz")
+                        if status == 200:
+                            break
+                        await asyncio.sleep(0.2)
+                    assert status == 200
+                    events = [
+                        e["event"] for e in server.history.breaches()
+                    ]
+                    assert events[0] == "breach"
+                    assert "recovered" in events
+                finally:
+                    await client.close()
+            finally:
+                await server.stop()
+
+        asyncio.run(main())
+
+    def test_profile_busy_returns_409(self, registry):
+        async def main():
+            server = ReproServer(
+                registry=registry,
+                backend="thread",
+                metrics_port=0,
+            )
+            await server.start(tcp=("127.0.0.1", 0))
+            try:
+                mhost, mport = server.metrics_address
+                base = f"http://{mhost}:{mport}"
+                loop = asyncio.get_running_loop()
+                first = loop.run_in_executor(
+                    None, _http_get, base, "/profile?seconds=0.8"
+                )
+                await asyncio.sleep(0.2)  # let the first capture arm
+                status, body = _http_get(base, "/profile?seconds=0.1")
+                assert status == 409
+                assert "already running" in json.loads(body)["error"]
+                status, report = await first
+                assert status == 200
+                assert report.startswith("profile:")
+            finally:
+                await server.stop()
+
+        asyncio.run(main())
+
+    def test_history_disabled_404s(self, registry):
+        async def main():
+            # metrics_port alone enables observability, which builds a
+            # history; to get a server WITHOUT one, wire the exporter
+            # directly.
+            from repro.obs.export import MetricsServer
+            from repro.service import ServiceMetrics
+
+            exporter = MetricsServer(ServiceMetrics(), port=0)
+            mhost, mport = exporter.start()
+            try:
+                base = f"http://{mhost}:{mport}"
+                status, body = _http_get(base, "/history.json")
+                assert status == 404
+                assert "disabled" in json.loads(body)["error"]
+                status, body = _http_get(base, "/profile?seconds=0.1")
+                assert status == 404
+                # readyz without a callback defaults to ready
+                status, body = _http_get(base, "/readyz")
+                assert status == 200
+                assert json.loads(body)["ready"] is True
+                # the dashboard still renders from the bare snapshot
+                status, html = _http_get(base, "/dashboard")
+                assert status == 200
+                assert "<title>repro dashboard</title>" in html
+            finally:
+                exporter.stop()
+
+        asyncio.run(main())
+
+
+@needs_mp
+class TestClusterReadiness:
+    def test_dead_worker_flips_readyz_until_restarted(self, registry):
+        async def main():
+            server = ReproServer(
+                registry=registry,
+                workers=2,
+                metrics_port=0,
+                history_interval=0.2,
+            )
+            await server.start(tcp=("127.0.0.1", 0))
+            try:
+                assert getattr(server.shards, "backend", None) == "process"
+                host, port = server.tcp_address
+                mhost, mport = server.metrics_address
+                base = f"http://{mhost}:{mport}"
+                client = await ReproClient.connect(host, port=port)
+                try:
+                    await client.execute(
+                        QuerySpec(graph="cliques", k=2, gamma=3)
+                    )
+                    status, _ = _http_get(base, "/readyz")
+                    assert status == 200
+
+                    victim = server.shards._workers[0]
+                    victim.process.kill()
+                    victim.process.join()
+                    status, body = _http_get(base, "/readyz")
+                    assert status == 503
+                    doc = json.loads(body)
+                    assert doc["workers"]["worker:0"] is False
+                    assert any(
+                        "dead workers" in reason
+                        for reason in doc["reasons"]
+                    )
+                    # /healthz stays green: the process itself is alive.
+                    status, body = _http_get(base, "/healthz")
+                    assert (status, body) == (200, "ok\n")
+
+                    # health_check() is the mutating recovery path.
+                    restarted = await asyncio.get_running_loop(
+                    ).run_in_executor(None, server.shards.health_check)
+                    assert "worker:0" in restarted["restarted"]
+                    status, body = _http_get(base, "/readyz")
+                    assert status == 200
+                    assert json.loads(body)["workers"]["worker:0"] is True
+                finally:
+                    await client.close()
+            finally:
+                await server.stop()
 
         asyncio.run(main())
 
