@@ -13,13 +13,14 @@
 * :mod:`~repro.core.reference` — definition-level correctness oracles.
 """
 
-from .community import Community, TrussCommunity
+from .community import Community, GroupView, TrussCommunity
 from .count import CVSRecord, construct_cvs, count_communities, peel_cvs
 from .enumerate import (
     EnumerationState,
     enumerate_progressive,
     enumerate_top_k,
 )
+from .fastenum import EnumScratch, fast_build_community
 from .fastpeel import (
     KERNELS,
     PeelScratch,
@@ -66,6 +67,7 @@ from .truss_search import (
 
 __all__ = [
     "Community",
+    "GroupView",
     "TrussCommunity",
     "CVSRecord",
     "construct_cvs",
@@ -76,6 +78,8 @@ __all__ = [
     "enumerate_progressive",
     "KERNELS",
     "PeelScratch",
+    "EnumScratch",
+    "fast_build_community",
     "fast_construct_cvs",
     "numpy_available",
     "resolve_kernel",

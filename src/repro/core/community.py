@@ -18,7 +18,59 @@ from typing import Iterator, List, Hashable, Optional, Sequence, Set, Tuple
 
 from ..graph.weighted_graph import WeightedGraph
 
-__all__ = ["Community", "TrussCommunity"]
+__all__ = ["GroupView", "Community", "TrussCommunity"]
+
+
+class GroupView(Sequence):
+    """A lazily-materialised window over the shared ``cvs`` buffer.
+
+    Enumeration hands every community its ``gp(keynode)`` group; copying
+    the ``cvs`` slice per community re-materialises the whole buffer
+    once per query even when the caller never looks at most groups.
+    This view stores only ``(buffer, start, stop)`` — O(1) to build,
+    O(1) ``len`` — and copies the slice once, on first element access,
+    caching the result so repeated iteration costs a plain list walk.
+
+    The underlying ``cvs`` is append-only within a query and never
+    mutated in place, so the window's contents are stable.
+    """
+
+    __slots__ = ("_buf", "_start", "_stop", "_mat")
+
+    def __init__(self, buf: Sequence[int], start: int, stop: int) -> None:
+        self._buf = buf
+        self._start = start
+        self._stop = stop
+        self._mat: Optional[List[int]] = None
+
+    def _materialize(self) -> List[int]:
+        mat = self._mat
+        if mat is None:
+            mat = list(self._buf[self._start:self._stop])
+            self._mat = mat
+        return mat
+
+    def __len__(self) -> int:
+        return self._stop - self._start
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._materialize())
+
+    def __getitem__(self, i):
+        return self._materialize()[i]
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, GroupView):
+            other = other._materialize()
+        if isinstance(other, (list, tuple)):
+            return self._materialize() == list(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:  # pragma: no cover - not used as a key
+        return hash(tuple(self._materialize()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"GroupView({self._materialize()!r})"
 
 
 class Community:
@@ -64,7 +116,14 @@ class Community:
         self.keynode = keynode
         self.influence = graph.weight(keynode)
         self.gamma = gamma
-        self.own_vertices: List[int] = list(own_vertices)
+        # A GroupView / tuple is kept as-is (no copy): enumeration hands
+        # out zero-copy windows over the shared cvs buffer, and the
+        # serving tier passes cached immutable groups.
+        self.own_vertices: Sequence[int] = (
+            own_vertices
+            if isinstance(own_vertices, (GroupView, tuple))
+            else list(own_vertices)
+        )
         self.children: List[Community] = list(children or [])
         # Children are pairwise disjoint and disjoint from the own group,
         # so the total size is a plain sum — O(1) given child sizes.

@@ -19,6 +19,16 @@ contains it; after linking, the child's set is merged into ``u``'s
 across calls — EnumIC-P (Section 4) shares one state over all progressive
 rounds, so the incremental enumeration is exactly the non-progressive one
 split into instalments.
+
+This module is also the enumeration **kernel dispatcher**, mirroring
+:func:`repro.core.count.construct_cvs`: ``kernel`` selects the
+implementation (``python`` / ``array`` / ``numpy`` / ``auto``; ``None``
+defers to ``REPRO_KERNEL``, then ``auto``), and ``scratch`` optionally
+carries an :class:`~repro.core.fastenum.EnumScratch` across calls.  The
+dict-based path below is the differential-testing oracle; passing an
+explicit ``state`` always selects it (shared
+:class:`~repro.graph.disjoint_set.KeyedDisjointSet` objects cannot feed
+the flat kernels, and callers holding one are oracle callers).
 """
 
 from __future__ import annotations
@@ -28,8 +38,10 @@ from typing import Dict, Iterator, List, Optional
 
 from ..graph.disjoint_set import KeyedDisjointSet
 from ..graph.weighted_graph import WeightedGraph
-from .community import Community
+from .community import Community, GroupView
 from .count import CVSRecord
+from .fastenum import EnumScratch, fast_build_community
+from .fastpeel import resolve_kernel
 
 __all__ = [
     "EnumerationState",
@@ -84,7 +96,7 @@ def _build_community(
         graph,
         keynode=u,
         gamma=record.gamma,
-        own_vertices=cvs[start:stop],
+        own_vertices=GroupView(cvs, start, stop),
         children=children,
     )
     communities[u] = community
@@ -96,20 +108,36 @@ def enumerate_top_k(
     record: CVSRecord,
     k: Optional[int] = None,
     state: Optional[EnumerationState] = None,
+    kernel: Optional[str] = None,
+    scratch: Optional[EnumScratch] = None,
 ) -> List[Community]:
     """EnumIC: the top-``k`` communities of the peeled subgraph.
 
     Returns communities in **decreasing influence order** (top-1 first).
     With ``k=None`` every community of the subgraph is returned.  Runs in
     O(size of the peeled subgraph) regardless of output size.
+
+    ``kernel`` selects the enumeration implementation (see the module
+    docstring); an explicit ``state`` forces the oracle path.  A cold
+    EnumIC starts from empty state, so a reused ``scratch`` is reset
+    here (O(touched of its previous use)).
     """
     if record.nbrs is None:
         raise ValueError("record must carry its peel adjacency (nbrs)")
-    if state is None:
-        state = EnumerationState()
     keys = record.keys
     count = len(keys) if k is None else min(k, len(keys))
     out: List[Community] = []
+    if state is None:
+        resolved = resolve_kernel(kernel)
+        if resolved != "python":
+            sc = scratch if scratch is not None else EnumScratch()
+            sc.begin(graph, record.p, resolved, fresh=True)
+            for index in range(len(keys) - 1, len(keys) - 1 - count, -1):
+                out.append(
+                    fast_build_community(graph, record, index, sc, resolved)
+                )
+            return out
+        state = EnumerationState()
     # keys is in increasing weight order; the last `count` are the top-k,
     # processed in decreasing weight order (Line 3 of Algorithm 3).
     for index in range(len(keys) - 1, len(keys) - 1 - count, -1):
@@ -120,16 +148,31 @@ def enumerate_top_k(
 def enumerate_progressive(
     graph: WeightedGraph,
     record: CVSRecord,
-    state: EnumerationState,
+    state: Optional[EnumerationState] = None,
+    kernel: Optional[str] = None,
+    scratch: Optional[EnumScratch] = None,
 ) -> Iterator[Community]:
     """EnumIC-P: yield this round's communities, highest influence first.
 
     ``record`` is the output of the round's ConstructCVS (with its
-    ``stop_rank`` set); ``state`` must be shared across all rounds of one
-    progressive query.  Communities of earlier rounds appear as children of
-    this round's communities when nested.
+    ``stop_rank`` set).  The cross-round state — ``state`` for the
+    oracle kernel, ``scratch`` for the flat ones — must be shared across
+    all rounds of one progressive query; the scratch is deliberately
+    *not* reset here, which is exactly what makes EnumIC-P the
+    non-progressive enumeration split into instalments.  Communities of
+    earlier rounds appear as children of this round's communities when
+    nested.
     """
     if record.nbrs is None:
         raise ValueError("record must carry its peel adjacency (nbrs)")
+    if state is None:
+        resolved = resolve_kernel(kernel)
+        if resolved != "python":
+            sc = scratch if scratch is not None else EnumScratch()
+            sc.begin(graph, record.p, resolved, fresh=False)
+            for index in range(len(record.keys) - 1, -1, -1):
+                yield fast_build_community(graph, record, index, sc, resolved)
+            return
+        state = EnumerationState()
     for index in range(len(record.keys) - 1, -1, -1):
         yield _build_community(graph, record, index, state)

@@ -39,6 +39,7 @@ from ..graph.weighted_graph import WeightedGraph
 from .community import Community
 from .count import CVSRecord, construct_cvs
 from .enumerate import enumerate_top_k
+from .fastenum import EnumScratch
 from .fastpeel import PeelScratch, resolve_kernel
 
 __all__ = [
@@ -67,7 +68,10 @@ class SearchStats:
     counts: List[int] = field(default_factory=list)
     graph_size: int = 0
     elapsed_seconds: float = 0.0
-    #: Which peel kernel served the run (resolved name, never "auto").
+    #: Which kernel served the run (resolved name, never "auto").  One
+    #: resolution covers both halves of the query: the peel
+    #: (:mod:`repro.core.fastpeel`) and the enumeration
+    #: (:mod:`repro.core.fastenum`) dispatch on the same name.
     kernel: Optional[str] = None
     #: Accumulated per-phase wall time in **milliseconds** (CSR build,
     #: gamma-core, peel, enumeration, cursor resume) — written through
@@ -217,9 +221,11 @@ class LocalSearch:
         p = self.initial_prefix(k)
         initial_size = graph.prefix_size(p)
         record: Optional[CVSRecord] = None
-        # One scratch and one chained view family per search: every
-        # growth round reuses the previous round's buffers and down-cuts.
+        # One scratch pair and one chained view family per search: every
+        # growth round reuses the previous round's buffers and down-cuts,
+        # and the final enumeration runs on the query's enum scratch.
         scratch = PeelScratch() if kernel != "python" else None
+        enum_scratch = EnumScratch() if kernel != "python" else None
         view: Optional[PrefixView] = None
         while True:
             view = PrefixView(graph, p) if view is None else view.extend(p)
@@ -252,7 +258,9 @@ class LocalSearch:
                 phases=stats.phases,
             )
         enum_started = time.perf_counter()
-        communities = enumerate_top_k(graph, record, k)
+        communities = enumerate_top_k(
+            graph, record, k, kernel=kernel, scratch=enum_scratch
+        )
         record_phase(
             "enumerate", time.perf_counter() - enum_started, stats.phases
         )

@@ -32,6 +32,7 @@ from ..obs.trace import record_phase
 from .community import Community
 from .count import construct_cvs
 from .enumerate import EnumerationState, enumerate_progressive
+from .fastenum import EnumScratch
 from .fastpeel import PeelScratch, resolve_kernel
 from .local_search import SearchStats, TopKResult
 
@@ -97,18 +98,22 @@ class LocalSearchP:
         """
         graph, gamma = self.graph, self.gamma
         n = graph.num_vertices
-        state = EnumerationState()
         p_prev = 0
         p = self.initial_prefix()
         if n == 0:
             return
-        # One resolved kernel, one reusable scratch and one chained view
-        # family per stream: round i+1 reuses round i's buffers and
+        # One resolved kernel, one reusable scratch pair and one chained
+        # view family per stream: round i+1 reuses round i's buffers and
         # down-cuts (allocation-free steady state for the fast kernels,
-        # seeded bisects for the python one).
+        # seeded bisects for the python one).  The enumeration state —
+        # the oracle's EnumerationState or the flat kernels' EnumScratch
+        # — is EnumIC-P's shared ``v2key``: it must persist across every
+        # round of this stream (and only this stream).
         kernel = resolve_kernel(self.kernel)
         self.stats.kernel = kernel
         scratch = PeelScratch() if kernel != "python" else None
+        state = EnumerationState() if kernel == "python" else None
+        enum_scratch = EnumScratch() if kernel != "python" else None
         view: Optional[PrefixView] = None
         while True:
             view = PrefixView(graph, p) if view is None else view.extend(p)
@@ -141,7 +146,9 @@ class LocalSearchP:
                 # An explicit next() loop (not yield-from) so the timed
                 # window covers only generator-internal enumeration work
                 # — never the consumer's time between pulls.
-                enum = enumerate_progressive(graph, record, state)
+                enum = enumerate_progressive(
+                    graph, record, state, kernel=kernel, scratch=enum_scratch
+                )
                 while True:
                     t0 = time.perf_counter()
                     try:

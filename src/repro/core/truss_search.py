@@ -30,6 +30,8 @@ from ..graph.subgraph import PrefixView
 from ..graph.truss_decomposition import edge_key, edge_supports
 from ..graph.weighted_graph import WeightedGraph
 from .community import TrussCommunity
+from .fastenum import EnumScratch
+from .fastpeel import resolve_kernel
 from .local_search import SearchStats
 
 __all__ = [
@@ -158,6 +160,8 @@ def enumerate_truss_top_k(
     k: Optional[int] = None,
     state: Optional[KeyedDisjointSet] = None,
     built: Optional[Dict[int, TrussCommunity]] = None,
+    kernel: Optional[str] = None,
+    scratch: Optional[EnumScratch] = None,
 ) -> List[TrussCommunity]:
     """EnumICC: top-``k`` truss communities from the edge ``cvs``.
 
@@ -165,12 +169,46 @@ def enumerate_truss_top_k(
     is its edge group plus every already-built community sharing a vertex
     with the group — decided by the same keyed union-find as EnumIC, with
     edge endpoints taking the role of group members.  O(size) time.
+
+    ``kernel`` selects the union-find implementation: the flat
+    :class:`~repro.core.fastenum.EnumScratch` for ``array``/``numpy``
+    (edge groups are too small and irregular to vectorise, so both
+    resolve to the same scalar flat path — the win over the dict oracle
+    is the flat stores and inline path-halving), the dict-based oracle
+    for ``python`` or whenever an explicit ``state``/``built`` is
+    passed.  Unlike vertex groups, an edge group's endpoints may already
+    be tracked under a foreign key before any assignment under ``u``
+    happens, so this path exercises the union-find's dangling-anchor
+    takeover branch.
     """
-    v2key = state if state is not None else KeyedDisjointSet()
-    communities: Dict[int, TrussCommunity] = built if built is not None else {}
     keys = record.keys
     count = len(keys) if k is None else min(k, len(keys))
     out: List[TrussCommunity] = []
+    if state is None and built is None and resolve_kernel(kernel) != "python":
+        sc = scratch if scratch is not None else EnumScratch()
+        sc.begin(graph, record.p, "array", fresh=True)
+        communities = sc.communities
+        for index in range(len(keys) - 1, len(keys) - 1 - count, -1):
+            u = keys[index]
+            group = record.group(index)
+            children: List[TrussCommunity] = []
+            for a, b in group:
+                for w in (a, b):
+                    key = sc.key_of(w)
+                    if key == -1:
+                        sc.assign(w, u)
+                    elif key != u:
+                        children.append(communities[key])
+                        sc.union_into(w, u)
+            community = TrussCommunity(
+                graph, keynode=u, gamma=record.gamma, own_edges=group,
+                children=children,
+            )
+            communities[u] = community
+            out.append(community)
+        return out
+    v2key = state if state is not None else KeyedDisjointSet()
+    communities: Dict[int, TrussCommunity] = built if built is not None else {}
     for index in range(len(keys) - 1, len(keys) - 1 - count, -1):
         u = keys[index]
         group = record.group(index)
@@ -212,10 +250,20 @@ class TrussResult:
 
 
 class LocalSearchTruss:
-    """Algorithm 6 instantiated for the γ-truss measure."""
+    """Algorithm 6 instantiated for the γ-truss measure.
+
+    The truss peel has no flat-kernel variant (its cascade is
+    triangle-support maintenance over sets), but the enumeration does:
+    ``kernel`` picks the union-find implementation of EnumICC, resolved
+    through the same ``REPRO_KERNEL`` chain as the vertex kernels.
+    """
 
     def __init__(
-        self, graph: WeightedGraph, gamma: int, delta: float = 2.0
+        self,
+        graph: WeightedGraph,
+        gamma: int,
+        delta: float = 2.0,
+        kernel: Optional[str] = None,
     ) -> None:
         if gamma < 2:
             raise QueryParameterError("truss gamma must be at least 2")
@@ -224,6 +272,7 @@ class LocalSearchTruss:
         self.graph = graph
         self.gamma = gamma
         self.delta = delta
+        self.kernel = kernel
 
     def search(self, k: int) -> TrussResult:
         """Top-``k`` influential γ-truss communities via the doubling loop."""
@@ -231,8 +280,10 @@ class LocalSearchTruss:
             raise QueryParameterError("k must be at least 1")
         graph, gamma = self.graph, self.gamma
         started = time.perf_counter()
+        kernel = resolve_kernel(self.kernel)
         stats = SearchStats(
-            gamma=gamma, k=k, delta=self.delta, graph_size=graph.size
+            gamma=gamma, k=k, delta=self.delta, graph_size=graph.size,
+            kernel=kernel,
         )
         n = graph.num_vertices
         p = min(n, k + gamma)
@@ -246,29 +297,36 @@ class LocalSearchTruss:
                 break
             target = int(math.ceil(self.delta * view.size))
             p = max(graph.grow_prefix(p, target), min(p + 1, n))
-        communities = enumerate_truss_top_k(graph, record, k)
+        communities = enumerate_truss_top_k(graph, record, k, kernel=kernel)
         stats.elapsed_seconds = time.perf_counter() - started
         return TrussResult(communities=communities, stats=stats)
 
 
 def top_k_truss_communities(
-    graph: WeightedGraph, k: int, gamma: int, delta: float = 2.0
+    graph: WeightedGraph,
+    k: int,
+    gamma: int,
+    delta: float = 2.0,
+    kernel: Optional[str] = None,
 ) -> TrussResult:
     """Top-``k`` influential γ-truss communities (LocalSearch-Truss)."""
-    return LocalSearchTruss(graph, gamma=gamma, delta=delta).search(k)
+    return LocalSearchTruss(
+        graph, gamma=gamma, delta=delta, kernel=kernel
+    ).search(k)
 
 
 def global_search_truss(
-    graph: WeightedGraph, k: int, gamma: int
+    graph: WeightedGraph, k: int, gamma: int, kernel: Optional[str] = None
 ) -> TrussResult:
     """GlobalSearch-Truss (Eval-VIII): CountICC on the whole graph + EnumICC."""
     started = time.perf_counter()
-    stats = SearchStats(gamma=gamma, k=k, graph_size=graph.size)
+    kernel = resolve_kernel(kernel)
+    stats = SearchStats(gamma=gamma, k=k, graph_size=graph.size, kernel=kernel)
     view = PrefixView.whole(graph)
     record = construct_cvs_truss(view, gamma)
     stats.prefixes.append(view.p)
     stats.prefix_sizes.append(view.size)
     stats.counts.append(record.num_communities)
-    communities = enumerate_truss_top_k(graph, record, k)
+    communities = enumerate_truss_top_k(graph, record, k, kernel=kernel)
     stats.elapsed_seconds = time.perf_counter() - started
     return TrussResult(communities=communities, stats=stats)

@@ -211,7 +211,16 @@ class PrefixAdjacency(Sequence):
     slices — no O(size) materialisation ever happens.
     """
 
-    __slots__ = ("p", "_up_off", "_up_tgt", "_down_off", "_down_tgt", "_cuts")
+    __slots__ = (
+        "p",
+        "csr",
+        "_up_off",
+        "_up_tgt",
+        "_down_off",
+        "_down_tgt",
+        "_cuts",
+        "_numpy",
+    )
 
     def __init__(
         self,
@@ -221,12 +230,17 @@ class PrefixAdjacency(Sequence):
     ) -> None:
         up_off, up_tgt, down_off, down_tgt = csr.lists()
         self.p = p
+        #: The shared CSR these rows are views over — kept so kernel code
+        #: (:mod:`repro.core.fastenum`) can reach the canonical buffers
+        #: and their zero-copy numpy views without re-deriving them.
+        self.csr = csr
         self._up_off = up_off
         self._up_tgt = up_tgt
         self._down_off = down_off
         self._down_tgt = down_tgt
         #: Absolute end index of each vertex's in-prefix down-row part.
         self._cuts = cuts
+        self._numpy = None
 
     def __len__(self) -> int:
         return self.p
@@ -243,6 +257,46 @@ class PrefixAdjacency(Sequence):
             self._up_tgt[up_off[v]:up_off[v + 1]]
             + self._down_tgt[self._down_off[v]:self._cuts[v]]
         )
+
+    def flat(
+        self,
+    ) -> Tuple[List[int], List[int], List[int], List[int], List[int]]:
+        """The raw row machinery ``(up_off, up_tgt, down_off, down_tgt, cuts)``.
+
+        Kernel loops (:mod:`repro.core.fastenum`) iterate the two row
+        parts directly off these shared lists, skipping the per-row
+        concatenation :meth:`__getitem__` performs.
+        """
+        return (
+            self._up_off,
+            self._up_tgt,
+            self._down_off,
+            self._down_tgt,
+            self._cuts,
+        )
+
+    def numpy_state(self):
+        """Numpy form ``(up_off, up_tgt, down_off, down_tgt, cuts)``.
+
+        The four CSR views are the graph's cached zero-copy buffers; the
+        cuts (per-prefix, so per-instance) are converted once and cached
+        here.  Raises ``ImportError`` when numpy is unavailable; callers
+        gate on :func:`repro.core.fastpeel.numpy_available`.
+        """
+        state = self._numpy
+        if state is None:
+            import numpy as np
+
+            up_off, up_tgt, down_off, down_tgt = self.csr.numpy_views()
+            state = (
+                up_off,
+                up_tgt,
+                down_off,
+                down_tgt,
+                np.array(self._cuts, dtype=np.int64),
+            )
+            self._numpy = state
+        return state
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"PrefixAdjacency(p={self.p})"

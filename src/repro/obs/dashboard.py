@@ -3,7 +3,8 @@
 :func:`render_dashboard` turns one metrics snapshot plus the
 :class:`~repro.obs.history.MetricsHistory` series into a single
 self-contained HTML document: stat tiles, inline-SVG sparklines (qps /
-hit rate / coalesce rate), a per-family latency heatmap over time, the
+hit rate / coalesce rate), a per-family latency heatmap over time with
+a peel-vs-enumerate kernel-phase breakdown column, the
 worker queue-depth bars, SLO status with the breach-event ring, and a
 slow-trace exemplar table whose ids link to the ``/traces/<id>``
 waterfalls.  Design constraints:
@@ -159,13 +160,30 @@ def _sparkline(
     )
 
 
+def _phase_breakdown(row: Optional[Dict[str, Any]]) -> str:
+    """``peel X · enum Y`` from a family row's ``phases_ms`` breakdown.
+
+    The two kernel halves of a query (fastpeel's peel, fastenum's
+    enumeration); an em-dash when the family has no breakdown yet (pure
+    cache traffic, or an algorithm outside the kernel dispatcher).
+    """
+    phases = (row or {}).get("phases_ms") or {}
+    peel = phases.get("peel")
+    enum = phases.get("enumerate")
+    if peel is None and enum is None:
+        return "–"
+    return f"peel {_num(peel, 2)} · enum {_num(enum, 2)}"
+
+
 def _heatmap(points: Sequence[Dict[str, Any]], max_cols: int = 40) -> str:
     """Per-family p95 latency over time as an SVG cell grid.
 
     Rows are families (sorted by label), columns are the most recent
     ticks; cell color is the p95 bucketed into the sequential ramp,
     normalised to the map's maximum.  Native ``<title>`` tooltips carry
-    the exact value per cell.
+    the exact value per cell.  A trailing column shows each family's
+    latest peel-vs-enumerate kernel-phase breakdown (milliseconds, from
+    ``record_phase`` via the family's ``phases_ms`` row).
     """
     window = list(points)[-max_cols:]
     labels = sorted({f for p in window for f in p.get("families", {})})
@@ -179,8 +197,11 @@ def _heatmap(points: Sequence[Dict[str, Any]], max_cols: int = 40) -> str:
                 peak = p95
     peak = peak or 1.0
     cell_w, cell_h, gap, label_w = 14, 16, 2, 260
-    width = label_w + len(window) * (cell_w + gap) + 4
+    breakdown_w = 190
+    grid_w = label_w + len(window) * (cell_w + gap) + 4
+    width = grid_w + breakdown_w
     height = (cell_h + gap) * len(labels) + 18
+    latest = window[-1]
     parts = [
         f'<svg id="heatmap" width="{width}" height="{height}" '
         f'viewBox="0 0 {width} {height}" role="img" '
@@ -211,14 +232,22 @@ def _heatmap(points: Sequence[Dict[str, Any]], max_cols: int = 40) -> str:
                 f'height="{cell_h}" rx="2" fill="{fill}">'
                 f"<title>{_esc(tip)}</title></rect>"
             )
+        parts.append(
+            f'<text x="{grid_w + 8}" y="{y + 12}">'
+            f"{_esc(_phase_breakdown(latest['families'].get(label)))}"
+            "</text>"
+        )
     parts.append(
         f'<text x="{label_w}" y="{height - 4}">older</text>'
-        f'<text x="{width - 4}" y="{height - 4}" text-anchor="end">'
-        "now</text></svg>"
+        f'<text x="{grid_w - 4}" y="{height - 4}" text-anchor="end">'
+        "now</text>"
+        f'<text x="{grid_w + 8}" y="{height - 4}">kernel phases (ms)</text>'
+        "</svg>"
     )
     parts.append(
         f'<div class="legend">p95 latency, light → dark = 0 → '
-        f"{peak:.2f}ms (window max)</div>"
+        f"{peak:.2f}ms (window max) · phases column: cumulative "
+        "peel / enumerate ms (latest tick)</div>"
     )
     return "".join(parts)
 

@@ -432,7 +432,14 @@ def _derive_pair(prev: Dict[str, Any], cur: Dict[str, Any]) -> Optional[Dict[str
         "queue_depth": cur["queue_depth"],
         "workers": dict(cur["workers"]),
         "families": {
-            label: dict(row) for label, row in cur["families"].items()
+            # One level of nesting (the phases_ms breakdown) — copy it
+            # too, so mutating a derived point never writes through to
+            # the retained tick.
+            label: {
+                key: dict(value) if isinstance(value, dict) else value
+                for key, value in row.items()
+            }
+            for label, row in cur["families"].items()
         },
         "latency_overall_ms": dict(cur["latency_overall_ms"]),
     }

@@ -43,10 +43,15 @@ def progressive_cursor_factory(
 ) -> Callable[[], ProgressiveCursor]:
     """The one recipe for (re)building a progressive cursor.
 
-    Shared by the engine's hot path and the warm-start restore so a
-    rebuilt cursor always re-peels with semantics identical to the one
-    whose views it is extending (including the peel kernel, which is
-    part of the cache identity).
+    Shared by the engine's hot path, the warm-start restore and the
+    cluster workers' per-FamilyKey state, so a rebuilt cursor always
+    re-peels with semantics identical to the one whose views it is
+    extending (including the kernel, which is part of the cache
+    identity).  Each cursor's stream owns one
+    :class:`~repro.core.fastpeel.PeelScratch` /
+    :class:`~repro.core.fastenum.EnumScratch` pair, so every resume —
+    local or inside a worker process — reuses the family's peel buffers
+    and its EnumIC-P union-find.
     """
 
     def factory():
@@ -78,7 +83,9 @@ _STATIC_RUNNERS: Dict[
     "forward": lambda g, q, kern: forward(g, q.k, q.gamma),
     "onlineall": lambda g, q, kern: online_all(g, q.k, q.gamma),
     "backward": lambda g, q, kern: backward(g, q.k, q.gamma),
-    "truss": lambda g, q, kern: top_k_truss_communities(g, q.k, q.gamma),
+    "truss": lambda g, q, kern: top_k_truss_communities(
+        g, q.k, q.gamma, kernel=kern
+    ),
     "noncontainment": lambda g, q, kern: top_k_noncontainment_communities(
         g, q.k, q.gamma, delta=q.delta, kernel=kern
     ),
@@ -150,7 +157,7 @@ class QueryEngine:
     # ------------------------------------------------------------------
     def _serve_progressive(
         self, handle: GraphHandle, query: QuerySpec, key: CacheKey
-    ) -> Tuple[Tuple[CommunityView, ...], str, bool]:
+    ) -> Tuple[Tuple[CommunityView, ...], str, bool, Optional[Dict[str, float]]]:
         entry = self.cache.get(key) if self.cache is not None else None
         if not isinstance(entry, ProgressiveEntry):
             cursor_factory = progressive_cursor_factory(
@@ -165,29 +172,44 @@ class QueryEngine:
             )
             if self.cache is not None:
                 self.cache.put(key, entry)
-        return entry.serve(query.k)
+        views, source, complete = entry.serve(query.k)
+        # The cursor's stats accumulate phase timings over the family's
+        # whole lifetime; snapshot them after the serve so the metrics
+        # row carries the cumulative peel/enumerate breakdown.  The
+        # cursor is None after k-truncation released it (or for a
+        # restored entry that never resumed) — no fresh timing then.
+        cursor = entry.cursor
+        phases = (
+            dict(cursor.searcher.stats.phases)
+            if cursor is not None and cursor.searcher.stats.phases
+            else None
+        )
+        return views, source, complete, phases
 
     def _serve_static(
         self, handle: GraphHandle, query: QuerySpec, key: CacheKey, algorithm: str
-    ) -> Tuple[Tuple[CommunityView, ...], str, bool]:
+    ) -> Tuple[Tuple[CommunityView, ...], str, bool, Optional[Dict[str, float]]]:
         entry = self.cache.get(key) if self.cache is not None else None
         if isinstance(entry, StaticEntry):
             served = entry.serve(query.k)
             if served is not None:
                 views, source = served
                 complete = entry.complete and query.k >= len(entry.views)
-                return views, source, complete
+                return views, source, complete, None
         result = _STATIC_RUNNERS[algorithm](handle.graph, query, key.kernel)
         views = tuple(
             CommunityView.from_community(c) for c in result.communities
         )
+        stats = getattr(result, "stats", None)
+        stats_phases = getattr(stats, "phases", None)
+        phases = dict(stats_phases) if stats_phases else None
         complete = len(views) < query.k
         if self.cache is not None:
             self.cache.put(
                 key,
                 StaticEntry.capped(views, complete, self.cache.max_cached_k),
             )
-        return views[: query.k], "cold", complete
+        return views[: query.k], "cold", complete, phases
 
     # ------------------------------------------------------------------
     def execute(self, query: Optional[QuerySpec] = None, **params) -> QueryResult:
@@ -259,11 +281,11 @@ class QueryEngine:
         key = CacheKey.for_spec(query, handle.version)
         kernel = key.kernel
         if plan.progressive:
-            views, source, complete = self._serve_progressive(
+            views, source, complete, phases = self._serve_progressive(
                 handle, query, key
             )
         else:
-            views, source, complete = self._serve_static(
+            views, source, complete, phases = self._serve_static(
                 handle, query, key, plan.algorithm
             )
         elapsed_ms = (time.perf_counter() - started) * 1000.0
@@ -285,6 +307,7 @@ class QueryEngine:
                     delta=key.delta,
                     kernel=key.kernel,
                 ),
+                phases=phases,
             )
         return QueryResult(
             query=query,

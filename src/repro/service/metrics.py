@@ -49,7 +49,7 @@ def family_label(family) -> str:
 class _FamilyStats:
     """Per-family counters + bounded latency reservoir."""
 
-    __slots__ = ("queries", "no_compute", "latency_ms")
+    __slots__ = ("queries", "no_compute", "latency_ms", "phases")
 
     #: Sources that served without a fresh computation (mirrors
     #: :attr:`ServiceMetrics.cache_hit_rate`'s numerator).
@@ -59,12 +59,23 @@ class _FamilyStats:
         self.queries = 0
         self.no_compute = 0
         self.latency_ms: Deque[float] = deque(maxlen=max_samples)
+        #: Latest kernel-phase accumulator snapshot ({phase: ms}) — a
+        #: progressive family's stats accumulate over its lifetime, so
+        #: the newest snapshot is the family's cumulative breakdown.
+        self.phases: Optional[Dict[str, float]] = None
 
-    def record(self, elapsed_ms: float, source: str) -> None:
+    def record(
+        self,
+        elapsed_ms: float,
+        source: str,
+        phases: Optional[Dict[str, float]] = None,
+    ) -> None:
         self.queries += 1
         if source in self.HIT_SOURCES:
             self.no_compute += 1
         self.latency_ms.append(elapsed_ms)
+        if phases:
+            self.phases = dict(phases)
 
 
 class ServiceMetrics:
@@ -141,13 +152,17 @@ class ServiceMetrics:
         family=None,
         backend: Optional[str] = None,
         worker: Optional[str] = None,
+        phases: Optional[Dict[str, float]] = None,
     ) -> None:
         """Record one served query.
 
         ``kernel`` is the peel kernel used, ``family`` the spec's
         canonical :class:`~repro.api.spec.FamilyKey`, ``backend`` the
         execution backend (``None`` counts as ``thread``), ``worker``
-        the serving cluster worker tag, if any.
+        the serving cluster worker tag, if any; ``phases`` the query's
+        kernel-phase timing accumulator (``{phase: ms}``, the
+        ``SearchStats.phases`` dict) — ``None`` leaves the family's
+        previous breakdown in place (pure cache hits do no kernel work).
         """
         with self._lock:
             self.queries_served += 1
@@ -173,7 +188,7 @@ class ServiceMetrics:
                         self._families.popitem(last=False)
                 else:
                     self._families.move_to_end(family)
-                stats.record(elapsed_ms, source)
+                stats.record(elapsed_ms, source, phases)
 
     def observe_error(self, kind: Optional[str] = None) -> None:
         """Record one error; ``kind`` is the exception type name."""
@@ -287,17 +302,25 @@ class ServiceMetrics:
         """Spec-addressed aggregates: one row per active FamilyKey.
 
         Each row carries the served count, the fraction served without
-        fresh computation, and nearest-rank p50/p95 latency over the
-        family's bounded reservoir.  Keys are the stable
+        fresh computation, nearest-rank p50/p95 latency over the
+        family's bounded reservoir, and the family's latest kernel-phase
+        breakdown (``phases_ms``, e.g. peel vs enumerate time — the
+        dashboard heatmap's breakdown column).  Keys are the stable
         :func:`family_label` strings (JSON-safe).
         """
         with self._lock:
             rows = [
-                (family, stats.queries, stats.no_compute, list(stats.latency_ms))
+                (
+                    family,
+                    stats.queries,
+                    stats.no_compute,
+                    list(stats.latency_ms),
+                    dict(stats.phases) if stats.phases else {},
+                )
                 for family, stats in self._families.items()
             ]
         out: Dict[str, Dict[str, object]] = {}
-        for family, queries, no_compute, samples in rows:
+        for family, queries, no_compute, samples, phases in rows:
             out[family_label(family)] = {
                 "queries": queries,
                 "hit_rate": no_compute / queries if queries else 0.0,
@@ -305,6 +328,7 @@ class ServiceMetrics:
                     f"p{int(q)}_ms": percentile(samples, q)
                     for q in self.FAMILY_PERCENTILES
                 },
+                "phases_ms": phases,
             }
         return out
 

@@ -147,3 +147,73 @@ class TestKeyedDisjointSet:
                 groups[key] = vertex
         for vertex, key in assigned.items():
             assert v2k.key_of(vertex) == key
+
+
+class TestUnionIntoDanglingAnchor:
+    """``union_into`` where the target key has no set — the
+    dangling-anchor takeover branch of ``KeyedDisjointSet.union_into``:
+    the vertex's set takes the key over, and the *old* key's anchor is
+    dropped when it pointed into this set.  This branch is the oracle
+    for the flat kernels' takeover path and is exercised organically by
+    EnumICC (truss), where an endpoint tracked under an earlier keynode
+    is merged into a later keynode's not-yet-created set.
+    """
+
+    def test_keyless_takeover_relabels_whole_set(self):
+        v2k = KeyedDisjointSet()
+        v2k.assign(1, 100)
+        v2k.assign(2, 100)
+        v2k.union_into(1, 50)  # key 50 has no set: takeover
+        assert v2k.key_of(1) == 50
+        assert v2k.key_of(2) == 50
+
+    def test_old_key_anchor_cleanup(self):
+        # After the takeover the old key must behave as never-assigned:
+        # a later assign under it starts a fresh set instead of joining
+        # (and relabelling) the taken-over one.
+        v2k = KeyedDisjointSet()
+        v2k.assign(1, 100)
+        v2k.union_into(1, 50)
+        v2k.assign(2, 100)
+        assert v2k.key_of(2) == 100
+        assert v2k.key_of(1) == 50  # untouched by the reborn 100-set
+
+    def test_chained_takeovers(self):
+        # Every takeover cleans the previous key's anchor in turn.
+        v2k = KeyedDisjointSet()
+        v2k.assign(1, 100)
+        v2k.union_into(1, 50)
+        v2k.union_into(1, 20)
+        assert v2k.key_of(1) == 20
+        v2k.assign(2, 50)
+        assert v2k.key_of(2) == 50
+        assert v2k.key_of(1) == 20
+
+    def test_takeover_after_link_resolves_dangling_anchor(self):
+        # _link deliberately leaves the absorbed key's anchor dangling;
+        # a later union_into under that key must resolve the anchor to
+        # the merged set and relabel it (the k_root == v_root branch),
+        # not treat the key as set-less.
+        v2k = KeyedDisjointSet()
+        v2k.assign(1, 100)
+        v2k.assign(2, 200)
+        v2k.union_into(1, 200)  # link: key 100's anchor now dangles
+        v2k.union_into(2, 100)
+        assert v2k.key_of(1) == 100
+        assert v2k.key_of(2) == 100
+
+    def test_truss_pattern_takeover_then_growth(self):
+        # The EnumICC access pattern end to end: takeover, join, old-key
+        # rebirth, then a normal merge back into the taken-over key.
+        v2k = KeyedDisjointSet()
+        v2k.assign(5, 9)
+        v2k.assign(6, 9)
+        v2k.union_into(6, 4)  # key 4 never assigned: takeover of {5, 6}
+        assert v2k.key_of(5) == 4
+        v2k.assign(7, 4)  # joins the taken-over set via its new anchor
+        assert v2k.key_of(7) == 4
+        v2k.assign(8, 9)  # old key starts over, disjoint from the above
+        assert v2k.key_of(8) == 9
+        v2k.union_into(8, 4)  # ordinary merge path (anchor exists)
+        assert v2k.key_of(8) == 4
+        assert v2k.key_of(5) == 4

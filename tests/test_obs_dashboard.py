@@ -46,7 +46,11 @@ def sample_points():
                 "workers": {"worker:0": i, "worker:1": 1},
                 "families": {
                     "email|gamma=5": {
-                        "queries": 4, "hit_rate": 0.5, "p95_ms": 3.0 + i
+                        "queries": 4, "hit_rate": 0.5, "p95_ms": 3.0 + i,
+                        "phases_ms": {
+                            "peel": 1.25 + i, "enumerate": 0.5,
+                            "csr_build": 0.1,
+                        },
                     },
                     "wiki|gamma=10": {
                         "queries": 2, "hit_rate": 0.0, "p95_ms": 8.0
@@ -110,6 +114,10 @@ class TestDashboardRendering:
         for spark in ("spark-qps", "spark-hit-rate", "spark-coalesce"):
             assert f'id="{spark}"' in html
         assert 'id="heatmap"' in html
+        # The breakdown column: latest tick's peel/enumerate phases for
+        # the family that has them, an em-dash for the one that doesn't.
+        assert "peel 6.25 · enum 0.50" in html
+        assert "kernel phases (ms)" in html
         assert 'id="slow-traces"' in html
         assert '<a href="/traces/t123abc">' in html
         assert 'id="slo"' in html

@@ -340,3 +340,27 @@ class TestAgainstRealMetrics:
         assert point["qps"] == pytest.approx(5.0)
         assert point["hit_rate"] == pytest.approx(0.2)
         assert point["error_rate"] == pytest.approx(1 / 11)
+
+
+class TestFamilyPhasesPropagation:
+    def test_phases_ride_along_and_derived_points_are_copies(self):
+        clock, metrics = FakeClock(), StubMetrics()
+        history = make_history(clock, metrics)
+        metrics.families = {
+            "email|gamma=5": {
+                "queries": 1,
+                "p95_ms": 2.0,
+                "phases_ms": {"peel": 1.0, "enumerate": 0.5},
+            }
+        }
+        history.sample()
+        clock.advance(1.0)
+        metrics.queries = 1
+        history.sample()
+        [point] = history.series()
+        row = point["families"]["email|gamma=5"]
+        assert row["phases_ms"] == {"peel": 1.0, "enumerate": 0.5}
+        # Scribbling on the derived point never reaches the tick ring.
+        row["phases_ms"]["poisoned"] = 1
+        tick_row = history.ticks()[-1]["families"]["email|gamma=5"]
+        assert "poisoned" not in tick_row["phases_ms"]

@@ -232,3 +232,47 @@ class TestFamilyLabel:
         assert family_label(family(delta=2.0)) != family_label(
             family(delta=2.5)
         )
+
+
+class TestFamilyPhases:
+    def test_phases_snapshot_lands_in_family_row(self):
+        metrics = ServiceMetrics()
+        fam = family()
+        metrics.observe_query(
+            "localsearch-p", 2.0, "cold", family=fam,
+            phases={"peel": 1.5, "enumerate": 0.25},
+        )
+        row = metrics.by_family()[family_label(fam)]
+        assert row["phases_ms"] == {"peel": 1.5, "enumerate": 0.25}
+
+    def test_cache_hit_without_phases_keeps_previous_breakdown(self):
+        metrics = ServiceMetrics()
+        fam = family()
+        metrics.observe_query(
+            "localsearch-p", 2.0, "cold", family=fam,
+            phases={"peel": 1.5, "enumerate": 0.25},
+        )
+        metrics.observe_query("localsearch-p", 0.1, "cache", family=fam)
+        row = metrics.by_family()[family_label(fam)]
+        assert row["phases_ms"] == {"peel": 1.5, "enumerate": 0.25}
+        assert row["queries"] == 2
+
+    def test_phases_rows_are_defensive_copies(self):
+        metrics = ServiceMetrics()
+        fam = family()
+        phases = {"peel": 1.0}
+        metrics.observe_query(
+            "localsearch-p", 1.0, "cold", family=fam, phases=phases
+        )
+        phases["peel"] = 99.0  # the caller's dict is never aliased
+        row = metrics.by_family()[family_label(fam)]
+        assert row["phases_ms"] == {"peel": 1.0}
+        row["phases_ms"]["poisoned"] = 1  # nor is the reported row
+        clean = metrics.by_family()[family_label(fam)]
+        assert "poisoned" not in clean["phases_ms"]
+
+    def test_family_without_phases_reports_empty_breakdown(self):
+        metrics = ServiceMetrics()
+        fam = family()
+        metrics.observe_query("localsearch-p", 1.0, "cold", family=fam)
+        assert metrics.by_family()[family_label(fam)]["phases_ms"] == {}

@@ -157,6 +157,30 @@ class TestMetrics:
         assert pcts["p50"] is not None and pcts["p99"] is not None
         assert pcts["p50"] <= pcts["p99"]
 
+    def test_engine_threads_phase_breakdown_to_family_rows(self, registry):
+        metrics = ServiceMetrics()
+        engine = QueryEngine(registry, cache=ResultCache(), metrics=metrics)
+        engine.execute(TopKQuery(graph="g", gamma=3, k=2))
+        [row] = metrics.by_family().values()
+        # The progressive searcher peeled and enumerated: both halves of
+        # the kernel show up in the family's breakdown.
+        assert row["phases_ms"].get("peel", 0.0) >= 0.0
+        assert "enumerate" in row["phases_ms"]
+        # A pure cache hit does no kernel work but must not erase the
+        # breakdown already recorded for the family.
+        engine.execute(TopKQuery(graph="g", gamma=3, k=1))
+        [row] = metrics.by_family().values()
+        assert "enumerate" in row["phases_ms"]
+        # Static algorithms thread their SearchStats phases too.
+        engine.execute(
+            TopKQuery(graph="g", gamma=3, k=2, algorithm="localsearch")
+        )
+        static_rows = [
+            r for label, r in metrics.by_family().items()
+            if "|localsearch|" in label
+        ]
+        assert static_rows and "enumerate" in static_rows[0]["phases_ms"]
+
     def test_session_counters(self, registry):
         metrics = ServiceMetrics()
         metrics.session_opened()
