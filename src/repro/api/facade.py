@@ -71,6 +71,17 @@ class Graph:
             spec = replace(spec, graph=self.name)
         return ResultSet(spec, self._fetch)
 
+    def mutate(self, ops):
+        """Apply an edge-mutation batch to this graph (local backends).
+
+        ``ops`` is an iterable of label-level op tuples —
+        ``("insert", u, v)`` / ``("delete", u, v)`` /
+        ``("reweight", v, w)`` — or an already-built
+        :class:`~repro.graph.delta.EdgeBatch`.  Returns the registry's
+        :class:`~repro.service.registry.MutationEvent`.
+        """
+        return self._repro.mutate(self.name, ops)
+
     def __repr__(self) -> str:
         return f"<Graph {self.name!r} via {self._repro!r}>"
 
@@ -113,6 +124,21 @@ class Repro:
         # A pre-bound method, not a closure: the whole facade cost per
         # query is one ResultSet allocation (see bench_api_overhead.py).
         return ResultSet(spec, self._fetch)
+
+    def mutate(self, graph: str, ops):
+        """Apply an edge-mutation batch through the live registry.
+
+        Local backends only: versions the graph, migrates the cache
+        under scoped invalidation, and returns the
+        :class:`~repro.service.registry.MutationEvent`.
+        """
+        registry = getattr(self._backend, "registry", None)
+        apply_batch = getattr(registry, "apply", None)
+        if apply_batch is None:
+            raise ServiceError(
+                "this Repro backend does not support live mutations"
+            )
+        return apply_batch(graph, ops)
 
     # ------------------------------------------------------------------
     @property

@@ -97,6 +97,23 @@ def build_parser() -> argparse.ArgumentParser:
     stats = sub.add_parser("stats", help="print Table-1 statistics")
     add_graph_source(stats)
 
+    mutate = sub.add_parser(
+        "mutate",
+        help="apply live edge mutations, then (optionally) query",
+    )
+    add_graph_source(mutate)
+    mutate.add_argument(
+        "ops", nargs="+", metavar="OP",
+        help="mutation ops: insert=U:V, delete=U:V, reweight=V:W "
+             "(applied in order, one versioned batch)",
+    )
+    mutate.add_argument(
+        "--k", type=int, default=None,
+        help="also run a top-k query on the mutated graph",
+    )
+    mutate.add_argument("--gamma", type=int, default=10)
+    mutate.add_argument("--delta", type=float, default=2.0)
+
     stream = sub.add_parser(
         "stream", help="progressive search: no k, stop on conditions"
     )
@@ -750,6 +767,37 @@ def main(argv: Optional[List[str]] = None, out=None, in_stream=None) -> int:
         )
         for name, value in zip(GraphStatistics.header(), stats.as_row()):
             print(f"{name:>12}: {value}", file=out)
+        return 0
+
+    if args.command == "mutate":
+        from .service.shell import parse_mutation_ops
+
+        rp, graph_name = _open_facade(args)
+        ops = parse_mutation_ops(args.ops)
+        event = rp.mutate(graph_name, ops)
+        stats = event.stats
+        barrier = (
+            f"{event.barrier:.8g}"
+            if event.barrier != float("-inf")
+            else "none"
+        )
+        print(
+            f"mutated {graph_name!r} "
+            f"v{event.old_version} -> v{event.new_version}: "
+            f"+{stats.inserted} -{stats.deleted} ~{stats.reweighted} "
+            f"(noops={stats.noops}) barrier={barrier}",
+            file=out,
+        )
+        if args.k is not None:
+            spec = QuerySpec(
+                graph=graph_name,
+                k=args.k,
+                gamma=args.gamma,
+                delta=args.delta,
+                algorithm="localsearch-p",
+            )
+            for i, view in enumerate(rp.topk(spec).communities, start=1):
+                _print_view(i, view, False, out)
         return 0
 
     if args.command == "query":

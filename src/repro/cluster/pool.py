@@ -74,6 +74,7 @@ class _Worker:
         "conn",
         "lock",
         "attached",
+        "segments",
         "families",
         "depth",
         "dispatches",
@@ -86,6 +87,13 @@ class _Worker:
         self.conn = None
         self.lock = threading.Lock()
         self.attached: Dict[str, int] = {}  # graph name -> attached version
+        #: graph name -> version of the *segment* this worker holds a
+        #: store reference under.  Diverges from ``attached`` after a
+        #: delta catch-up (the worker serves a newer logical version
+        #: over the same mapped segment), so releases must key off this
+        #: — releasing ``attached``'s version would leak the mapped
+        #: segment and unlink one that is still in use.
+        self.segments: Dict[str, int] = {}
         #: Families this worker is believed to hold cursor state for,
         #: LRU-ordered.  Bounded by the pool to the worker's own cache
         #: size: once the worker's LRU would have evicted a family, the
@@ -289,6 +297,7 @@ class ClusterPool:
         worker.process = process
         worker.conn = parent_conn
         worker.attached = {}
+        worker.segments = {}
         worker.families = OrderedDict()
 
     def warm(self, graph: str) -> None:
@@ -322,8 +331,10 @@ class ClusterPool:
                 process.kill()
                 process.join(timeout=2.0)
         if self.use_shared_memory:
-            # The dead worker's segment references die with it.
-            for name, version in worker.attached.items():
+            # The dead worker's segment references die with it.  Keyed
+            # off ``segments``, not ``attached``: after a delta catch-up
+            # the logical version is newer than the mapped segment's.
+            for name, version in worker.segments.items():
                 self.store.release(name, version)
         worker.restarts += 1
         if self.metrics is not None:
@@ -631,8 +642,23 @@ class ClusterPool:
 
     def _ensure_attached(self, worker: _Worker, handle: GraphHandle) -> None:
         """Attach ``handle``'s graph on ``worker`` (``worker.lock`` held)."""
-        if worker.attached.get(handle.name) == handle.version:
-            return
+        attached = worker.attached.get(handle.name)
+        if attached is not None:
+            if attached >= handle.version:
+                # Never downgrade.  A dispatcher that read its handle
+                # just before a mutation flip arrives here with the old
+                # version while the worker already serves the new one;
+                # re-attaching would force the worker *back*, re-publish
+                # a superseded segment, and serve mixed-version answers.
+                # The worker answers on its (newer) generation and the
+                # _mirror version guard keeps the stale-keyed result out
+                # of the parent cache.
+                return
+            if self._attach_delta(worker, handle, attached):
+                return
+            # No contiguous delta chain (a compaction or rebuild opened
+            # a gap) or the worker rejected the replay: fall through to
+            # a full re-attach of the flat generation.
         if self.use_shared_memory:
             segment = self._segment_for(handle)
             self.store.acquire(handle)  # the worker's own reference
@@ -658,18 +684,61 @@ class ClusterPool:
             if self.use_shared_memory:
                 self.store.release(handle.name, handle.version)
             raise ClusterWorkerError(worker.tag, reply[1], reply[2])
-        stale_version = worker.attached.get(handle.name)
-        if stale_version is not None:
+        if attached is not None:
             if self.use_shared_memory:
-                self.store.release(handle.name, stale_version)
+                # Release the segment the worker actually held a
+                # reference under — after delta catch-ups that is older
+                # than ``attached`` itself.
+                stale_segment = worker.segments.get(handle.name)
+                if stale_segment is not None:
+                    self.store.release(handle.name, stale_segment)
             # Cursor state for the old version went with the re-attach;
             # the graph's families must be re-seeded on next dispatch.
             worker.families = OrderedDict(
                 (f, True) for f in worker.families if f.graph != handle.name
             )
         worker.attached[handle.name] = handle.version
+        if self.use_shared_memory:
+            worker.segments[handle.name] = handle.version
         if self.metrics is not None:
             self.metrics.observe_segment_attach(mode)
+
+    def _attach_delta(
+        self, worker: _Worker, handle: GraphHandle, attached: int
+    ) -> bool:
+        """Catch the worker up via the registry's delta chain, if it
+        covers ``attached → handle.version`` contiguously.
+
+        The worker replays the batches over its installed generation —
+        O(touched rows) per worker, no segment publication, no full
+        graph pickle — and keeps its shared-memory mapping open (the
+        overlay's untouched rows still alias the segment buffers, which
+        is why ``worker.segments`` is *not* advanced here).
+        """
+        delta_chain = getattr(self.registry, "delta_chain", None)
+        if delta_chain is None:
+            return False
+        chain = delta_chain(handle.name, attached, handle.version)
+        if chain is None:
+            return False
+        reply = self._roundtrip(
+            worker,
+            ("apply_delta", handle.name, handle.version, chain),
+            timeout=self.job_timeout,
+        )
+        if reply[0] != "ok":
+            return False
+        worker.attached[handle.name] = handle.version
+        # The worker dropped its cursors for the old generation; next
+        # dispatch re-seeds each family from the parent's scope-migrated
+        # mirror (preserved families re-seed warm, invalidated ones
+        # recompute).
+        worker.families = OrderedDict(
+            (f, True) for f in worker.families if f.graph != handle.name
+        )
+        if self.metrics is not None:
+            self.metrics.observe_segment_attach("delta")
+        return True
 
     # ------------------------------------------------------------------
     # parent-cache mirror + seeds
@@ -703,6 +772,13 @@ class ClusterPool:
         """Fold a worker result into the parent cache as frozen views."""
         cache = self.cache
         if cache is None:
+            return
+        if result.graph_version != key.version:
+            # The worker answered on a newer generation than the handle
+            # this dispatch was keyed under (a mutation flip raced the
+            # dispatch and _ensure_attached refused to downgrade).
+            # Folding those views in under the stale key would serve a
+            # mixed-version answer to the next stale-handle reader.
             return
         views = result.communities
         entry = cache.get(key)

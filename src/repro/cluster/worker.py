@@ -17,6 +17,13 @@ The protocol over the duplex pipe is a tagged tuple per message:
 * ``("attach_pickle", name, version, graph)`` — the fallback path for
   platforms without shared memory: the whole graph travels through the
   pipe once per worker;
+* ``("apply_delta", name, target_version, batches)`` — catch an
+  attached graph up to ``target_version`` by replaying the registry's
+  delta chain over the worker's current generation (``repro.live``):
+  the shared-memory mapping stays open — untouched adjacency rows keep
+  aliasing the segment — and only the touched rows are worker-local,
+  so a mutation batch costs O(touched) per worker instead of a full
+  re-attach;
 * ``("query", spec, seed[, trace_ref])`` — execute one spec; ``seed``
   optionally carries parent-cache views to pre-populate a family this
   worker has never seen (the restart re-seed path), and is ignored when
@@ -48,6 +55,7 @@ from typing import Dict, Optional, Tuple
 
 from ..api.spec import QuerySpec
 from ..errors import ReproError, UnknownGraphError
+from ..graph.delta import apply_batch
 from ..obs.trace import Tracer, use_span
 from ..service.cache import CacheKey, ProgressiveEntry, ResultCache, StaticEntry
 from ..service.engine import QueryEngine, progressive_cursor_factory
@@ -107,6 +115,17 @@ class _WorkerRegistry:
         self._handles[name] = GraphHandle(name, version, graph)
         if shm is not None:
             self._attachments[name] = shm
+
+    def replace_graph(self, name: str, version: int, graph) -> None:
+        """Swap the handle to a delta-derived generation.
+
+        Unlike :meth:`install` the shared-memory attachment (if any)
+        stays open: the new graph's untouched rows still alias the
+        mapped segment buffers.
+        """
+        if name not in self._handles:
+            raise UnknownGraphError(name, available=self._handles)
+        self._handles[name] = GraphHandle(name, version, graph)
 
     def drop(self, name: str) -> None:
         self._handles.pop(name, None)
@@ -235,6 +254,23 @@ def worker_main(conn, config: WorkerConfig) -> None:
                     registry.install(name, version, graph)
                     attaches += 1
                     conn.send(("ok", name))
+                elif tag == "apply_delta":
+                    name, target_version, batches = (
+                        message[1],
+                        message[2],
+                        message[3],
+                    )
+                    handle = registry.get(name)
+                    graph = handle.graph
+                    for batch in batches:
+                        graph, _, _ = apply_batch(graph, batch)
+                    registry.replace_graph(name, target_version, graph)
+                    # Cursors walk the old generation; the parent
+                    # re-seeds affected families from its scope-migrated
+                    # mirror on the next dispatch.
+                    cache.invalidate_graph(name)
+                    attaches += 1
+                    conn.send(("ok", (name, target_version)))
                 elif tag == "detach":
                     registry.drop(message[1])
                     conn.send(("ok", message[1]))

@@ -42,7 +42,7 @@ from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from .weighted_graph import WeightedGraph
 
-__all__ = ["CSRAdjacency", "PrefixAdjacency"]
+__all__ = ["CSRAdjacency", "DeltaCSR", "PrefixAdjacency"]
 
 
 class CSRAdjacency:
@@ -196,6 +196,205 @@ class CSRAdjacency:
                 _own(self.down_offsets, "q"),
                 _own(self.down_targets, "i"),
             ),
+        )
+
+
+class DeltaCSR:
+    """A CSR with a small set of replaced adjacency rows (``repro.live``).
+
+    Mutated generations produced by :func:`repro.graph.delta.apply_batch`
+    install one of these instead of re-flattening the whole graph: the
+    overlay holds only the **touched rows** (already sorted, rank space
+    unchanged) and answers the full :class:`CSRAdjacency` interface by
+    merging base and overlay **at the adjacency-row boundary** — row
+    ``v`` comes from the overlay when touched, from the base otherwise.
+    Kernels consume :meth:`lists` / :meth:`numpy_views` exactly as they
+    do on a flat CSR, so peel/enumerate results are byte-identical to a
+    full rebuild.
+
+    The merge is lazy and cached: constructing the overlay is O(touched
+    rows); the first kernel access folds the row mirrors by splicing
+    whole untouched *runs* of the base mirrors (C-level list slices)
+    around the overlay rows.  The canonical ``array`` buffers (needed
+    for shared-memory publication and pickling) materialise from the
+    folded mirrors on first request — that is what the background
+    compactor calls :meth:`materialize` for, after which the generation
+    is an ordinary flat :class:`CSRAdjacency` again.
+
+    Overlays chain (a ``DeltaCSR`` over a ``DeltaCSR``): only the
+    base's :meth:`lists` is consulted, which any generation provides.
+    The compactor bounds chain depth.
+    """
+
+    __slots__ = (
+        "base",
+        "num_vertices",
+        "num_edges",
+        "_up_rows",
+        "_down_rows",
+        "_lists",
+        "_arrays",
+        "_numpy",
+    )
+
+    def __init__(
+        self,
+        base,
+        up_rows,
+        down_rows,
+        num_edges: int,
+    ) -> None:
+        self.base = base
+        self.num_vertices = base.num_vertices
+        #: Edge count of the *merged* adjacency — passed in by the
+        #: overlay constructor (which knows the insert/delete balance)
+        #: so creating the overlay never touches the base buffers.
+        self.num_edges = num_edges
+        self._up_rows = dict(up_rows)
+        self._down_rows = dict(down_rows)
+        self._lists = None
+        self._arrays = None
+        self._numpy = None
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _fold(base_off, base_tgt, rows, n):
+        """Splice overlay rows into the base mirrors (row-boundary merge)."""
+        if not rows:
+            return base_off, base_tgt  # untouched side: share the base
+        off: List[int] = []
+        tgt: List[int] = []
+        shift = 0
+        prev = 0
+        for v in sorted(rows):
+            if v > prev:
+                if shift:
+                    off.extend(o + shift for o in base_off[prev:v])
+                else:
+                    off.extend(base_off[prev:v])
+                tgt.extend(base_tgt[base_off[prev]:base_off[v]])
+            row = rows[v]
+            off.append(base_off[v] + shift)
+            tgt.extend(row)
+            shift += len(row) - (base_off[v + 1] - base_off[v])
+            prev = v + 1
+        if shift:
+            off.extend(o + shift for o in base_off[prev:])
+        else:
+            off.extend(base_off[prev:])
+        tgt.extend(base_tgt[base_off[prev]:])
+        return off, tgt
+
+    def lists(self) -> Tuple[List[int], List[int], List[int], List[int]]:
+        """Merged Python-list mirrors (same contract as the flat CSR)."""
+        mirrors = self._lists
+        if mirrors is None:
+            b_up_off, b_up_tgt, b_down_off, b_down_tgt = self.base.lists()
+            n = self.num_vertices
+            up_off, up_tgt = self._fold(b_up_off, b_up_tgt, self._up_rows, n)
+            down_off, down_tgt = self._fold(
+                b_down_off, b_down_tgt, self._down_rows, n
+            )
+            mirrors = (up_off, up_tgt, down_off, down_tgt)
+            self._lists = mirrors
+        return mirrors
+
+    def _canonical(self) -> Tuple[array, array, array, array]:
+        buffers = self._arrays
+        if buffers is None:
+            up_off, up_tgt, down_off, down_tgt = self.lists()
+            buffers = (
+                array("q", up_off),
+                array("i", up_tgt),
+                array("q", down_off),
+                array("i", down_tgt),
+            )
+            self._arrays = buffers
+        return buffers
+
+    @property
+    def up_offsets(self) -> array:
+        return self._canonical()[0]
+
+    @property
+    def up_targets(self) -> array:
+        return self._canonical()[1]
+
+    @property
+    def down_offsets(self) -> array:
+        return self._canonical()[2]
+
+    @property
+    def down_targets(self) -> array:
+        return self._canonical()[3]
+
+    def numpy_views(self):
+        """Zero-copy numpy views over the materialised merged buffers."""
+        views = self._numpy
+        if views is None:
+            import numpy as np
+
+            up_off, up_tgt, down_off, down_tgt = self._canonical()
+            views = (
+                np.frombuffer(up_off, dtype=np.int64),
+                np.frombuffer(up_tgt, dtype=np.int32),
+                np.frombuffer(down_off, dtype=np.int64),
+                np.frombuffer(down_tgt, dtype=np.int32),
+            )
+            self._numpy = views
+        return views
+
+    @property
+    def overlay_rows(self) -> int:
+        """How many adjacency rows the overlay replaces (both sides)."""
+        return len(self._up_rows) + len(self._down_rows)
+
+    @property
+    def depth(self) -> int:
+        """Overlay chain depth above the nearest flat generation."""
+        return 1 + getattr(self.base, "depth", 0)
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate footprint: base plus the overlay rows."""
+        overlay = sum(
+            4 * len(r)
+            for rows in (self._up_rows, self._down_rows)
+            for r in rows.values()
+        )
+        return self.base.nbytes + overlay
+
+    def materialize(self) -> CSRAdjacency:
+        """Fold into a flat :class:`CSRAdjacency` (the compaction step)."""
+        up_off, up_tgt, down_off, down_tgt = self._canonical()
+        flat = CSRAdjacency(
+            self.num_vertices, up_off, up_tgt, down_off, down_tgt
+        )
+        # The folded mirrors ARE the flat CSR's list mirrors — seed the
+        # cache so compaction does not rebuild them from the arrays.
+        flat._lists = self.lists()
+        return flat
+
+    # Pickling ships the merged flat form: the receiving process has no
+    # use for our base/overlay split (and the base may alias a
+    # shared-memory segment it cannot reach).
+    def __reduce__(self):
+        csr = self.materialize()
+        return (
+            CSRAdjacency,
+            (
+                csr.num_vertices,
+                csr.up_offsets,
+                csr.up_targets,
+                csr.down_offsets,
+                csr.down_targets,
+            ),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"DeltaCSR(n={self.num_vertices}, m={self.num_edges}, "
+            f"overlay_rows={self.overlay_rows}, depth={self.depth})"
         )
 
 

@@ -370,6 +370,7 @@ def render_dashboard(
     window_note = (
         f"window {window_s:.0f}s · " if window_s is not None else ""
     )
+    live = snapshot.get("live") or {}
     tiles = [
         ("qps", _num(qps, 2)),
         ("hit rate", _num(hit, 3)),
@@ -377,6 +378,9 @@ def render_dashboard(
         ("queries", str(snapshot.get("queries_served", 0))),
         ("errors", str(snapshot.get("errors", 0))),
     ]
+    if live.get("mutations_applied") or live.get("compactions"):
+        tiles.append(("mutations", str(live.get("mutations_applied", 0))))
+        tiles.append(("compactions", str(live.get("compactions", 0))))
     tile_html = "".join(
         f'<div class="tile"><div class="v">{value}</div>'
         f'<div class="l">{label}</div></div>'
@@ -389,6 +393,19 @@ def render_dashboard(
     spark_coalesce = _sparkline(
         [p["coalesce_rate"] for p in points], "spark-coalesce", digits=3
     )
+    # Shown only once mutations flow: of the cached families mutations
+    # touched, the fraction scoped invalidation had to drop.
+    invalidation_card = ""
+    if any(p.get("invalidation_rate") is not None for p in points):
+        spark_invalidation = _sparkline(
+            [p.get("invalidation_rate") for p in points],
+            "spark-invalidation",
+            digits=3,
+        )
+        invalidation_card = (
+            f'<div class="card"><h2>invalidation rate</h2>'
+            f"{spark_invalidation}</div>"
+        )
     workers = dict(latest["workers"]) if latest else dict(
         (snapshot.get("cluster") or {}).get("queue_depth") or {}
     )
@@ -416,7 +433,7 @@ stdlib-rendered, no external assets{ready_chip}</div>
 <div class="card"><h2>qps</h2>{spark_qps}</div>
 <div class="card"><h2>hit rate</h2>{spark_hit}</div>
 <div class="card"><h2>coalesce rate</h2>{spark_coalesce}</div>
-</div>
+{invalidation_card}</div>
 <div class="grid" style="margin-top:16px">
 <div class="card"><h2>per-family p95 latency</h2>{_heatmap(points)}</div>
 <div class="card"><h2>queue depths</h2>\

@@ -249,6 +249,41 @@ def render_prometheus(
         kind="counter",
     )
 
+    live = snapshot.get("live") or {}
+    out.sample(
+        "repro_live_mutations_applied_total",
+        live.get("mutations_applied", 0),
+        help_text="Edge-mutation batches applied through GraphRegistry.apply.",
+        kind="counter",
+    )
+    out.sample(
+        "repro_live_families_invalidated_total",
+        live.get("families_invalidated", 0),
+        help_text="Cached families dropped by scoped invalidation.",
+        kind="counter",
+    )
+    out.sample(
+        "repro_live_families_preserved_total",
+        live.get("families_preserved", 0),
+        help_text="Cached families carried across a graph mutation.",
+        kind="counter",
+    )
+    out.sample(
+        "repro_live_compactions_total",
+        live.get("compactions", 0),
+        help_text="Delta chains folded into fresh flat CSR generations.",
+        kind="counter",
+    )
+    for graph, generation in sorted(
+        (live.get("graph_generation") or {}).items()
+    ):
+        out.sample(
+            "repro_graph_generation",
+            generation,
+            labels={"graph": graph},
+            help_text="Current registry version (generation) per graph.",
+        )
+
     if trace_store is not None:
         counters = trace_store.counters()
         out.sample(

@@ -234,10 +234,15 @@ class MetricsHistory:
                 reverse=True,
             )[: self.max_families]
             families = dict(busiest)
+        live = snap.get("live") or {}
         tick: Dict[str, Any] = {
             "t": now,
             "queries_served": snap.get("queries_served", 0),
             "errors": snap.get("errors", 0),
+            "mutations_applied": live.get("mutations_applied", 0),
+            "families_invalidated": live.get("families_invalidated", 0),
+            "families_preserved": live.get("families_preserved", 0),
+            "compactions": live.get("compactions", 0),
             "hits": sum(source.get(s, 0) for s in _HIT_SOURCES),
             "hit_base": sum(source.get(s, 0) for s in _SERVED_SOURCES),
             "batches": server.get("batches", 0),
@@ -420,6 +425,12 @@ def _derive_pair(prev: Dict[str, Any], cur: Dict[str, Any]) -> Optional[Dict[str
     d_base = max(0, cur["hit_base"] - prev["hit_base"])
     d_batches = max(0, cur["batches"] - prev["batches"])
     d_batched = max(0, cur["batched_queries"] - prev["batched_queries"])
+    # .get with defaults: ticks recorded before the live-mutation fields
+    # existed (or by an older collector) still derive cleanly.
+    d_mut = max(0, cur.get("mutations_applied", 0) - prev.get("mutations_applied", 0))
+    d_inv = max(0, cur.get("families_invalidated", 0) - prev.get("families_invalidated", 0))
+    d_pres = max(0, cur.get("families_preserved", 0) - prev.get("families_preserved", 0))
+    touched = d_inv + d_pres
     requests = d_q + d_err
     return {
         "t": cur["t"],
@@ -429,6 +440,11 @@ def _derive_pair(prev: Dict[str, Any], cur: Dict[str, Any]) -> Optional[Dict[str
         "error_rate": d_err / requests if requests else 0.0,
         "hit_rate": d_hits / d_base if d_base else None,
         "coalesce_rate": 1.0 - d_batches / d_batched if d_batched else 0.0,
+        "mutations_per_s": d_mut / dt,
+        # Of the cached families a mutation touched this interval, the
+        # fraction scoped invalidation actually had to drop (None when
+        # no mutation touched any cached family).
+        "invalidation_rate": d_inv / touched if touched else None,
         "queue_depth": cur["queue_depth"],
         "workers": dict(cur["workers"]),
         "families": {

@@ -117,9 +117,19 @@ class WarmStart:
         leaves the previous snapshot intact.
         """
         entries: List[Dict[str, Any]] = []
+        # One handle read per graph, memoized.  A GraphHandle is one
+        # immutable (version, graph) pair swapped atomically by the
+        # registry, so every entry saved below is checked, versioned,
+        # and fingerprinted against a single consistent generation —
+        # a live-mutation flip racing this loop can never interleave
+        # two generations inside one graph's snapshot rows (entries
+        # keyed under any other version are simply skipped as stale).
+        handles: Dict[str, Optional[GraphHandle]] = {}
         for key in cache.keys():
             entry = cache.get(key)
-            handle = self._build(registry, key.graph)
+            if key.graph not in handles:
+                handles[key.graph] = self._build(registry, key.graph)
+            handle = handles[key.graph]
             if handle is None or handle.version != key.version:
                 continue  # the entry is already stale in this process
             payload: Dict[str, Any]
@@ -166,6 +176,9 @@ class WarmStart:
         if document is None:
             return 0
         restored = 0
+        # Same single-read-per-graph discipline as save(): every entry
+        # restored for a graph is validated against one atomically-read
+        # handle, so a mutation flip mid-load cannot mix generations.
         handles: Dict[str, Optional[GraphHandle]] = {}
         for raw in document.get("entries", ()):
             try:

@@ -340,6 +340,99 @@ class ResultCache:
             else:
                 self.stats.misses += 1
 
+    def migrate_graph(
+        self,
+        graph: str,
+        old_version: int,
+        new_version: int,
+        barrier: float,
+        *,
+        identical: bool = False,
+        progressive_factory: Optional[
+            Callable[[CacheKey], Callable[[], ProgressiveCursor]]
+        ] = None,
+    ) -> Tuple[int, int]:
+        """Scoped invalidation for one graph-version flip (``repro.live``).
+
+        Re-keys entries from ``old_version`` to ``new_version``,
+        keeping a family warm **iff its answer provably survived the
+        mutation**: every cached view's influence must sit strictly
+        above the batch's ``barrier`` weight.  The cached view sequence
+        is an influence-descending prefix, so the watermark is simply
+        the *last* view's influence — the family's current influence
+        frontier.  Communities with influence above the barrier live
+        entirely inside threshold prefixes the mutation never touched
+        (see :mod:`repro.graph.delta`), so the preserved prefix is
+        byte-identical to what the new generation would recompute.
+
+        Preserved progressive entries are re-seeded from their frozen
+        views with a cursor factory bound to the **new** graph (via
+        ``progressive_factory(new_key)``) — the old cursor still walks
+        the old generation and is retired here; exhaustion/completeness
+        is forgotten because the stream *below* the watermark may have
+        changed.  With ``identical=True`` (compaction: same content,
+        new representation) everything migrates and completeness
+        survives.  Families that cannot be preserved — or progressive
+        families when no factory is supplied — are dropped.
+
+        Returns ``(preserved, invalidated)``.
+        """
+        with self._lock:
+            moved = [
+                (key, entry)
+                for key, entry in self._data.items()
+                if key.graph == graph and key.version == old_version
+            ]
+            preserved = invalidated = 0
+            for key, entry in moved:
+                del self._data[key]
+                views = getattr(entry, "views", ())
+                keep = identical or (
+                    len(views) > 0 and views[-1].influence > barrier
+                )
+                new_key = CacheKey(
+                    graph=key.graph,
+                    version=new_version,
+                    gamma=key.gamma,
+                    algorithm=key.algorithm,
+                    delta=key.delta,
+                    kernel=key.kernel,
+                )
+                if keep and isinstance(entry, ProgressiveEntry):
+                    factory = (
+                        progressive_factory(new_key)
+                        if progressive_factory is not None
+                        else None
+                    )
+                    exhausted = entry.exhausted if identical else False
+                    if factory is None and not exhausted:
+                        keep = False  # inextensible without a factory
+                    else:
+                        self._data[new_key] = ProgressiveEntry(
+                            cursor_factory=factory,
+                            views=views,
+                            exhausted=exhausted,
+                            max_cached_k=(
+                                self.max_cached_k
+                                if factory is not None
+                                else None
+                            ),
+                        )
+                elif keep and isinstance(entry, StaticEntry):
+                    self._data[new_key] = StaticEntry(
+                        views, entry.complete if identical else False
+                    )
+                elif keep:  # unknown entry type: only safe when identical
+                    if identical:
+                        self._data[new_key] = entry
+                    else:
+                        keep = False
+                if keep:
+                    preserved += 1
+                else:
+                    invalidated += 1
+            return preserved, invalidated
+
     def invalidate_graph(self, graph: str, version: Optional[int] = None) -> int:
         """Drop all entries for ``graph`` (optionally one version only)."""
         with self._lock:

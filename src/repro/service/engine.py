@@ -133,6 +133,53 @@ class QueryEngine:
         #: execution at a time is captured; unarmed cost is one
         #: attribute load per query.
         self.profiler = None
+        # repro.live: migrate (don't drop) cached families across
+        # mutation version flips.  The worker-side registry has no
+        # mutation hooks — workers catch up via the apply_delta pipe
+        # message instead.
+        add_mutation_hook = getattr(registry, "add_mutation_hook", None)
+        if add_mutation_hook is not None:
+            add_mutation_hook(self._on_graph_mutated)
+
+    # ------------------------------------------------------------------
+    def _on_graph_mutated(self, event) -> None:
+        """Mutation hook: scoped cache migration + live metrics.
+
+        Runs inside :meth:`GraphRegistry.apply` / ``compact`` right
+        after the atomic handle flip.  Families whose influence
+        frontier sits above the batch's barrier weight are re-keyed to
+        the new version with a cursor factory bound to the new graph;
+        the rest are dropped (their progressive cursors retire with
+        them).  Counts are attached to the event for the caller.
+        """
+        identical = event.kind == "compact"
+        preserved = invalidated = 0
+        if self.cache is not None:
+            graph = event.handle.graph
+
+            def factory_for(new_key: CacheKey):
+                return progressive_cursor_factory(
+                    graph, new_key.gamma, new_key.delta, kernel=new_key.kernel
+                )
+
+            preserved, invalidated = self.cache.migrate_graph(
+                event.graph,
+                event.old_version,
+                event.new_version,
+                event.barrier,
+                identical=identical,
+                progressive_factory=factory_for,
+            )
+            event.preserved += preserved
+            event.invalidated += invalidated
+        if self.metrics is not None:
+            self.metrics.observe_mutation(
+                event.graph,
+                event.new_version,
+                invalidated=invalidated,
+                preserved=preserved,
+                compaction=identical,
+            )
 
     # ------------------------------------------------------------------
     def plan(self, query: QuerySpec) -> QueryPlan:
@@ -272,6 +319,11 @@ class QueryEngine:
     def _execute_impl(self, query: QuerySpec) -> QueryResult:
         """The untraced execution body (plan → cache → run → record)."""
         started = time.perf_counter()
+        # ONE handle read per query: graph, version, cache key and the
+        # result's graph_version all derive from this single immutable
+        # reference, so a concurrent mutation/compaction flip can never
+        # produce a mixed-version answer (the flip only swaps the
+        # entry's handle reference; this one stays pinned).
         handle = self.registry.get(query.graph)
         plan = self.plan(query)
         # The spec's canonical cache identity: resolved algorithm plus

@@ -141,6 +141,15 @@ class ServiceMetrics:
         self.worker_restarts = 0
         self.cluster_depth: Dict[str, int] = {}
         self.cluster_depth_peak = 0
+        # Live tier (repro.live): streaming mutations + scoped
+        # invalidation + delta-chain compaction.
+        self.mutations_applied = 0
+        self.families_invalidated = 0
+        self.families_preserved = 0
+        self.compactions = 0
+        #: Current graph generation (version) per mutated graph — the
+        #: segment-generation gauge the Prometheus exporter reports.
+        self.graph_generation: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     def observe_query(
@@ -252,6 +261,30 @@ class ServiceMetrics:
             if depth > self.cluster_depth_peak:
                 self.cluster_depth_peak = depth
 
+    # -- live tier ------------------------------------------------------
+    def observe_mutation(
+        self,
+        graph: str,
+        version: int,
+        invalidated: int = 0,
+        preserved: int = 0,
+        compaction: bool = False,
+    ) -> None:
+        """Record one graph-version flip (mutation batch or compaction).
+
+        ``invalidated``/``preserved`` are the scoped-invalidation
+        outcome over the cached families of the flipped graph;
+        ``version`` updates the generation gauge.
+        """
+        with self._lock:
+            if compaction:
+                self.compactions += 1
+            else:
+                self.mutations_applied += 1
+            self.families_invalidated += invalidated
+            self.families_preserved += preserved
+            self.graph_generation[graph] = version
+
     # ------------------------------------------------------------------
     @property
     def cache_hit_rate(self) -> float:
@@ -356,6 +389,13 @@ class ServiceMetrics:
                 "queue_depth": dict(self.cluster_depth),
                 "queue_depth_peak": self.cluster_depth_peak,
             }
+            live = {
+                "mutations_applied": self.mutations_applied,
+                "families_invalidated": self.families_invalidated,
+                "families_preserved": self.families_preserved,
+                "compactions": self.compactions,
+                "graph_generation": dict(self.graph_generation),
+            }
             out: Dict[str, object] = {
                 "queries_served": self.queries_served,
                 "by_source": dict(self.by_source),
@@ -379,6 +419,7 @@ class ServiceMetrics:
                 },
             }
         out["cluster"] = cluster
+        out["live"] = live
         out["server"]["coalesce_rate"] = self.coalesce_rate  # type: ignore[index]
         out["cache_hit_rate"] = self.cache_hit_rate
         out["by_family"] = self.by_family()

@@ -13,6 +13,21 @@ Every (re)build bumps the entry's **version**.  Handles carry the
 version, and the result cache keys on it, so ``reload``/``evict``
 invalidate stale cached answers for free: the old version's keys simply
 stop being generated.
+
+``repro.live`` extends the same versioning to **streaming mutations**:
+:meth:`GraphRegistry.apply` runs an
+:class:`~repro.graph.delta.EdgeBatch` through
+:func:`~repro.graph.delta.apply_batch`, producing a new overlay
+generation and atomically flipping the handle (one reference write —
+readers still never see a mixed graph/version pair).  Applied batches
+accumulate as a **delta chain** so cluster workers holding the previous
+generation can catch up by replaying batches over their attached CSR
+instead of re-attaching a whole segment; a background **compactor**
+folds the overlay chain into a fresh flat CSR generation (and, via the
+build hooks, a fresh shared-memory segment generation) once the chain
+grows past ``compact_after``.  Mutation hooks — distinct from build
+hooks — let the service layer migrate caches scope-invalidated by the
+batch's barrier weight instead of dropping them wholesale.
 """
 
 from __future__ import annotations
@@ -20,14 +35,15 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import UnknownGraphError
+from ..graph.delta import EdgeBatch, MutationStats, apply_batch
 from ..graph.io import load_snap_graph
 from ..graph.weighted_graph import WeightedGraph
 from ..workloads.datasets import dataset_names, load_dataset
 
-__all__ = ["GraphHandle", "GraphRegistry"]
+__all__ = ["GraphHandle", "GraphRegistry", "MutationEvent"]
 
 
 @dataclass(frozen=True)
@@ -48,6 +64,33 @@ class GraphHandle:
 
 
 @dataclass
+class MutationEvent:
+    """What one :meth:`GraphRegistry.apply` (or compaction) did.
+
+    Mutation hooks receive the event *mutably*: the cache-migration
+    hook adds its ``preserved``/``invalidated`` counts so the caller
+    (shell, CLI, bench) can report the full outcome of the flip.
+    """
+
+    graph: str
+    old_version: int
+    new_version: int
+    #: ``"mutate"`` for an applied batch, ``"compact"`` for a fold.
+    kind: str
+    #: Largest weight whose threshold subgraph may have changed
+    #: (``-inf`` for no-ops and compactions: content is identical).
+    barrier: float
+    handle: GraphHandle
+    batch: Optional[EdgeBatch] = None
+    stats: Optional[MutationStats] = None
+    #: Length of the delta chain after this event.
+    pending_deltas: int = 0
+    #: Filled in by the cache-migration mutation hook.
+    invalidated: int = 0
+    preserved: int = 0
+
+
+@dataclass
 class _Entry:
     loader: Callable[[], WeightedGraph]
     description: str = ""
@@ -59,6 +102,11 @@ class _Entry:
     build_seconds: float = 0.0
     csr_seconds: float = 0.0
     lock: threading.Lock = field(default_factory=threading.Lock)
+    #: Batches applied since the last flat generation, as
+    #: ``(version_after, batch)`` pairs — the worker catch-up chain.
+    deltas: List[Tuple[int, EdgeBatch]] = field(default_factory=list)
+    #: Guards against stacking background compaction threads.
+    compacting: bool = False
 
 
 class GraphRegistry:
@@ -77,16 +125,28 @@ class GraphRegistry:
         against a freshly-loaded graph pays no flattening cost and
         every :class:`~repro.server.shards.ShardPool` replica shares the
         same immutable buffers.
+    compact_after:
+        Fold the delta-overlay chain into a fresh flat CSR generation
+        (in a background thread) once this many mutation batches have
+        accumulated on one graph.  ``None`` disables automatic
+        compaction; :meth:`compact` stays available for explicit use.
     """
 
     def __init__(
-        self, preload_datasets: bool = True, prebuild_csr: bool = True
+        self,
+        preload_datasets: bool = True,
+        prebuild_csr: bool = True,
+        compact_after: Optional[int] = 8,
     ) -> None:
         self._entries: Dict[str, _Entry] = {}
         self._lock = threading.RLock()
         self._builds = 0
+        self._mutations = 0
+        self._compactions = 0
         self._prebuild_csr = prebuild_csr
+        self._compact_after = compact_after
         self._build_hooks: List[Callable[[GraphHandle], None]] = []
+        self._mutation_hooks: List[Callable[[MutationEvent], None]] = []
         if preload_datasets:
             for name in dataset_names():
                 self.register(
@@ -157,6 +217,7 @@ class GraphRegistry:
             graph.csr().lists()
             entry.csr_seconds = time.perf_counter() - started
         entry.version += 1
+        entry.deltas.clear()  # a loader build is a fresh flat generation
         entry.handle = GraphHandle(name, entry.version, graph)
         with self._lock:
             self._builds += 1
@@ -188,6 +249,193 @@ class GraphRegistry:
         with self._lock:
             if hook in self._build_hooks:
                 self._build_hooks.remove(hook)
+
+    def add_mutation_hook(
+        self, hook: Callable[[MutationEvent], None]
+    ) -> None:
+        """Call ``hook(event)`` after every mutation *and* compaction.
+
+        Distinct from build hooks on purpose: a mutation flips the
+        handle to an overlay generation that workers catch up to by
+        replaying the delta chain — publishing a whole shared-memory
+        segment per batch would defeat the overlay.  Only compaction
+        (which produces a flat CSR worth sharing) additionally fires
+        the build hooks.  The service layer registers its scoped cache
+        migration here.  Hooks are best-effort, like build hooks.
+        """
+        with self._lock:
+            self._mutation_hooks.append(hook)
+
+    def remove_mutation_hook(
+        self, hook: Callable[[MutationEvent], None]
+    ) -> None:
+        """Deregister a mutation hook (no-op when absent)."""
+        with self._lock:
+            if hook in self._mutation_hooks:
+                self._mutation_hooks.remove(hook)
+
+    def _fire_mutation_hooks(self, event: MutationEvent) -> None:
+        with self._lock:
+            hooks = list(self._mutation_hooks)
+        for hook in hooks:
+            try:
+                hook(event)
+            except Exception:  # noqa: BLE001 — hooks are best-effort
+                pass
+
+    # ------------------------------------------------------------------
+    # streaming mutations (repro.live)
+    # ------------------------------------------------------------------
+    def apply(self, name: str, batch) -> MutationEvent:
+        """Apply an edge batch and atomically flip to the new generation.
+
+        ``batch`` is an :class:`~repro.graph.delta.EdgeBatch` (or a
+        plain iterable of op tuples).  The version bumps even for a
+        no-op batch — version monotonicity is what downstream cache /
+        worker state keys on, and a no-op flip migrates everything
+        (barrier ``-inf``) so it costs nothing warm.
+        """
+        if not isinstance(batch, EdgeBatch):
+            batch = EdgeBatch(tuple(batch))
+        entry = self._entry(name)
+        with entry.lock:
+            handle = entry.handle
+            if handle is None:
+                handle = self._build(name, entry)
+            new_graph, barrier, stats = apply_batch(handle.graph, batch)
+            old_version = entry.version
+            entry.version += 1
+            new_handle = GraphHandle(name, entry.version, new_graph)
+            # The atomic flip: one reference write, same as a rebuild.
+            entry.handle = new_handle
+            entry.deltas.append((entry.version, batch))
+            pending = len(entry.deltas)
+        with self._lock:
+            self._mutations += 1
+        event = MutationEvent(
+            graph=name,
+            old_version=old_version,
+            new_version=new_handle.version,
+            kind="mutate",
+            barrier=barrier,
+            handle=new_handle,
+            batch=batch,
+            stats=stats,
+            pending_deltas=pending,
+        )
+        self._fire_mutation_hooks(event)
+        self._maybe_compact(name, entry)
+        return event
+
+    def delta_chain(
+        self, name: str, from_version: int, to_version: int
+    ) -> Optional[List[EdgeBatch]]:
+        """The batches that turn generation ``from_version`` into
+        ``to_version``, or ``None`` when the chain does not cover the
+        gap (a compaction or rebuild happened in between — the caller
+        must fall back to a full attach).
+        """
+        entry = self._entry(name)
+        with entry.lock:
+            window = [
+                (v, b)
+                for v, b in entry.deltas
+                if from_version < v <= to_version
+            ]
+        versions = [v for v, _ in window]
+        if versions != list(range(from_version + 1, to_version + 1)):
+            return None
+        return [b for _, b in window]
+
+    def pending_deltas(self, name: str) -> int:
+        """Length of the delta chain since the last flat generation."""
+        entry = self._entry(name)
+        with entry.lock:
+            return len(entry.deltas)
+
+    def compact(self, name: str) -> Optional[MutationEvent]:
+        """Fold the overlay chain into a fresh flat CSR generation.
+
+        Returns ``None`` when there is nothing to fold.  The new
+        generation's content is **identical** to the current one —
+        only the representation changes — so the event carries barrier
+        ``-inf`` and every cached family migrates warm.  Build hooks
+        fire afterwards, publishing the new shared-memory segment
+        generation for the cluster tier.
+        """
+        entry = self._entry(name)
+        with entry.lock:
+            handle = entry.handle
+            if handle is None or not entry.deltas:
+                return None
+            started = time.perf_counter()
+            graph = handle.graph
+            csr = graph.csr()
+            if hasattr(csr, "materialize"):
+                flat = csr.materialize()
+                new_graph = WeightedGraph.__new__(WeightedGraph)
+                new_graph._weights = graph._weights
+                new_graph._adj_up = graph._adj_up
+                new_graph._adj_down = graph._adj_down
+                new_graph._labels = graph._labels
+                new_graph._rank_of = graph._rank_of
+                new_graph._num_edges = graph._num_edges
+                new_graph._prefix_sizes = graph._prefix_sizes
+                new_graph._csr = flat
+            else:
+                # Already flat (reweight-only chain or a re-rank
+                # rebuild): reuse the graph, just cut the chain over.
+                new_graph = graph
+            if self._prebuild_csr:
+                new_graph.csr().lists()
+            old_version = entry.version
+            entry.version += 1
+            new_handle = GraphHandle(name, entry.version, new_graph)
+            entry.handle = new_handle
+            entry.deltas.clear()
+            entry.csr_seconds = time.perf_counter() - started
+        with self._lock:
+            self._compactions += 1
+            build_hooks = list(self._build_hooks)
+        event = MutationEvent(
+            graph=name,
+            old_version=old_version,
+            new_version=new_handle.version,
+            kind="compact",
+            barrier=float("-inf"),
+            handle=new_handle,
+        )
+        self._fire_mutation_hooks(event)
+        for hook in build_hooks:
+            try:
+                hook(new_handle)
+            except Exception:  # noqa: BLE001 — hooks are best-effort
+                pass
+        return event
+
+    def _maybe_compact(self, name: str, entry: _Entry) -> None:
+        threshold = self._compact_after
+        if threshold is None:
+            return
+        with entry.lock:
+            if entry.compacting or len(entry.deltas) < threshold:
+                return
+            entry.compacting = True
+        thread = threading.Thread(
+            target=self._compact_entry,
+            args=(name, entry),
+            daemon=True,
+            name=f"repro-compact-{name}",
+        )
+        thread.start()
+
+    def _compact_entry(self, name: str, entry: _Entry) -> None:
+        try:
+            self.compact(name)
+        except Exception:  # noqa: BLE001 — background fold is best-effort
+            pass
+        finally:
+            entry.compacting = False
 
     def get(self, name: str) -> GraphHandle:
         """A handle to the built graph, building it (once) if needed."""
@@ -247,6 +495,18 @@ class GraphRegistry:
         with self._lock:
             return self._builds
 
+    @property
+    def mutations(self) -> int:
+        """Total number of mutation batches applied."""
+        with self._lock:
+            return self._mutations
+
+    @property
+    def compactions(self) -> int:
+        """Total number of delta-chain folds performed."""
+        with self._lock:
+            return self._compactions
+
     def describe(self) -> List[Dict[str, object]]:
         """One status row per registered graph (for `graphs` in the shell)."""
         rows: List[Dict[str, object]] = []
@@ -265,5 +525,6 @@ class GraphRegistry:
                 row["edges"] = handle.num_edges
                 row["build_seconds"] = entry.build_seconds
                 row["csr_seconds"] = entry.csr_seconds
+                row["pending_deltas"] = len(entry.deltas)
             rows.append(row)
         return rows

@@ -11,6 +11,7 @@ Protocol (one command per line; ``key=value`` arguments in any order)::
 
     graphs
     load NAME EDGES_FILE [WEIGHTS_FILE]
+    mutate GRAPH insert=U:V delete=U:V reweight=V:W ...
     query GRAPH [k=10] [gamma=10] [algorithm=auto] [delta=2.0] [members]
     session open GRAPH [gamma=10] [delta=2.0]
     session next SID [N]
@@ -35,12 +36,14 @@ from .metrics import ServiceMetrics
 from .model import CommunityView, QueryResult
 from .sessions import SessionManager
 
-__all__ = ["ServiceShell", "render_metrics"]
+__all__ = ["ServiceShell", "render_metrics", "parse_mutation_ops"]
 
 _HELP = """\
 commands:
   graphs                                list registered graphs
   load NAME EDGES [WEIGHTS]             register an edge-list file
+  mutate GRAPH insert=U:V delete=U:V reweight=V:W ...
+                                        apply a live edge-mutation batch
   query GRAPH [k=N] [gamma=N] [algorithm=A] [delta=F] [kernel=K]
         [cohesion=core|truss] [containment=BOOL] [members] [json]
   query {"v": 1, "graph": ...}          versioned wire-JSON query
@@ -114,6 +117,18 @@ def render_metrics(snap: Dict) -> List[str]:
                 "replica_idle_dispatches: "
                 f"{server['replica_idle_dispatches']}"
             )
+    live = snap.get("live") or {}
+    if live.get("mutations_applied") or live.get("compactions"):
+        lines.append(
+            f"mutations: applied={live['mutations_applied']} "
+            f"compactions={live['compactions']} "
+            f"invalidated={live['families_invalidated']} "
+            f"preserved={live['families_preserved']}"
+        )
+        for graph, generation in sorted(
+            (live.get("graph_generation") or {}).items()
+        ):
+            lines.append(f"generation[{graph}]: v{generation}")
     cluster = snap.get("cluster") or {}
     if cluster.get("by_worker") or cluster.get("worker_restarts"):
         for worker, count in sorted(cluster["by_worker"].items()):
@@ -131,6 +146,41 @@ def render_metrics(snap: Dict) -> List[str]:
             f"depth_peak={cluster['queue_depth_peak']}"
         )
     return lines
+
+
+def _mutation_label(text: str):
+    """Vertex labels in mutate ops: int when it parses, else string
+    (matching the loader's labelling of edge-list files)."""
+    try:
+        return int(text)
+    except ValueError:
+        return text
+
+
+def parse_mutation_ops(tokens: Sequence[str]) -> List[Tuple]:
+    """Parse ``insert=U:V`` / ``delete=U:V`` / ``reweight=V:W`` tokens
+    into label-level op tuples (the shared grammar of the shell's
+    ``mutate`` command and the ``repro mutate`` CLI)."""
+    usage = "want insert=U:V, delete=U:V, or reweight=V:W"
+    ops: List[Tuple] = []
+    for token in tokens:
+        kind, sep, value = token.partition("=")
+        left, sep2, right = value.partition(":")
+        if not sep or not sep2 or kind not in (
+            "insert", "delete", "reweight"
+        ):
+            raise QueryParameterError(f"bad mutation op {token!r} ({usage})")
+        if kind == "reweight":
+            try:
+                weight = float(right)
+            except ValueError as exc:
+                raise QueryParameterError(
+                    f"bad reweight value in {token!r}"
+                ) from exc
+            ops.append((kind, _mutation_label(left), weight))
+        else:
+            ops.append((kind, _mutation_label(left), _mutation_label(right)))
+    return ops
 
 
 def _parse_kv(tokens: List[str]) -> Tuple[Dict[str, str], List[str]]:
@@ -276,6 +326,38 @@ class ServiceShell:
         self._print(
             f"loaded {name!r} v{handle.version}: "
             f"{handle.num_vertices:,} vertices, {handle.num_edges:,} edges"
+        )
+
+    def _cmd_mutate(self, tokens: List[str]) -> None:
+        if len(tokens) < 2:
+            raise QueryParameterError(
+                "usage: mutate GRAPH insert=U:V delete=U:V reweight=V:W ..."
+            )
+        name = tokens[0]
+        ops = parse_mutation_ops(tokens[1:])
+        apply_ops = getattr(self.engine.registry, "apply", None)
+        if apply_ops is None:
+            raise QueryParameterError(
+                "this registry does not support live mutations"
+            )
+        event = apply_ops(name, ops)
+        stats = event.stats
+        changed = (
+            f"+{stats.inserted} -{stats.deleted} ~{stats.reweighted}"
+            if stats is not None
+            else "?"
+        )
+        barrier = (
+            f"{event.barrier:.8g}"
+            if event.barrier != float("-inf")
+            else "none"
+        )
+        self._print(
+            f"mutated {name!r} v{event.old_version} -> v{event.new_version}: "
+            f"{changed} (noops={stats.noops if stats else 0}) "
+            f"barrier={barrier} "
+            f"invalidated={event.invalidated} preserved={event.preserved} "
+            f"pending_deltas={event.pending_deltas}"
         )
 
     def _cmd_query(self, rest: str) -> None:
@@ -475,6 +557,7 @@ class ServiceShell:
         handler = {
             "graphs": self._cmd_graphs,
             "load": self._cmd_load,
+            "mutate": self._cmd_mutate,
             "session": self._cmd_session,
             "sessions": self._cmd_sessions,
             "metrics": self._cmd_metrics,

@@ -15,7 +15,13 @@ comparable stand-ins:
   (ground-truth communities, used by the DBLP case study);
 * :func:`planted_dense_blocks` — overlay dense blocks onto any edge list,
   raising ``γmax`` so the large-γ experiments (Figures 10, 11, 16) have
-  non-empty answers, as the real graphs' deep cores do.
+  non-empty answers, as the real graphs' deep cores do;
+* :func:`delta_stream` — a deterministic stream of edge-mutation batches
+  over an evolving model of the graph (``repro.live`` workloads): every
+  op is *effective* (inserts of absent edges, deletes of present ones,
+  reweights to fresh distinct values), so replaying the stream through
+  ``GraphRegistry.apply`` and through a scratch rebuild exercises the
+  overlay path rather than the no-op path.
 
 All generators are deterministic given ``seed`` and return
 ``(num_vertices, edge_list)`` with self-loops and duplicates removed;
@@ -38,6 +44,7 @@ __all__ = [
     "rmat",
     "planted_partition",
     "planted_dense_blocks",
+    "delta_stream",
     "build_weighted_graph",
 ]
 
@@ -271,6 +278,103 @@ def influence_pockets(
                 out.append((u, next_vertex))
                 next_vertex += 1
     return next_vertex, _dedupe(out)
+
+
+def delta_stream(
+    rng: random.Random,
+    num_vertices: int,
+    edges: Sequence[Edge],
+    weights: Sequence[float],
+    *,
+    batches: Optional[int] = None,
+    ops_per_batch: int = 4,
+    mix: Tuple[float, float, float] = (0.5, 0.3, 0.2),
+):
+    """Yield deterministic edge-mutation batches over an evolving model.
+
+    ``mix`` weighs ``(insert, delete, reweight)`` draws.  The generator
+    tracks the graph's edge set and weight assignment as the stream it
+    produced so far would leave them, so every emitted op changes the
+    graph: inserts pick currently-absent vertex pairs, deletes pick
+    present edges, and reweights draw a value no other vertex holds
+    (distinct weights are a :class:`~repro.graph.builder.GraphBuilder`
+    determinism requirement).  Yields label-level op tuples wrapped in
+    :class:`~repro.graph.delta.EdgeBatch`; infinite when ``batches`` is
+    ``None``.  All randomness flows through the caller's ``rng``.
+    """
+    from ..graph.delta import EdgeBatch
+
+    if num_vertices < 2:
+        raise ValueError("delta_stream needs at least two vertices")
+    # Swap-pop edge list for O(1) uniform delete draws.
+    edge_list: List[Edge] = []
+    edge_pos: Dict[Edge, int] = {}
+    for u, v in edges:
+        key = (u, v) if u < v else (v, u)
+        if key not in edge_pos:
+            edge_pos[key] = len(edge_list)
+            edge_list.append(key)
+    weight_of: Dict[int, float] = {
+        v: float(w) for v, w in enumerate(weights)
+    }
+    used: Set[float] = set(weight_of.values())
+    lo, hi = (min(used), max(used)) if used else (1.0, float(num_vertices))
+    p_ins, p_del, p_rew = mix
+    total = p_ins + p_del + p_rew
+    if total <= 0:
+        raise ValueError("mix must have positive total mass")
+
+    def _add(key: Edge) -> None:
+        edge_pos[key] = len(edge_list)
+        edge_list.append(key)
+
+    def _remove(key: Edge) -> None:
+        pos = edge_pos.pop(key)
+        last = edge_list.pop()
+        if last != key:
+            edge_list[pos] = last
+            edge_pos[last] = pos
+
+    produced = 0
+    while batches is None or produced < batches:
+        ops: List[Tuple] = []
+        for _ in range(ops_per_batch):
+            draw = rng.random() * total
+            if draw < p_ins + p_del and draw >= p_ins and edge_list:
+                key = edge_list[rng.randrange(len(edge_list))]
+                _remove(key)
+                ops.append(("delete", key[0], key[1]))
+                continue
+            if draw < p_ins:
+                inserted = False
+                for _ in range(64):
+                    u = rng.randrange(num_vertices)
+                    v = rng.randrange(num_vertices)
+                    if u == v:
+                        continue
+                    key = (u, v) if u < v else (v, u)
+                    if key not in edge_pos:
+                        _add(key)
+                        ops.append(("insert", key[0], key[1]))
+                        inserted = True
+                        break
+                if inserted:
+                    continue
+                # Near-complete graph: fall through to a reweight.
+            vertex = rng.randrange(num_vertices)
+            old = weight_of[vertex]
+            while True:
+                new = rng.uniform(lo * 0.5, hi * 1.5)
+                if new not in used:
+                    break
+            used.discard(old)
+            used.add(new)
+            weight_of[vertex] = new
+            ops.append(("reweight", vertex, new))
+        if not ops:
+            continue
+        produced += 1
+        yield EdgeBatch(ops=tuple(ops))
 
 
 def build_weighted_graph(

@@ -1,0 +1,656 @@
+"""repro.live — streaming edge mutations over versioned CSR overlays.
+
+Covers the whole subsystem end to end:
+
+* :class:`EdgeBatch` validation and :func:`apply_batch` semantics
+  (effective ops vs no-ops, barrier weights, the overlay fast path vs
+  the rank-shuffle rebuild);
+* :class:`DeltaCSR` byte-identity against a scratch rebuild, chaining,
+  pickling (flattens), and materialisation;
+* the differential property (satellite 1): random mutation streams
+  replayed through the overlay path and through scratch rebuilds give
+  byte-identical top-k answers across kernels and serving backends;
+* :class:`GraphRegistry` mutation surface — versioning, delta chains,
+  compaction (explicit and background), mutation hooks;
+* scoped cache invalidation: families whose influence watermark clears
+  the mutation barrier survive verbatim, the rest recompute — and both
+  always match a scratch-rebuilt oracle;
+* the cluster tier: worker delta catch-up without re-attach, the
+  no-downgrade regression (a dispatcher racing a version flip must not
+  force a worker back to a stale generation), the mixed-version mirror
+  guard, and shared-memory segment hygiene.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.api.spec import QuerySpec
+from repro.cluster import ClusterPool
+from repro.errors import GraphConstructionError, SelfLoopError
+from repro.graph.builder import graph_from_arrays
+from repro.graph.csr import CSRAdjacency, DeltaCSR
+from repro.graph.delta import (
+    EdgeBatch,
+    apply_batch,
+    apply_ops_to_model,
+)
+from repro.service.cache import CacheKey, ResultCache
+from repro.service.engine import QueryEngine
+from repro.service.metrics import ServiceMetrics
+from repro.service.registry import GraphRegistry
+from repro.workloads.generators import (
+    build_weighted_graph,
+    chung_lu,
+    delta_stream,
+    erdos_renyi,
+)
+
+needs_mp = pytest.mark.skipif(
+    not ClusterPool.available(), reason="multiprocessing unavailable"
+)
+
+try:
+    import numpy  # noqa: F401
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - numpy is in the CI image
+    HAVE_NUMPY = False
+
+KERNELS = ["python", "array"] + (["numpy"] if HAVE_NUMPY else [])
+
+
+def _distinct_weights(n: int, seed: int = 0) -> list:
+    rng = random.Random(seed)
+    weights = set()
+    while len(weights) < n:
+        weights.add(round(rng.uniform(1.0, 100.0), 6))
+    out = sorted(weights, reverse=True)
+    rng.shuffle(out)
+    return [float(w) for w in out]
+
+
+def _small_graph():
+    edges = [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 5), (1, 5)]
+    weights = [17.5, 16.25, 15.0, 13.75, 12.5, 11.25]
+    return graph_from_arrays(6, edges, weights=weights), edges, weights
+
+
+def _scratch(graph, model_edges, model_weights):
+    n = graph.num_vertices
+    return graph_from_arrays(
+        n, sorted(model_edges), weights=[model_weights[i] for i in range(n)]
+    )
+
+
+def _csr_tuple(csr):
+    up_off, up_tgt, down_off, down_tgt = csr.lists()
+    return list(up_off), list(up_tgt), list(down_off), list(down_tgt)
+
+
+# ----------------------------------------------------------------------
+# EdgeBatch + apply_batch semantics
+# ----------------------------------------------------------------------
+class TestEdgeBatch:
+    def test_validates_op_kinds(self):
+        with pytest.raises(ValueError):
+            EdgeBatch(ops=(("upsert", 0, 1),))
+
+    def test_rejects_self_loops(self):
+        with pytest.raises(SelfLoopError):
+            EdgeBatch(ops=(("insert", 3, 3),))
+
+    def test_reweight_needs_numeric_weight(self):
+        with pytest.raises((TypeError, ValueError)):
+            EdgeBatch(ops=(("reweight", 0, "heavy"),))
+
+    def test_len_iter_describe(self):
+        batch = EdgeBatch(ops=(("insert", 0, 1), ("reweight", 2, 5.5)))
+        assert len(batch) == 2
+        assert list(batch) == [("insert", 0, 1), ("reweight", 2, 5.5)]
+        assert "insert" in batch.describe()
+
+
+class TestApplyBatch:
+    def test_insert_updates_adjacency_and_stats(self):
+        graph, _, _ = _small_graph()
+        new, barrier, stats = apply_batch(
+            graph, EdgeBatch(ops=(("insert", 0, 4),))
+        )
+        assert stats.inserted == 1 and stats.noops == 0
+        assert new.num_edges == graph.num_edges + 1
+        assert new.has_edge_ranks(new.rank_of(0), new.rank_of(4))
+        assert not graph.has_edge_ranks(graph.rank_of(0), graph.rank_of(4))
+        # barrier = min endpoint weight of the touched edge
+        assert barrier == 12.5
+
+    def test_delete_and_noop_accounting(self):
+        graph, _, _ = _small_graph()
+        batch = EdgeBatch(ops=(("delete", 0, 1), ("delete", 3, 5)))
+        new, barrier, stats = apply_batch(graph, batch)
+        assert stats.deleted == 1
+        assert stats.noops == 1  # (3, 5) was never present
+        assert new.num_edges == graph.num_edges - 1
+        assert barrier == 16.25
+
+    def test_pure_noop_returns_same_graph(self):
+        graph, _, _ = _small_graph()
+        new, barrier, stats = apply_batch(
+            graph, EdgeBatch(ops=(("delete", 3, 5),))
+        )
+        assert new is graph
+        assert barrier == float("-inf")
+        assert stats.noops == 1
+
+    def test_reweight_without_rank_shuffle_shares_rows(self):
+        graph, _, _ = _small_graph()
+        graph.csr()  # materialise the base CSR so sharing is observable
+        # vertex 5: 11.25 -> 11.5 keeps the rank order intact
+        new, barrier, stats = apply_batch(
+            graph, EdgeBatch(ops=(("reweight", 5, 11.5),))
+        )
+        assert stats.reweighted == 1 and stats.rank_shuffle == 0
+        assert barrier == 11.5
+        assert new.weight(new.rank_of(5)) == 11.5
+        # adjacency untouched: the new generation shares the base CSR
+        assert new.csr() is graph.csr()
+
+    def test_reweight_rank_shuffle_rebuilds(self):
+        graph, edges, weights = _small_graph()
+        new, barrier, stats = apply_batch(
+            graph, EdgeBatch(ops=(("reweight", 5, 99.0),))
+        )
+        assert stats.rank_shuffle == 1
+        assert new.rank_of(5) == 0  # now the heaviest vertex
+        assert barrier == 99.0
+        model_w = {i: w for i, w in enumerate(weights)}
+        model_w[5] = 99.0
+        oracle = _scratch(graph, set(edges), model_w)
+        assert _csr_tuple(new.csr()) == _csr_tuple(oracle.csr())
+
+    def test_weight_collision_raises(self):
+        graph, _, _ = _small_graph()
+        with pytest.raises(GraphConstructionError):
+            apply_batch(graph, EdgeBatch(ops=(("reweight", 5, 17.5),)))
+
+    def test_last_op_wins_per_edge(self):
+        graph, _, _ = _small_graph()
+        batch = EdgeBatch(
+            ops=(("insert", 0, 4), ("delete", 0, 4), ("insert", 0, 4))
+        )
+        new, _, stats = apply_batch(graph, batch)
+        assert stats.inserted == 1 and stats.deleted == 0
+        assert new.has_edge_ranks(new.rank_of(0), new.rank_of(4))
+
+
+# ----------------------------------------------------------------------
+# DeltaCSR overlay
+# ----------------------------------------------------------------------
+class TestDeltaCSR:
+    def _mutated(self):
+        graph, edges, weights = _small_graph()
+        graph.csr()  # a base CSR must exist for the overlay to wrap
+        new, _, _ = apply_batch(
+            graph,
+            EdgeBatch(ops=(("insert", 0, 4), ("delete", 1, 2))),
+        )
+        model_e = set(edges)
+        model_w = {i: w for i, w in enumerate(weights)}
+        apply_ops_to_model(
+            model_e, model_w, (("insert", 0, 4), ("delete", 1, 2))
+        )
+        return new, _scratch(graph, model_e, model_w)
+
+    def test_overlay_is_delta_csr_and_byte_identical(self):
+        new, oracle = self._mutated()
+        csr = new.csr()
+        assert isinstance(csr, DeltaCSR)
+        assert _csr_tuple(csr) == _csr_tuple(oracle.csr())
+        assert list(csr.up_offsets) == list(oracle.csr().up_offsets)
+        assert list(csr.up_targets) == list(oracle.csr().up_targets)
+        assert list(csr.down_offsets) == list(oracle.csr().down_offsets)
+        assert list(csr.down_targets) == list(oracle.csr().down_targets)
+
+    def test_overlay_chains_and_depth(self):
+        graph, _, _ = _small_graph()
+        graph.csr()
+        g1, _, _ = apply_batch(graph, EdgeBatch(ops=(("insert", 0, 4),)))
+        g2, _, _ = apply_batch(g1, EdgeBatch(ops=(("insert", 0, 5),)))
+        csr = g2.csr()
+        assert isinstance(csr, DeltaCSR)
+        assert csr.depth == 2
+
+    def test_pickles_as_flat_csr(self):
+        import pickle
+
+        new, oracle = self._mutated()
+        revived = pickle.loads(pickle.dumps(new.csr()))
+        assert isinstance(revived, CSRAdjacency)
+        assert not isinstance(revived, DeltaCSR)
+        assert _csr_tuple(revived) == _csr_tuple(oracle.csr())
+
+    def test_materialize_matches(self):
+        new, oracle = self._mutated()
+        flat = new.csr().materialize()
+        assert isinstance(flat, CSRAdjacency)
+        assert _csr_tuple(flat) == _csr_tuple(oracle.csr())
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="numpy unavailable")
+    def test_numpy_views_match(self):
+        new, oracle = self._mutated()
+        mine = new.csr().numpy_views()
+        theirs = oracle.csr().numpy_views()
+        for a, b in zip(mine, theirs):
+            assert a.tolist() == b.tolist()
+
+
+# ----------------------------------------------------------------------
+# satellite 1: the differential property
+# ----------------------------------------------------------------------
+class TestDifferentialProperty:
+    def _stream_setup(self, seed):
+        n, edges = erdos_renyi(60, 150, seed=seed)
+        weights = _distinct_weights(n, seed=seed)
+        graph = graph_from_arrays(n, edges, weights=weights)
+        model_e = set(edges)
+        model_w = {i: w for i, w in enumerate(weights)}
+        return n, edges, weights, graph, model_e, model_w
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_overlay_matches_scratch_rebuild_per_kernel(self, kernel):
+        n, edges, weights, graph, model_e, model_w = self._stream_setup(11)
+        rng = random.Random(11)
+        for batch in delta_stream(
+            rng, n, edges, weights, batches=8, ops_per_batch=5
+        ):
+            graph, _, _ = apply_batch(graph, batch)
+            apply_ops_to_model(model_e, model_w, batch.ops)
+            oracle = _scratch(graph, model_e, model_w)
+            spec_live = QuerySpec(graph="live", gamma=2, k=5, kernel=kernel)
+            spec_oracle = QuerySpec(
+                graph="oracle", gamma=2, k=5, kernel=kernel
+            )
+            reg = GraphRegistry(preload_datasets=False)
+            live_graph, oracle_graph = graph, oracle
+            reg.register("live", lambda g=live_graph: g)
+            reg.register("oracle", lambda g=oracle_graph: g)
+            engine = QueryEngine(reg)
+            got = engine.execute(spec_live)
+            want = engine.execute(spec_oracle)
+            assert [
+                (v.keynode, v.influence, v.members) for v in got.communities
+            ] == [
+                (v.keynode, v.influence, v.members) for v in want.communities
+            ]
+
+    def test_registry_apply_matches_scratch_through_service(self):
+        n, edges, weights, graph, model_e, model_w = self._stream_setup(23)
+        registry = GraphRegistry(preload_datasets=False, compact_after=None)
+        base = graph
+        registry.register("g", lambda: base)
+        cache = ResultCache(32)
+        engine = QueryEngine(registry, cache=cache)
+        rng = random.Random(23)
+        spec = QuerySpec(graph="g", gamma=2, k=6)
+        for batch in delta_stream(
+            rng, n, edges, weights, batches=6, ops_per_batch=4
+        ):
+            registry.apply("g", batch)
+            apply_ops_to_model(model_e, model_w, batch.ops)
+            got = engine.execute(spec)
+            oreg = GraphRegistry(preload_datasets=False)
+            oracle = _scratch(graph, model_e, model_w)
+            oreg.register("g", lambda g=oracle: g)
+            want = QueryEngine(oreg).execute(spec)
+            assert [
+                (v.keynode, v.influence, v.members) for v in got.communities
+            ] == [
+                (v.keynode, v.influence, v.members) for v in want.communities
+            ]
+
+    @needs_mp
+    @pytest.mark.parametrize("start", ["fork", "spawn"])
+    def test_cluster_backends_match_scratch(self, start):
+        import multiprocessing as mp
+
+        if start not in mp.get_all_start_methods():
+            pytest.skip(f"start method {start!r} unavailable")
+        batches = 4 if start == "fork" else 2
+        n, edges = erdos_renyi(50, 120, seed=31)
+        weights = _distinct_weights(n, seed=31)
+        base = graph_from_arrays(n, edges, weights=weights)
+        model_e, model_w = set(edges), {i: w for i, w in enumerate(weights)}
+        registry = GraphRegistry(preload_datasets=False, compact_after=None)
+        registry.register("g", lambda: base)
+        cache = ResultCache(32)
+        engine = QueryEngine(registry, cache=cache)
+        pool = ClusterPool(
+            1, registry, cache=cache, start_method=start
+        )
+        spec = QuerySpec(graph="g", gamma=2, k=5)
+        rng = random.Random(31)
+        try:
+            pool.warm("g")
+            for batch in delta_stream(
+                rng, n, edges, weights, batches=batches, ops_per_batch=4
+            ):
+                registry.apply("g", batch)
+                apply_ops_to_model(model_e, model_w, batch.ops)
+                got = pool.execute(engine, spec)
+                oracle = _scratch(base, model_e, model_w)
+                oreg = GraphRegistry(preload_datasets=False)
+                oreg.register("g", lambda g=oracle: g)
+                want = QueryEngine(oreg).execute(spec)
+                assert [
+                    (v.keynode, v.influence, v.members)
+                    for v in got.communities
+                ] == [
+                    (v.keynode, v.influence, v.members)
+                    for v in want.communities
+                ]
+        finally:
+            pool.shutdown()
+
+
+# ----------------------------------------------------------------------
+# registry: versions, delta chains, compaction, hooks
+# ----------------------------------------------------------------------
+class TestRegistryLive:
+    def _registry(self, compact_after=None):
+        graph, edges, weights = _small_graph()
+        registry = GraphRegistry(
+            preload_datasets=False, compact_after=compact_after
+        )
+        registry.register("g", lambda: graph)
+        return registry, graph
+
+    def test_apply_bumps_version_and_tracks_deltas(self):
+        registry, _ = self._registry()
+        assert registry.get("g").version == 1
+        event = registry.apply("g", [("insert", 0, 4)])
+        assert (event.old_version, event.new_version) == (1, 2)
+        assert registry.get("g").version == 2
+        assert registry.pending_deltas("g") == 1
+        assert registry.mutations == 1
+
+    def test_delta_chain_contiguity(self):
+        registry, _ = self._registry()
+        registry.apply("g", [("insert", 0, 4)])
+        registry.apply("g", [("insert", 0, 5)])
+        chain = registry.delta_chain("g", 1, 3)
+        assert chain is not None and len(chain) == 2
+        assert registry.delta_chain("g", 2, 3) is not None
+        assert registry.delta_chain("g", 0, 3) is None  # v0 predates deltas
+
+    def test_compact_folds_and_clears(self):
+        registry, _ = self._registry()
+        registry.apply("g", [("insert", 0, 4)])
+        registry.apply("g", [("delete", 0, 1)])
+        before = registry.get("g")
+        assert isinstance(before.graph.csr(), DeltaCSR)
+        event = registry.compact("g")
+        assert event is not None and event.kind == "compact"
+        after = registry.get("g")
+        assert after.version == before.version + 1
+        assert registry.pending_deltas("g") == 0
+        assert registry.delta_chain("g", before.version, after.version) is None
+        flat = after.graph.csr()
+        assert isinstance(flat, CSRAdjacency) and not isinstance(
+            flat, DeltaCSR
+        )
+        assert _csr_tuple(flat) == _csr_tuple(before.graph.csr())
+        assert registry.compactions == 1
+
+    def test_compact_without_deltas_is_none(self):
+        registry, _ = self._registry()
+        assert registry.compact("g") is None
+
+    def test_background_compaction_fires(self):
+        registry, _ = self._registry(compact_after=2)
+        registry.apply("g", [("insert", 0, 4)])
+        registry.apply("g", [("insert", 0, 5)])
+        deadline = time.time() + 5.0
+        while registry.pending_deltas("g") and time.time() < deadline:
+            time.sleep(0.02)
+        assert registry.pending_deltas("g") == 0
+        assert registry.compactions == 1
+
+    def test_mutation_hooks_fire_and_build_resets(self):
+        registry, _ = self._registry()
+        events = []
+        registry.add_mutation_hook(events.append)
+        registry.apply("g", [("insert", 0, 4)])
+        assert len(events) == 1 and events[0].kind == "mutate"
+        registry.compact("g")
+        assert len(events) == 2 and events[1].kind == "compact"
+        registry.remove_mutation_hook(events.append)
+        registry.apply("g", [("insert", 1, 3)])
+        assert len(events) == 2
+
+    def test_describe_reports_pending_deltas(self):
+        registry, _ = self._registry()
+        registry.apply("g", [("insert", 0, 4)])
+        rows = {row["name"]: row for row in registry.describe()}
+        assert rows["g"]["pending_deltas"] == 1
+
+
+# ----------------------------------------------------------------------
+# scoped cache invalidation
+# ----------------------------------------------------------------------
+class TestScopedInvalidation:
+    def _stack(self):
+        graph, edges, weights = _small_graph()
+        registry = GraphRegistry(
+            preload_datasets=False, compact_after=None
+        )
+        registry.register("g", lambda: graph)
+        cache = ResultCache(32)
+        metrics = ServiceMetrics()
+        engine = QueryEngine(registry, cache=cache, metrics=metrics)
+        return registry, cache, metrics, engine
+
+    def test_low_barrier_mutation_preserves_cached_family(self):
+        registry, cache, metrics, engine = self._stack()
+        spec = QuerySpec(graph="g", gamma=1, k=2)
+        engine.execute(spec)
+        # insert far below the cached watermark (top-2 influence 15.0)
+        event = registry.apply("g", [("insert", 3, 5)])
+        assert event.preserved == 1 and event.invalidated == 0
+        result = engine.execute(spec)
+        assert result.source == "cache"
+        assert result.graph_version == event.new_version
+
+    def test_high_barrier_mutation_invalidates(self):
+        registry, cache, metrics, engine = self._stack()
+        spec = QuerySpec(graph="g", gamma=1, k=2)
+        engine.execute(spec)
+        event = registry.apply("g", [("delete", 0, 1)])
+        assert event.invalidated == 1 and event.preserved == 0
+        result = engine.execute(spec)
+        assert result.source == "cold"
+        assert result.graph_version == event.new_version
+
+    def test_preserved_answers_match_scratch_oracle(self):
+        registry, cache, metrics, engine = self._stack()
+        spec = QuerySpec(graph="g", gamma=1, k=2)
+        engine.execute(spec)
+        registry.apply("g", [("insert", 3, 5)])
+        preserved = engine.execute(spec)
+        graph, edges, weights = _small_graph()
+        model_e, model_w = set(edges), dict(enumerate(weights))
+        apply_ops_to_model(model_e, model_w, (("insert", 3, 5),))
+        oreg = GraphRegistry(preload_datasets=False)
+        oracle = _scratch(graph, model_e, model_w)
+        oreg.register("g", lambda: oracle)
+        want = QueryEngine(oreg).execute(spec)
+        assert [
+            (v.keynode, v.influence, v.members)
+            for v in preserved.communities
+        ] == [
+            (v.keynode, v.influence, v.members) for v in want.communities
+        ]
+
+    def test_compaction_preserves_everything(self):
+        registry, cache, metrics, engine = self._stack()
+        spec = QuerySpec(graph="g", gamma=1, k=2)
+        engine.execute(spec)
+        registry.apply("g", [("delete", 0, 1)])
+        engine.execute(spec)  # recompute under v2
+        event = registry.compact("g")
+        assert event.preserved >= 1 and event.invalidated == 0
+        result = engine.execute(spec)
+        assert result.source == "cache"
+        assert result.graph_version == event.new_version
+
+    def test_metrics_live_section(self):
+        registry, cache, metrics, engine = self._stack()
+        spec = QuerySpec(graph="g", gamma=1, k=2)
+        engine.execute(spec)
+        registry.apply("g", [("insert", 3, 5)])
+        registry.apply("g", [("delete", 0, 1)])
+        registry.compact("g")
+        live = metrics.snapshot()["live"]
+        assert live["mutations_applied"] == 2
+        assert live["compactions"] == 1
+        assert live["families_preserved"] >= 1
+        assert live["families_invalidated"] >= 1
+        assert live["graph_generation"]["g"] == registry.get("g").version
+
+    def test_migrate_unit_semantics(self):
+        # Direct migrate_graph exercise, no engine: watermark vs barrier.
+        from repro.service.cache import StaticEntry
+        from repro.service.model import CommunityView
+
+        cache = ResultCache(8)
+        views = (
+            CommunityView(
+                keynode=1, influence=9.0, size=2, members=(0, 1)
+            ),
+        )
+        keep = CacheKey(
+            graph="g", version=1, gamma=1, algorithm="forward",
+            delta=None, kernel=None,
+        )
+        drop = CacheKey(
+            graph="g", version=1, gamma=2, algorithm="forward",
+            delta=None, kernel=None,
+        )
+        cache.put(keep, StaticEntry(views, True))
+        low = (
+            CommunityView(
+                keynode=3, influence=2.0, size=2, members=(3, 4)
+            ),
+        )
+        cache.put(drop, StaticEntry(low, True))
+        preserved, invalidated = cache.migrate_graph(
+            "g", 1, 2, barrier=5.0
+        )
+        assert (preserved, invalidated) == (1, 1)
+        migrated = cache.get(
+            CacheKey(
+                graph="g", version=2, gamma=1, algorithm="forward",
+                delta=None, kernel=None,
+            )
+        )
+        assert migrated is not None and migrated.views == views
+        # non-identical migration can never claim completeness
+        assert migrated.complete is False
+        assert cache.get(keep) is None
+
+
+# ----------------------------------------------------------------------
+# cluster: delta pickup, no-downgrade, mirror guard, segment hygiene
+# ----------------------------------------------------------------------
+@needs_mp
+class TestClusterLive:
+    def _stack(self):
+        n, edges = chung_lu(120, avg_degree=5.0, seed=13)
+        graph = build_weighted_graph(n, edges, weights="degree", seed=13)
+        registry = GraphRegistry(
+            preload_datasets=False, compact_after=None
+        )
+        registry.register("g", lambda: graph)
+        cache = ResultCache(32)
+        metrics = ServiceMetrics()
+        engine = QueryEngine(registry, cache=cache, metrics=metrics)
+        return registry, cache, metrics, engine
+
+    def test_worker_catches_up_via_delta_chain(self):
+        registry, cache, metrics, engine = self._stack()
+        pool = ClusterPool(1, registry, cache=cache, metrics=metrics)
+        spec = QuerySpec(graph="g", gamma=2, k=4)
+        try:
+            pool.warm("g")
+            pool.execute(engine, spec)
+            registry.apply("g", [("insert", 0, 7)])
+            # force a worker dispatch (a preserved family may be served
+            # from the migrated parent mirror): ask for more than cached
+            result = pool.execute(
+                engine, QuerySpec(graph="g", gamma=2, k=12)
+            )
+            assert result.graph_version == registry.get("g").version
+            attaches = metrics.snapshot()["cluster"]["segment_attaches"]
+            assert attaches.get("delta", 0) >= 1
+        finally:
+            pool.shutdown()
+
+    def test_no_downgrade_on_stale_handle(self):
+        registry, cache, metrics, engine = self._stack()
+        pool = ClusterPool(1, registry, cache=cache, metrics=metrics)
+        spec = QuerySpec(graph="g", gamma=2, k=4)
+        try:
+            pool.warm("g")
+            stale = registry.get("g")  # v1 handle, held across the flip
+            pool.execute(engine, spec)
+            registry.apply("g", [("insert", 0, 7)])
+            pool.execute(engine, QuerySpec(graph="g", gamma=2, k=12))
+            worker = pool._workers[0]
+            current = worker.attached["g"]
+            assert current == registry.get("g").version
+            with worker.lock:
+                pool._ensure_attached(worker, stale)
+            # the racing stale-handle dispatcher must not win a downgrade
+            assert worker.attached["g"] == current
+        finally:
+            pool.shutdown()
+
+    def test_mirror_rejects_mixed_version_results(self):
+        from dataclasses import replace
+
+        registry, cache, metrics, engine = self._stack()
+        pool = ClusterPool(1, registry, cache=cache, metrics=metrics)
+        spec = QuerySpec(graph="g", gamma=2, k=4)
+        try:
+            pool.warm("g")
+            result = pool.execute(engine, spec)
+            handle = registry.get("g")
+            stale_key = CacheKey.for_spec(spec, handle.version + 1)
+            newer = replace(result, graph_version=handle.version)
+            before = cache.get(stale_key)
+            pool._mirror(stale_key, handle, newer)
+            assert cache.get(stale_key) is before is None
+        finally:
+            pool.shutdown()
+
+    def test_no_segment_leaks_across_mutations_and_compaction(self):
+        import glob
+
+        before = set(glob.glob("/dev/shm/repro-csr*"))
+        registry, cache, metrics, engine = self._stack()
+        pool = ClusterPool(2, registry, cache=cache, metrics=metrics)
+        spec = QuerySpec(graph="g", gamma=2, k=4)
+        try:
+            pool.warm("g")
+            pool.execute(engine, spec)
+            for i in range(3):
+                registry.apply("g", [("insert", 0, 20 + i)])
+                pool.execute(engine, QuerySpec(graph="g", gamma=2, k=8 + i))
+            registry.compact("g")
+            pool.execute(engine, QuerySpec(graph="g", gamma=2, k=16))
+        finally:
+            pool.shutdown()
+        after = set(glob.glob("/dev/shm/repro-csr*"))
+        assert after <= before
