@@ -137,6 +137,12 @@ class QuerySpec:
     mode:
         Response rendering over the wire: ``text`` lines or one
         ``json`` document.  Not part of the query identity.
+    tenant:
+        Optional caller identity for per-tenant admission control.
+        Absent by default and **never** emitted on the wire when unset,
+        so pre-tenant recorded exchanges stay byte-identical.  Like
+        ``k``/``mode`` it is not part of the query identity: two
+        tenants asking for the same family share one cache entry.
     """
 
     graph: str
@@ -148,6 +154,7 @@ class QuerySpec:
     containment: bool = True
     cohesion: str = "core"
     mode: str = "text"
+    tenant: Optional[str] = None
 
     def __post_init__(self) -> None:
         self.validate()
@@ -182,6 +189,8 @@ class QuerySpec:
             raise QueryParameterError(
                 f"unknown mode {self.mode!r}; choose from {', '.join(MODES)}"
             )
+        if self.tenant is not None and not self.tenant:
+            raise QueryParameterError("tenant must be non-empty when set")
         if self.cohesion == "truss":
             if self.algorithm not in (AUTO, "truss"):
                 raise QueryParameterError(
@@ -252,8 +261,13 @@ class QuerySpec:
 
     # ------------------------------------------------------------------
     def to_wire_dict(self) -> Dict[str, Any]:
-        """The versioned wire projection (plain JSON types only)."""
-        return {
+        """The versioned wire projection (plain JSON types only).
+
+        ``tenant`` rides along only when set: the key is an additive v1
+        extension (old decoders ignore it), and omitting it when unset
+        keeps every pre-tenant recorded exchange byte-identical.
+        """
+        out: Dict[str, Any] = {
             "v": WIRE_VERSION,
             "graph": self.graph,
             "gamma": self.gamma,
@@ -265,6 +279,9 @@ class QuerySpec:
             "cohesion": self.cohesion,
             "mode": self.mode,
         }
+        if self.tenant is not None:
+            out["tenant"] = self.tenant
+        return out
 
     def to_wire(self) -> str:
         """Deterministic JSON encoding (sorted keys, no whitespace)."""
@@ -306,6 +323,7 @@ class QuerySpec:
         if "graph" not in payload:
             raise QueryParameterError("wire payload is missing 'graph'")
         kernel = payload.get("kernel")
+        tenant = payload.get("tenant")
         try:
             return cls(
                 graph=str(payload["graph"]),
@@ -317,6 +335,7 @@ class QuerySpec:
                 containment=bool(payload.get("containment", True)),
                 cohesion=str(payload.get("cohesion", "core")),
                 mode=str(payload.get("mode", "text")),
+                tenant=None if tenant is None else str(tenant),
             )
         except (TypeError, ValueError) as exc:
             raise QueryParameterError(
@@ -330,7 +349,8 @@ class QuerySpec:
 
 _USAGE = (
     "usage: query GRAPH [k=N] [gamma=N] [algorithm=A] [delta=F] "
-    "[kernel=K] [cohesion=core|truss] [containment=BOOL] [members] [json]"
+    "[kernel=K] [cohesion=core|truss] [containment=BOOL] [tenant=T] "
+    "[members] [json]"
 )
 
 _KV_KEYS = (
@@ -342,6 +362,7 @@ _KV_KEYS = (
     "cohesion",
     "containment",
     "mode",
+    "tenant",
 )
 _FLAG_WORDS = ("members", "json", "nc")
 
@@ -399,6 +420,7 @@ def parse_spec_tokens(tokens: Sequence[str]) -> Tuple[QuerySpec, bool]:
             containment=containment,
             cohesion=kv.get("cohesion", "core"),
             mode=mode,
+            tenant=kv.get("tenant"),
         )
     except ValueError as exc:
         raise QueryParameterError(f"bad query argument: {exc}") from exc

@@ -1,0 +1,37 @@
+"""repro.control — the adaptive control plane (ISSUE 10).
+
+Closes the feedback loop the observability tiers opened: windowed
+signals out of :class:`~repro.obs.history.MetricsHistory`
+(:mod:`~repro.control.signals`), pure decision policies with hysteresis
+(:mod:`~repro.control.policies`), a periodic controller actuating the
+serving tiers' new runtime-mutation surfaces
+(:mod:`~repro.control.controller`), and request-path per-tenant
+admission control (:mod:`~repro.control.admission`).  Off by default:
+``repro serve --adaptive`` or ``ReproServer(controller=...)`` opts in.
+"""
+
+from .admission import AdmissionController, TokenBucket
+from .controller import AdaptiveController, default_policies
+from .policies import (
+    BatchWindowPolicy,
+    ControlState,
+    Decision,
+    PlacementPolicy,
+    ReplicaPolicy,
+)
+from .signals import ControlSignals, FamilySignal, extract_signals
+
+__all__ = [
+    "AdaptiveController",
+    "AdmissionController",
+    "TokenBucket",
+    "BatchWindowPolicy",
+    "ReplicaPolicy",
+    "PlacementPolicy",
+    "ControlState",
+    "Decision",
+    "ControlSignals",
+    "FamilySignal",
+    "extract_signals",
+    "default_policies",
+]

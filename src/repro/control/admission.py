@@ -1,0 +1,177 @@
+"""Per-tenant admission control: token buckets + saturation backpressure.
+
+The request-path half of the control plane.  Unlike the periodic
+policies, admission runs synchronously inside the transport's query
+path, *before* the scheduler accepts the work — rejecting after
+queueing would spend the very capacity the rejection protects.
+
+Two independent gates, each raising the typed
+:class:`~repro.errors.AdmissionRejected` (the serving layer's 429):
+
+* **tenant quota** — a classic token bucket per tenant: ``rate`` tokens
+  per second refill, ``burst`` capacity.  Buckets exist only for
+  tenants with a configured quota (plus an optional ``default_rate``
+  applied to any *named* tenant); anonymous traffic (no ``tenant=`` on
+  the spec) is never quota-limited — billing identity is opt-in.
+* **saturation backpressure** — when the scheduler's pending depth
+  reaches ``max_queue_depth``, everyone is refused until the queue
+  drains below it.  A saturated server serving 429s in microseconds
+  beats one serving timeouts in seconds.
+
+Rejections are counted per tenant (``"-"`` for anonymous) both locally
+and in the shared :class:`~repro.service.metrics.ServiceMetrics`, which
+is where the ``repro_admission_rejected_total{tenant}`` Prometheus
+series and the dashboard tile read from.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+from ..errors import AdmissionRejected
+
+__all__ = ["TokenBucket", "AdmissionController"]
+
+
+class TokenBucket:
+    """A standard token bucket: ``rate`` tokens/s refill, ``burst`` cap.
+
+    Time is injected by the owner (one clock for every bucket), so tests
+    drive refill deterministically with a fake clock.
+    """
+
+    __slots__ = ("rate", "burst", "tokens", "updated")
+
+    def __init__(self, rate: float, burst: float) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if burst < 1:
+            raise ValueError("burst must be at least 1")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.updated: Optional[float] = None
+
+    def try_take(self, now: float) -> bool:
+        """Consume one token if available; refill lazily from ``now``."""
+        if self.updated is not None and now > self.updated:
+            self.tokens = min(
+                self.burst, self.tokens + (now - self.updated) * self.rate
+            )
+        self.updated = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+class AdmissionController:
+    """Decide, per query, whether the server should accept the work.
+
+    Parameters
+    ----------
+    max_queue_depth:
+        Saturation threshold over the scheduler's pending depth;
+        ``None`` disables backpressure.
+    default_rate / default_burst:
+        Quota applied to named tenants without an explicit
+        :meth:`set_quota` entry; ``None`` leaves them unlimited.
+    metrics:
+        Shared sink for per-tenant rejection counters.
+    clock:
+        Injectable monotonic time source (tests use a fake).
+    """
+
+    def __init__(
+        self,
+        *,
+        max_queue_depth: Optional[int] = None,
+        default_rate: Optional[float] = None,
+        default_burst: Optional[float] = None,
+        metrics=None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be at least 1")
+        self.max_queue_depth = max_queue_depth
+        self.default_rate = default_rate
+        self.default_burst = default_burst
+        self.metrics = metrics
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._quotas: Dict[str, Dict[str, float]] = {}
+        self.rejected: Dict[str, int] = {}
+        self.admitted = 0
+
+    # ------------------------------------------------------------------
+    def set_quota(
+        self, tenant: str, rate: float, burst: Optional[float] = None
+    ) -> None:
+        """Give ``tenant`` a token bucket: ``rate``/s, ``burst`` cap
+        (defaults to ``max(rate, 1)`` — at least one query always fits
+        a full bucket)."""
+        if not tenant:
+            raise ValueError("tenant must be non-empty")
+        cap = burst if burst is not None else max(rate, 1.0)
+        with self._lock:
+            self._buckets[tenant] = TokenBucket(rate, cap)
+            self._quotas[tenant] = {"rate": float(rate), "burst": float(cap)}
+
+    def _bucket_for(self, tenant: str) -> Optional[TokenBucket]:
+        bucket = self._buckets.get(tenant)
+        if bucket is None and self.default_rate is not None:
+            bucket = TokenBucket(
+                self.default_rate,
+                (
+                    self.default_burst
+                    if self.default_burst is not None
+                    else max(self.default_rate, 1.0)
+                ),
+            )
+            self._buckets[tenant] = bucket
+        return bucket
+
+    def _reject(self, tenant: Optional[str], reason: str, detail: str):
+        label = tenant if tenant else "-"
+        self.rejected[label] = self.rejected.get(label, 0) + 1
+        if self.metrics is not None:
+            self.metrics.observe_admission_rejected(tenant)
+        raise AdmissionRejected(reason, tenant=tenant, detail=detail)
+
+    def admit(self, tenant: Optional[str], queue_depth: int = 0) -> None:
+        """Raise :class:`AdmissionRejected` unless this query may run."""
+        with self._lock:
+            if (
+                self.max_queue_depth is not None
+                and queue_depth >= self.max_queue_depth
+            ):
+                self._reject(
+                    tenant,
+                    "saturated",
+                    f"queue depth {queue_depth} at the "
+                    f"{self.max_queue_depth} backpressure threshold",
+                )
+            if tenant:
+                bucket = self._bucket_for(tenant)
+                if bucket is not None and not bucket.try_take(self.clock()):
+                    self._reject(
+                        tenant,
+                        "quota",
+                        f"over its {bucket.rate:g}/s query quota",
+                    )
+            self.admitted += 1
+
+    # ------------------------------------------------------------------
+    def describe(self) -> Dict[str, object]:
+        """The admission panel's document (quotas + rejection counts)."""
+        with self._lock:
+            return {
+                "max_queue_depth": self.max_queue_depth,
+                "default_rate": self.default_rate,
+                "quotas": {k: dict(v) for k, v in self._quotas.items()},
+                "admitted": self.admitted,
+                "rejected": dict(self.rejected),
+            }

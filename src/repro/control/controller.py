@@ -1,0 +1,350 @@
+"""AdaptiveController — the periodic loop closing the feedback circuit.
+
+One background thread (daemon, ``MetricsHistory``-style lifecycle) that
+each ``interval_s``:
+
+1. reads the last ``window_s`` of collector ticks and derives
+   :class:`~repro.control.signals.ControlSignals` (no ticks yet → no
+   decisions — evidence first);
+2. assembles a fresh :class:`~repro.control.policies.ControlState` from
+   the *live* scheduler and pool, so policies see each other's effects;
+3. collects every policy's proposals, drops any that would re-touch a
+   ``(policy, target)`` pair inside the min-dwell period, and applies
+   the rest through the runtime-mutation actuators
+   (``set_batch_window`` / ``add_replica`` / ``remove_replica`` /
+   ``reassign_family``);
+4. appends each applied (or failed) decision to a bounded audit ring —
+   the document behind ``/control.json`` and the dashboard's controller
+   panel — and bumps ``repro_control_decisions_total{policy}``.
+
+Construction is **late-binding**: ``ReproServer(controller=...)`` needs
+a controller built before the server's scheduler and pool exist, so all
+component references are optional at construction and the server fills
+the gaps via :meth:`bind` during its own setup.  Binding to a
+:class:`~repro.cluster.pool.ClusterPool` also installs the restart
+placement hook: a replaced worker's sticky families are un-stuck so the
+next dispatch re-places them least-loaded (re-seeded warm from the
+parent mirror) instead of marching back to the same index.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from .admission import AdmissionController
+from .policies import (
+    BatchWindowPolicy,
+    ControlState,
+    Decision,
+    PlacementPolicy,
+    ReplicaPolicy,
+)
+from .signals import extract_signals
+
+__all__ = ["AdaptiveController"]
+
+
+def default_policies() -> List[object]:
+    return [BatchWindowPolicy(), ReplicaPolicy(), PlacementPolicy()]
+
+
+class AdaptiveController:
+    """Drive the policies against a live server's scheduler and pool.
+
+    Parameters
+    ----------
+    history / scheduler / pool / metrics:
+        The components the loop reads and actuates; any may be ``None``
+        here and supplied later via :meth:`bind`.
+    admission:
+        Optional request-path :class:`AdmissionController`; exposed via
+        :meth:`admit` so the transport has one gate to call.
+    policies:
+        The periodic policy objects; defaults to one of each.
+    interval_s / window_s / dwell_s:
+        Loop period, signal window, and per-``(policy, target)``
+        minimum seconds between applied decisions.
+    audit_capacity:
+        Bound on the decision ring (oldest entries fall out first).
+    clock:
+        Injectable time source for tests.
+    """
+
+    def __init__(
+        self,
+        *,
+        history=None,
+        scheduler=None,
+        pool=None,
+        metrics=None,
+        admission: Optional[AdmissionController] = None,
+        policies: Optional[List[object]] = None,
+        interval_s: float = 1.0,
+        window_s: float = 10.0,
+        dwell_s: float = 5.0,
+        audit_capacity: int = 128,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        if window_s < interval_s:
+            raise ValueError("window_s must cover at least one interval")
+        if audit_capacity < 1:
+            raise ValueError("audit_capacity must be at least 1")
+        self.history = history
+        self.scheduler = scheduler
+        self.pool = pool
+        self.metrics = metrics
+        self.admission = admission
+        self.policies = (
+            list(policies) if policies is not None else default_policies()
+        )
+        self.interval_s = interval_s
+        self.window_s = window_s
+        self.dwell_s = dwell_s
+        self.clock = clock
+        self._audit: Deque[Dict[str, object]] = deque(maxlen=audit_capacity)
+        self._audit_lock = threading.Lock()
+        self._last_applied: Dict[Tuple[str, str], float] = {}
+        self.ticks = 0
+        self.decisions_applied = 0
+        self.decisions_failed = 0
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+
+    # ------------------------------------------------------------------
+    # binding + lifecycle
+    # ------------------------------------------------------------------
+    def bind(
+        self, *, history=None, scheduler=None, pool=None, metrics=None
+    ) -> "AdaptiveController":
+        """Fill in components the constructor didn't have (server boot).
+
+        Only ``None`` slots are filled — a caller-configured component
+        wins over the server's default.  Binding a pool that supports
+        restart hooks routes dead-worker restarts through the placement
+        policy (the sticky-forever fix).
+        """
+        if history is not None and self.history is None:
+            self.history = history
+        if scheduler is not None and self.scheduler is None:
+            self.scheduler = scheduler
+        if metrics is not None and self.metrics is None:
+            self.metrics = metrics
+        if pool is not None and self.pool is None:
+            self.pool = pool
+        if self.pool is not None and hasattr(self.pool, "placement_hook"):
+            self.pool.placement_hook = self._on_worker_restart
+        if self.admission is not None and self.admission.metrics is None:
+            self.admission.metrics = self.metrics
+        return self
+
+    def start(self) -> None:
+        """Start the control loop thread (idempotent)."""
+        if self._thread is not None and self._thread.is_alive():
+            return
+        if self.history is None:
+            raise RuntimeError(
+                "controller needs a MetricsHistory before starting "
+                "(bind() it or construct with history=...)"
+            )
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-control", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop the loop and join the thread (idempotent)."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None and thread.is_alive():
+            thread.join(timeout=5.0)
+        self._thread = None
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                self.tick()
+            except Exception:  # noqa: BLE001 — the loop must survive
+                with self._audit_lock:
+                    self.decisions_failed += 1
+
+    # ------------------------------------------------------------------
+    # one control cycle
+    # ------------------------------------------------------------------
+    def tick(self) -> List[Decision]:
+        """Run one observe → decide → actuate → audit cycle."""
+        self.ticks += 1
+        if self.history is None:
+            return []
+        signals = extract_signals(self.history.ticks(self.window_s))
+        if signals is None:
+            return []
+        state = self._state()
+        now = self.clock()
+        applied: List[Decision] = []
+        for policy in self.policies:
+            for decision in policy.propose(signals, state):
+                key = (decision.policy, decision.target)
+                last = self._last_applied.get(key)
+                if last is not None and now - last < self.dwell_s:
+                    continue
+                if self._apply(decision, now):
+                    self._last_applied[key] = now
+                    applied.append(decision)
+                    # Refresh so later policies in the same tick see the
+                    # change (e.g. the replica map a reassign relies on).
+                    state = self._state()
+        return applied
+
+    def _state(self) -> ControlState:
+        scheduler = self.scheduler
+        pool = self.pool
+        state = ControlState()
+        if scheduler is not None:
+            state.window_s = scheduler.window_s
+        if pool is not None:
+            state.num_shards = getattr(pool, "num_shards", 1)
+            state.backend = getattr(pool, "backend", "thread")
+            replication_map = getattr(pool, "replication_map", None)
+            if replication_map is not None:
+                state.replication = replication_map()
+            depths = getattr(pool, "depths", None)
+            if depths is not None:
+                state.depths = list(depths())
+            placements = getattr(pool, "placements", None)
+            if placements is not None:
+                state.placements = placements()
+        return state
+
+    def _apply(self, decision: Decision, now: float) -> bool:
+        """Actuate one decision; audit the outcome either way."""
+        try:
+            if decision.action == "set_window":
+                if self.scheduler is None:
+                    return False
+                self.scheduler.set_batch_window(float(decision.after))
+            elif decision.action == "add_replica":
+                if self.pool is None:
+                    return False
+                self.pool.add_replica(decision.target)
+            elif decision.action == "remove_replica":
+                if self.pool is None:
+                    return False
+                self.pool.remove_replica(decision.target)
+            elif decision.action == "reassign":
+                reassign = getattr(self.pool, "reassign_family", None)
+                if reassign is None:
+                    return False  # thread pools have no sticky placement
+                reassign(decision.target)
+            else:
+                return False
+        except Exception as exc:  # noqa: BLE001 — audit, don't crash
+            self._record(decision, now, error=type(exc).__name__)
+            return False
+        self._record(decision, now)
+        if self.metrics is not None:
+            self.metrics.observe_control_decision(decision.policy)
+        return True
+
+    def _record(
+        self, decision: Decision, now: float, error: Optional[str] = None
+    ) -> None:
+        entry = decision.to_dict()
+        entry["t"] = now
+        if error is not None:
+            entry["error"] = error
+        with self._audit_lock:
+            if error is None:
+                self.decisions_applied += 1
+            else:
+                self.decisions_failed += 1
+            self._audit.append(entry)
+
+    # ------------------------------------------------------------------
+    # request path + restart hook
+    # ------------------------------------------------------------------
+    def admit(self, tenant: Optional[str], queue_depth: int = 0) -> None:
+        """The transport's one admission gate (no-op without a
+        configured :class:`AdmissionController`)."""
+        if self.admission is not None:
+            self.admission.admit(tenant, queue_depth)
+
+    def _on_worker_restart(self, index: int) -> None:
+        """Placement-policy routing for dead-worker restarts.
+
+        The restarted worker lost every cursor it held; un-sticking its
+        families lets their next dispatch re-place least-loaded (and
+        re-seed warm from the parent mirror) instead of returning to
+        the same index by default.
+        """
+        pool = self.pool
+        unstick = getattr(pool, "unstick_worker", None)
+        if unstick is None:
+            return
+        dropped = unstick(index)
+        self._record(
+            Decision(
+                policy="placement",
+                action="unstick_worker",
+                target=f"worker:{index}",
+                before=len(dropped),
+                after=0,
+                reason=(
+                    "worker restarted; its families re-place "
+                    "least-loaded on next dispatch"
+                ),
+            ),
+            self.clock(),
+        )
+        if self.metrics is not None:
+            self.metrics.observe_control_decision("placement")
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def audit(self) -> List[Dict[str, object]]:
+        """The decision ring, oldest first (bounded, defensive copy)."""
+        with self._audit_lock:
+            return [dict(entry) for entry in self._audit]
+
+    def document(self) -> Dict[str, object]:
+        """The ``/control.json`` document (also the dashboard panel's)."""
+        scheduler = self.scheduler
+        pool = self.pool
+        doc: Dict[str, object] = {
+            "running": self.running,
+            "interval_s": self.interval_s,
+            "window_s": self.window_s,
+            "dwell_s": self.dwell_s,
+            "policies": [
+                getattr(policy, "name", type(policy).__name__)
+                for policy in self.policies
+            ],
+            "ticks": self.ticks,
+            "decisions_applied": self.decisions_applied,
+            "decisions_failed": self.decisions_failed,
+            "decisions": self.audit(),
+        }
+        if scheduler is not None:
+            doc["batch_window_ms"] = scheduler.window_s * 1000.0
+        if pool is not None:
+            doc["backend"] = getattr(pool, "backend", "thread")
+            replication_map = getattr(pool, "replication_map", None)
+            if replication_map is not None:
+                doc["replication"] = replication_map()
+            placements = getattr(pool, "placements", None)
+            if placements is not None:
+                doc["placements"] = placements()
+        doc["admission"] = (
+            self.admission.describe() if self.admission is not None else None
+        )
+        return doc

@@ -1,0 +1,341 @@
+"""Control policies — pure decision functions over windowed signals.
+
+Each policy is a small, stateless-between-calls object with one method,
+``propose(signals, state)``, returning :class:`Decision` records.  The
+controller is what *applies* decisions (and enforces min-dwell between
+them); policies only look at evidence and say what they would change.
+Flap resistance is designed in twice over:
+
+* **hysteresis** — every policy's grow and shrink conditions are
+  separated by a dead band (e.g. the batch window widens at queue
+  depth >= ``widen_depth`` but narrows only at <= ``narrow_depth``),
+  so a signal oscillating inside the band produces no decisions at all;
+* **min-dwell** — the controller refuses to re-touch the same
+  ``(policy, target)`` pair within its dwell period, bounding the rate
+  of change even when the evidence genuinely swings.
+
+The three periodic policies actuate the surfaces added for this
+subsystem: :meth:`BatchScheduler.set_batch_window`,
+:meth:`ShardPool.add_replica` / :meth:`remove_replica` (and the
+ClusterPool equivalents), and :meth:`ClusterPool.reassign_family`.
+Admission control is *not* a periodic policy — it sits on the request
+path (:mod:`repro.control.admission`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .signals import ControlSignals
+
+__all__ = [
+    "Decision",
+    "ControlState",
+    "BatchWindowPolicy",
+    "ReplicaPolicy",
+    "PlacementPolicy",
+]
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One proposed (and, once applied, audited) control action."""
+
+    policy: str
+    #: Actuator verb: ``set_window`` / ``add_replica`` /
+    #: ``remove_replica`` / ``reassign`` / ``unstick_worker``.
+    action: str
+    #: What the action touches: the scheduler, a graph name, a family
+    #: label, or a worker tag — the dwell key is ``(policy, target)``.
+    target: str
+    before: object
+    after: object
+    reason: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "policy": self.policy,
+            "action": self.action,
+            "target": self.target,
+            "before": self.before,
+            "after": self.after,
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class ControlState:
+    """The actuators' current configuration, as policies see it.
+
+    Assembled fresh by the controller each tick from the live scheduler
+    and pool, so policies always reason against what is actually in
+    effect (including each other's past actions), never a stale copy.
+    """
+
+    #: Current scheduler collection pause, seconds.
+    window_s: float = 0.0
+    #: Pool capacity (shards or worker processes).
+    num_shards: int = 1
+    #: Explicit replication entries, ``{graph: copies}``.
+    replication: Dict[str, int] = field(default_factory=dict)
+    #: In-flight depth per pool slot.
+    depths: List[int] = field(default_factory=list)
+    #: Sticky family placements ``{label: worker tag}`` (cluster only).
+    placements: Dict[str, str] = field(default_factory=dict)
+    backend: str = "thread"
+
+    def copies_of(self, graph: str) -> int:
+        return self.replication.get(graph, 1)
+
+
+class BatchWindowPolicy:
+    """Tune the scheduler's collection pause from observed pressure.
+
+    Widening only pays when concurrent same-family traffic exists to
+    coalesce: the condition demands sustained queue pressure *and* a
+    coalesce rate that proves batches are actually forming.  Narrowing
+    triggers whenever the queue is calm (the window is then pure added
+    latency) or coalescing has stopped paying.  The asymmetric
+    thresholds (``widen_depth`` > ``narrow_depth``, ``widen_coalesce`` >
+    ``narrow_coalesce``) are the hysteresis band.
+    """
+
+    name = "batch_window"
+
+    def __init__(
+        self,
+        step_s: float = 0.005,
+        max_window_s: float = 0.025,
+        widen_depth: int = 4,
+        narrow_depth: int = 1,
+        widen_coalesce: float = 0.3,
+        narrow_coalesce: float = 0.1,
+    ) -> None:
+        if not 0 < step_s <= max_window_s:
+            raise ValueError("need 0 < step_s <= max_window_s")
+        if narrow_depth >= widen_depth:
+            raise ValueError("hysteresis requires narrow_depth < widen_depth")
+        self.step_s = step_s
+        self.max_window_s = max_window_s
+        self.widen_depth = widen_depth
+        self.narrow_depth = narrow_depth
+        self.widen_coalesce = widen_coalesce
+        self.narrow_coalesce = narrow_coalesce
+
+    def propose(
+        self, signals: ControlSignals, state: ControlState
+    ) -> List[Decision]:
+        window = state.window_s
+        if (
+            signals.queue_depth_peak >= self.widen_depth
+            and signals.coalesce_rate >= self.widen_coalesce
+            and window < self.max_window_s
+        ):
+            after = min(self.max_window_s, window + self.step_s)
+            return [
+                Decision(
+                    policy=self.name,
+                    action="set_window",
+                    target="scheduler",
+                    before=window,
+                    after=after,
+                    reason=(
+                        f"queue peak {signals.queue_depth_peak} >= "
+                        f"{self.widen_depth} with coalesce rate "
+                        f"{signals.coalesce_rate:.2f} — widen to deepen "
+                        "batches"
+                    ),
+                )
+            ]
+        if window > 0 and (
+            signals.queue_depth_peak <= self.narrow_depth
+            or signals.coalesce_rate < self.narrow_coalesce
+        ):
+            after = max(0.0, window - self.step_s)
+            why = (
+                f"queue peak {signals.queue_depth_peak} <= "
+                f"{self.narrow_depth}"
+                if signals.queue_depth_peak <= self.narrow_depth
+                else f"coalesce rate {signals.coalesce_rate:.2f} < "
+                f"{self.narrow_coalesce}"
+            )
+            return [
+                Decision(
+                    policy=self.name,
+                    action="set_window",
+                    target="scheduler",
+                    before=window,
+                    after=after,
+                    reason=f"{why} — window is pure added latency",
+                )
+            ]
+        return []
+
+
+class ReplicaPolicy:
+    """Scale each graph's replica fan-out with its share of demand.
+
+    The target copy count for a graph is its windowed share of queries
+    scaled to the pool size (a graph taking ~all the traffic deserves
+    ~all the slots as candidates).  Growth additionally requires real
+    pressure — queued work at the scheduler or a deep pool slot — so a
+    skewed but under-capacity workload is left alone.  Shrink requires
+    the share to fall *well below* what the current copies imply
+    (``shrink_share``), the hysteresis that keeps a borderline graph
+    from oscillating.  One step per decision; the controller's dwell
+    sets the slew rate.
+    """
+
+    name = "replicas"
+
+    def __init__(
+        self,
+        grow_depth: int = 2,
+        shrink_share: float = 0.25,
+        min_window_queries: int = 8,
+    ) -> None:
+        self.grow_depth = grow_depth
+        self.shrink_share = shrink_share
+        self.min_window_queries = min_window_queries
+
+    def propose(
+        self, signals: ControlSignals, state: ControlState
+    ) -> List[Decision]:
+        demand = signals.graph_demand()
+        total = sum(demand.values())
+        if total < self.min_window_queries:
+            return []
+        decisions: List[Decision] = []
+        pressured = signals.queue_depth_peak >= self.grow_depth or any(
+            depth >= self.grow_depth for depth in state.depths
+        )
+        for graph, queries in sorted(demand.items()):
+            share = queries / total
+            target = max(
+                1, min(state.num_shards, round(share * state.num_shards))
+            )
+            copies = state.copies_of(graph)
+            if copies < target and pressured:
+                decisions.append(
+                    Decision(
+                        policy=self.name,
+                        action="add_replica",
+                        target=graph,
+                        before=copies,
+                        after=copies + 1,
+                        reason=(
+                            f"{share:.0%} of windowed demand wants "
+                            f"{target} cop{'ies' if target != 1 else 'y'} "
+                            f"(has {copies}) under queue pressure"
+                        ),
+                    )
+                )
+        # Shrink cooled graphs: any explicit entry whose share fell well
+        # below what even one fewer copy would imply.
+        for graph, copies in sorted(state.replication.items()):
+            if copies <= 1:
+                continue
+            share = demand.get(graph, 0) / total
+            implied = copies / state.num_shards if state.num_shards else 1.0
+            if share < implied * self.shrink_share:
+                decisions.append(
+                    Decision(
+                        policy=self.name,
+                        action="remove_replica",
+                        target=graph,
+                        before=copies,
+                        after=copies - 1,
+                        reason=(
+                            f"share fell to {share:.0%} "
+                            f"(< {self.shrink_share:.0%} of the "
+                            f"{implied:.0%} its {copies} copies imply)"
+                        ),
+                    )
+                )
+        return decisions
+
+
+class PlacementPolicy:
+    """Migrate stuck families whose placement has gone bad.
+
+    Two independent triggers, both producing ``reassign`` decisions the
+    controller feeds to :meth:`ClusterPool.reassign_family` (a no-op
+    surface on thread pools, where placement is stateless):
+
+    * **p95 regression** — the family's p95 grew past
+      ``regression_factor`` times its value at the window's start, on
+      enough windowed queries to mean something.  This is the family
+      the ISSUE names: parked on a worker that has since gone hot.
+    * **depth imbalance** — the family sits on a worker whose in-flight
+      depth exceeds the least-loaded worker's by ``imbalance_depth``.
+      This catches pre-replication pile-ups (every placement made while
+      fan-out was 1 stays stuck after the fan-out grows; regression
+      alone can be slow to indict them).
+
+    At most ``max_moves`` migrations per tick — re-placement has a
+    re-seed cost, and moving everything at once just moves the pile.
+    """
+
+    name = "placement"
+
+    def __init__(
+        self,
+        regression_factor: float = 2.0,
+        min_window_queries: int = 4,
+        imbalance_depth: int = 3,
+        max_moves: int = 2,
+    ) -> None:
+        if regression_factor <= 1.0:
+            raise ValueError("regression_factor must exceed 1")
+        self.regression_factor = regression_factor
+        self.min_window_queries = min_window_queries
+        self.imbalance_depth = imbalance_depth
+        self.max_moves = max_moves
+
+    def propose(
+        self, signals: ControlSignals, state: ControlState
+    ) -> List[Decision]:
+        if not state.placements:
+            return []
+        decisions: List[Decision] = []
+        min_depth = min(state.depths) if state.depths else 0
+        hot_workers = {
+            f"worker:{index}"
+            for index, depth in enumerate(state.depths)
+            if depth - min_depth >= self.imbalance_depth
+        }
+        for label, signal in sorted(signals.families.items()):
+            if len(decisions) >= self.max_moves:
+                break
+            worker = state.placements.get(label)
+            if worker is None or signal.queries < self.min_window_queries:
+                continue
+            regressed = (
+                signal.p95_ms is not None
+                and signal.p95_start_ms is not None
+                and signal.p95_start_ms > 0
+                and signal.p95_ms
+                >= signal.p95_start_ms * self.regression_factor
+            )
+            crowded = worker in hot_workers
+            if not regressed and not crowded:
+                continue
+            reason = (
+                f"p95 {signal.p95_ms:.1f}ms >= {self.regression_factor}x "
+                f"window-start {signal.p95_start_ms:.1f}ms"
+                if regressed
+                else f"stuck on {worker}, depth {self.imbalance_depth}+ "
+                "above least-loaded"
+            )
+            decisions.append(
+                Decision(
+                    policy=self.name,
+                    action="reassign",
+                    target=label,
+                    before=worker,
+                    after=None,
+                    reason=reason,
+                )
+            )
+        return decisions

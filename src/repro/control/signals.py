@@ -1,0 +1,165 @@
+"""Windowed control signals derived from :class:`MetricsHistory` ticks.
+
+The controller never reads raw counters: every signal here is a
+**windowed delta** between the oldest and newest tick of the window the
+caller passes in (usually ``history.ticks(window_s)``), divided by the
+*real* elapsed time between them.  That inherits the history ring's
+robustness properties wholesale:
+
+* **ring wrap** — ticks carry absolute cumulative counters, so a window
+  whose older half fell out of the ring still yields exact deltas over
+  the ticks that remain;
+* **collector restart / gaps** — rates divide by the observed ``dt``
+  between the two ticks, never by a nominal interval;
+* **counter reset** — a metrics sink swapped mid-flight makes deltas go
+  negative for one window; every delta is clamped at zero (mirroring
+  ``history._derive_pair``), so a reset reads as one quiet window, not
+  a policy-confusing negative rate.
+
+Everything in this module is a pure function of the tick list — no
+clocks, no locks, no I/O — which is what makes the satellite's
+FakeClock tests possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Sequence
+
+__all__ = ["FamilySignal", "ControlSignals", "extract_signals"]
+
+
+@dataclass(frozen=True)
+class FamilySignal:
+    """One family's windowed view: demand plus latency trajectory."""
+
+    label: str
+    graph: str
+    #: Queries served over the window (delta of the family's cumulative
+    #: count; a family that entered the table mid-window contributes its
+    #: full count, which is exactly its windowed demand).
+    queries: int
+    #: Newest p95 over the family's reservoir (``None`` until sampled).
+    p95_ms: Optional[float]
+    #: The p95 at the window's start — the regression baseline.
+    p95_start_ms: Optional[float]
+
+
+@dataclass(frozen=True)
+class ControlSignals:
+    """Everything the policies read, for one control window."""
+
+    t: float
+    window_s: float
+    qps: float
+    #: Windowed coalesce rate: 1 - batches/batched_queries over the
+    #: window's deltas (0.0 when no batched queries this window).
+    coalesce_rate: float
+    #: Scheduler pending depth at the newest tick.
+    queue_depth: int
+    #: Max pending depth seen at any tick of the window.
+    queue_depth_peak: int
+    #: Idle-replica steals per second over the window — direct evidence
+    #: that replication is absorbing load (or sitting unused).
+    replica_idle_per_s: float
+    #: Cluster worker depths at the newest tick (``{}`` for threads).
+    worker_depths: Dict[str, int] = field(default_factory=dict)
+    families: Dict[str, FamilySignal] = field(default_factory=dict)
+    #: Windowed per-graph query deltas from the ticks' untruncated
+    #: ``graphs`` counters (``{}`` when the sink predates them).
+    graphs: Dict[str, int] = field(default_factory=dict)
+    #: Pooled p95 at the newest tick.
+    p95_ms: Optional[float] = None
+
+    def graph_demand(self) -> Dict[str, int]:
+        """Windowed query counts aggregated per graph.
+
+        Prefers the dedicated per-graph counters: the family table in
+        each tick is truncated to the busiest rows, so summing family
+        deltas undercounts (or misses entirely) a graph whose demand is
+        spread across many short-lived families.  Falls back to the
+        family aggregation only when the sink provides no per-graph
+        counters at all.
+        """
+        if self.graphs:
+            return {g: q for g, q in self.graphs.items() if q > 0}
+        out: Dict[str, int] = {}
+        for signal in self.families.values():
+            out[signal.graph] = out.get(signal.graph, 0) + signal.queries
+        return out
+
+
+def _delta(cur: Mapping[str, Any], prev: Mapping[str, Any], key: str) -> int:
+    """Non-negative counter delta (resets clamp to zero)."""
+    return max(0, int(cur.get(key, 0)) - int(prev.get(key, 0)))
+
+
+def _family_graph(label: str) -> str:
+    """The graph component of a :func:`family_label` string."""
+    return label.split("|", 1)[0]
+
+
+def _family_signals(
+    cur: Mapping[str, Any], prev: Mapping[str, Any]
+) -> Dict[str, FamilySignal]:
+    newest: Mapping[str, Any] = cur.get("families") or {}
+    oldest: Mapping[str, Any] = prev.get("families") or {}
+    out: Dict[str, FamilySignal] = {}
+    for label, row in newest.items():
+        start = oldest.get(label) or {}
+        queries = max(
+            0, int(row.get("queries", 0)) - int(start.get("queries", 0))
+        )
+        out[label] = FamilySignal(
+            label=label,
+            graph=_family_graph(label),
+            queries=queries,
+            p95_ms=row.get("p95_ms"),
+            p95_start_ms=start.get("p95_ms"),
+        )
+    return out
+
+
+def extract_signals(
+    ticks: Sequence[Mapping[str, Any]]
+) -> Optional[ControlSignals]:
+    """Derive one window's :class:`ControlSignals` from history ticks.
+
+    Returns ``None`` when the window holds fewer than two ticks or zero
+    elapsed time — the controller treats that as "no evidence yet" and
+    makes no decisions, which is the safe default at boot and right
+    after a collector restart.
+    """
+    if len(ticks) < 2:
+        return None
+    first, last = ticks[0], ticks[-1]
+    dt = float(last.get("t", 0.0)) - float(first.get("t", 0.0))
+    if dt <= 0:
+        return None
+    d_queries = _delta(last, first, "queries_served")
+    d_batches = _delta(last, first, "batches")
+    d_batched = _delta(last, first, "batched_queries")
+    d_idle = _delta(last, first, "replica_idle_dispatches")
+    first_graphs: Mapping[str, Any] = first.get("graphs") or {}
+    last_graphs: Mapping[str, Any] = last.get("graphs") or {}
+    graphs = {
+        name: max(0, int(count) - int(first_graphs.get(name, 0)))
+        for name, count in last_graphs.items()
+    }
+    coalesce = 1.0 - (d_batches / d_batched) if d_batched else 0.0
+    latency = last.get("latency_overall_ms") or {}
+    return ControlSignals(
+        t=float(last["t"]),
+        window_s=dt,
+        qps=d_queries / dt,
+        coalesce_rate=max(0.0, coalesce),
+        queue_depth=int(last.get("queue_depth", 0)),
+        queue_depth_peak=max(
+            int(tick.get("queue_depth", 0)) for tick in ticks
+        ),
+        replica_idle_per_s=d_idle / dt,
+        worker_depths=dict(last.get("workers") or {}),
+        families=_family_signals(last, first),
+        graphs=graphs,
+        p95_ms=latency.get("p95"),
+    )

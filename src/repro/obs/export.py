@@ -249,6 +249,26 @@ def render_prometheus(
         kind="counter",
     )
 
+    control = snapshot.get("control") or {}
+    for policy, count in sorted((control.get("decisions") or {}).items()):
+        out.sample(
+            "repro_control_decisions_total",
+            count,
+            labels={"policy": policy},
+            help_text="Adaptive-controller decisions applied, by policy.",
+            kind="counter",
+        )
+    for tenant, count in sorted(
+        (control.get("admission_rejected") or {}).items()
+    ):
+        out.sample(
+            "repro_admission_rejected_total",
+            count,
+            labels={"tenant": tenant},
+            help_text="Queries refused by admission control, by tenant.",
+            kind="counter",
+        )
+
     live = snapshot.get("live") or {}
     out.sample(
         "repro_live_mutations_applied_total",
@@ -401,6 +421,13 @@ class _Handler(BaseHTTPRequestHandler):
             self._reply_json(doc, status=200 if doc.get("ready") else 503)
         elif path == "/dashboard":
             self._reply(exporter.render_dashboard_page(params), "text/html")
+        elif path == "/control.json":
+            if exporter.control is None:
+                self._reply_json(
+                    {"error": "adaptive control plane disabled"}, status=404
+                )
+            else:
+                self._reply_json(exporter.control())
         elif path == "/history.json":
             if history is None:
                 self._reply_json(
@@ -463,6 +490,7 @@ class MetricsServer:
         history: Optional[MetricsHistory] = None,
         readiness: Optional[Callable[[], Dict[str, Any]]] = None,
         profiler: Optional[OnDemandProfiler] = None,
+        control: Optional[Callable[[], Dict[str, Any]]] = None,
     ) -> None:
         self.metrics = metrics
         self.trace_store = trace_store
@@ -475,6 +503,10 @@ class MetricsServer:
         self.readiness = readiness
         #: Optional :class:`OnDemandProfiler` backing ``/profile``.
         self.profiler = profiler
+        #: Optional zero-arg callable returning the adaptive
+        #: controller's document (``/control.json`` + dashboard panel);
+        #: ``None`` = control plane disabled (the route answers 404).
+        self.control = control
         self._host = host
         self._port = port
         self._httpd: Optional[ThreadingHTTPServer] = None
@@ -496,6 +528,7 @@ class MetricsServer:
             if not slow_traces:
                 slow_traces = self.trace_store.summaries(8)
         readiness = self.readiness() if self.readiness is not None else None
+        control = self.control() if self.control is not None else None
         return render_dashboard(
             self.metrics.snapshot(),
             points=points,
@@ -504,6 +537,7 @@ class MetricsServer:
             slow_traces=slow_traces,
             readiness=readiness,
             window_s=window,
+            control=control,
         )
 
     @property

@@ -248,7 +248,14 @@ class MetricsHistory:
             "batches": server.get("batches", 0),
             "batched_queries": server.get("batched_queries", 0),
             "queue_depth": server.get("queue_depth", 0),
+            "replica_idle_dispatches": server.get(
+                "replica_idle_dispatches", 0
+            ),
             "workers": dict(cluster.get("queue_depth") or {}),
+            # Untruncated on purpose (one integer per registered graph):
+            # per-graph demand deltas stay exact even when the family
+            # table above dropped rows to ``max_families``.
+            "graphs": dict(snap.get("by_graph") or {}),
             "families": families,
             "latency_overall_ms": dict(snap.get("latency_overall_ms") or {}),
         }

@@ -117,6 +117,12 @@ class ServiceMetrics:
         #: p95 gauge for SLO evaluation and the dashboard.
         self._latency_all: Deque[float] = deque(maxlen=max_samples)
         self._families: "OrderedDict[object, _FamilyStats]" = OrderedDict()
+        #: Cumulative queries per graph name.  One integer per
+        #: *registered* graph (naturally bounded), so — unlike the
+        #: LRU-bounded family table — it never evicts: the control
+        #: plane's per-graph demand signal stays exact no matter how
+        #: many distinct families churn through the window.
+        self.by_graph: Dict[str, int] = defaultdict(int)
         self.sessions_opened = 0
         self.sessions_closed = 0
         self.sessions_expired = 0
@@ -150,6 +156,10 @@ class ServiceMetrics:
         #: Current graph generation (version) per mutated graph — the
         #: segment-generation gauge the Prometheus exporter reports.
         self.graph_generation: Dict[str, int] = {}
+        # Control tier (repro.control): applied controller decisions by
+        # policy name, and admission rejections by tenant label.
+        self.control_decisions: Dict[str, int] = defaultdict(int)
+        self.admission_rejected: Dict[str, int] = defaultdict(int)
 
     # ------------------------------------------------------------------
     def observe_query(
@@ -189,6 +199,7 @@ class ServiceMetrics:
             reservoir.append(elapsed_ms)
             self._latency_all.append(elapsed_ms)
             if family is not None:
+                self.by_graph[family.graph] += 1
                 stats = self._families.get(family)
                 if stats is None:
                     stats = _FamilyStats(self._max_samples)
@@ -260,6 +271,17 @@ class ServiceMetrics:
             self.cluster_depth[worker] = depth
             if depth > self.cluster_depth_peak:
                 self.cluster_depth_peak = depth
+
+    # -- control tier ---------------------------------------------------
+    def observe_control_decision(self, policy: str) -> None:
+        """The adaptive controller applied one decision of ``policy``."""
+        with self._lock:
+            self.control_decisions[policy] += 1
+
+    def observe_admission_rejected(self, tenant: Optional[str]) -> None:
+        """Admission control refused a query (``None`` = anonymous)."""
+        with self._lock:
+            self.admission_rejected[tenant if tenant else "-"] += 1
 
     # -- live tier ------------------------------------------------------
     def observe_mutation(
@@ -389,6 +411,10 @@ class ServiceMetrics:
                 "queue_depth": dict(self.cluster_depth),
                 "queue_depth_peak": self.cluster_depth_peak,
             }
+            control = {
+                "decisions": dict(self.control_decisions),
+                "admission_rejected": dict(self.admission_rejected),
+            }
             live = {
                 "mutations_applied": self.mutations_applied,
                 "families_invalidated": self.families_invalidated,
@@ -402,6 +428,7 @@ class ServiceMetrics:
                 "by_algorithm": dict(self.by_algorithm),
                 "by_kernel": dict(self.by_kernel),
                 "by_backend": dict(self.by_backend),
+                "by_graph": dict(self.by_graph),
                 "sessions_opened": self.sessions_opened,
                 "sessions_closed": self.sessions_closed,
                 "sessions_expired": self.sessions_expired,
@@ -420,6 +447,7 @@ class ServiceMetrics:
             }
         out["cluster"] = cluster
         out["live"] = live
+        out["control"] = control
         out["server"]["coalesce_rate"] = self.coalesce_rate  # type: ignore[index]
         out["cache_hit_rate"] = self.cache_hit_rate
         out["by_family"] = self.by_family()

@@ -1,0 +1,564 @@
+"""The adaptive control plane end to end: actuators, controller, server.
+
+Covers the runtime-mutation surfaces (scheduler window, replica
+fan-out, family re-placement, restart un-sticking), the controller's
+dwell/audit behaviour against fake components, the export surfaces
+(``/control.json``, dashboard panel, Prometheus series with hostile
+tenant labels), the CLI's ``--adaptive`` precedence over the static
+flags it demotes, wire tolerance for the optional ``tenant`` field, and
+a full adaptive server over TCP rejecting an over-quota tenant.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import json
+import urllib.request
+
+import pytest
+
+from repro.api.spec import QuerySpec, parse_spec_tokens
+from repro.cli import main as cli_main
+from repro.cluster import ClusterPool
+from repro.control import (
+    AdaptiveController,
+    AdmissionController,
+    BatchWindowPolicy,
+)
+from repro.control.policies import ControlState, Decision
+from repro.errors import AdmissionRejected, QueryParameterError
+from repro.obs.export import render_prometheus
+from repro.server import BatchScheduler, ReproClient, ReproServer, ShardPool
+from repro.service.cache import ResultCache
+from repro.service.engine import QueryEngine
+from repro.service.metrics import ServiceMetrics
+from repro.service.registry import GraphRegistry
+from repro.workloads.generators import build_weighted_graph, chung_lu
+
+needs_mp = pytest.mark.skipif(
+    not ClusterPool.available(), reason="multiprocessing unavailable"
+)
+
+
+def _graph(seed: int = 7):
+    n, edges = chung_lu(180, avg_degree=6.0, seed=seed)
+    return build_weighted_graph(n, edges, weights="degree", seed=seed)
+
+
+def _stack(seed: int = 7):
+    registry = GraphRegistry(preload_datasets=False)
+    graph = _graph(seed)
+    registry.register("g", lambda: graph)
+    cache = ResultCache(16)
+    metrics = ServiceMetrics()
+    engine = QueryEngine(registry, cache=cache, metrics=metrics)
+    return registry, cache, metrics, engine
+
+
+# ----------------------------------------------------------------------
+# actuators: scheduler + thread pool
+# ----------------------------------------------------------------------
+def test_scheduler_batch_window_is_runtime_tunable():
+    registry, _, _, engine = _stack()
+    pool = ShardPool(2)
+    try:
+        scheduler = BatchScheduler(engine, pool, window_s=0.025)
+        assert scheduler.set_batch_window(0.0) == 0.0
+        assert scheduler.window_s == 0.0
+        scheduler.set_batch_window(0.010)
+        assert scheduler.window_s == pytest.approx(0.010)
+        with pytest.raises(ValueError):
+            scheduler.set_batch_window(-0.001)
+    finally:
+        pool.shutdown()
+
+
+def test_shard_pool_replica_steps_clamp_at_both_ends():
+    pool = ShardPool(4)
+    try:
+        assert pool.replication_map() == {}
+        assert pool.add_replica("hot") == 2
+        assert pool.add_replica("hot") == 3
+        assert pool.replication_map() == {"hot": 3}
+        for _ in range(5):
+            pool.add_replica("hot")
+        assert pool.replication_map()["hot"] == 4  # ceiling: num_shards
+        assert pool.remove_replica("hot") == 3
+        for _ in range(5):
+            pool.remove_replica("hot")
+        assert pool.replication_map()["hot"] == 1  # floor: one copy
+        # Widened rotation actually routes to more shards.
+        pool.add_replica("hot")
+        base = pool.home_shard("hot")
+        assert {pool.route("hot") for _ in range(8)} == {
+            base, (base + 1) % 4
+        }
+    finally:
+        pool.shutdown()
+
+
+# ----------------------------------------------------------------------
+# actuators: cluster pool placement surfaces
+# ----------------------------------------------------------------------
+def test_cluster_pool_reassign_and_unstick_drop_placements():
+    registry, cache, _, _ = _stack()
+    pool = ClusterPool(4, registry, cache=cache)
+    try:
+        family = QuerySpec(graph="g", gamma=3, k=5).cache_key()
+        index = pool.route(family)
+        placements = pool.placements()
+        [(label, tag)] = placements.items()
+        assert tag == f"worker:{index}"
+        # Reassign drops the sticky entry and reports the old home.
+        assert pool.reassign_family(label) == tag
+        assert pool.placements() == {}
+        assert pool.reassign_family(label) is None  # already gone
+        # Unstick drops every family pinned to one worker at once.
+        again = pool.route(family)
+        other = QuerySpec(graph="g", gamma=4, k=5).cache_key()
+        pool.route(other)
+        dropped = pool.unstick_worker(again)
+        assert label in dropped
+        assert all(
+            not tag.endswith(f":{again}")
+            for tag in pool.placements().values()
+        )
+    finally:
+        pool.shutdown()
+
+
+def test_cluster_remove_replica_unsticks_families_outside_the_set():
+    registry, cache, _, _ = _stack()
+    pool = ClusterPool(4, registry, cache=cache, replication={"g": 3})
+    try:
+        family = QuerySpec(graph="g", gamma=3, k=5).cache_key()
+        base = pool.home_worker(family)
+        # Park the family on the widest candidate (base+2).
+        pool._workers[base].depth = 2
+        pool._workers[(base + 1) % 4].depth = 2
+        assert pool.route(family) == (base + 2) % 4
+        pool._workers[base].depth = 0
+        pool._workers[(base + 1) % 4].depth = 0
+        # Shrinking to 2 copies leaves base+2 outside the candidate set:
+        # the placement is dropped so the next dispatch re-places it.
+        assert pool.remove_replica("g") == 2
+        assert pool.placements() == {}
+        assert pool.route(family) in {base, (base + 1) % 4}
+        assert pool.replication_map() == {"g": 2}
+    finally:
+        pool.shutdown()
+
+
+@needs_mp
+def test_worker_restart_routes_through_controller_placement_policy():
+    # The sticky-forever edge: without a controller, a restarted
+    # worker's families march straight back to the same index; with one
+    # bound, the restart hook un-sticks them and audits the decision.
+    registry, cache, metrics, engine = _stack()
+    pool = ClusterPool(2, registry, cache=cache, metrics=metrics)
+    try:
+        pool.execute(engine, QuerySpec(graph="g", gamma=3, k=4))
+        [(label, tag)] = pool.placements().items()
+        victim_index = int(tag.split(":")[1])
+
+        # Baseline (no controller): placement survives the restart.
+        victim = pool._workers[victim_index]
+        victim.process.kill()
+        victim.process.join()
+        pool.health_check()
+        assert pool.placements() == {label: tag}
+
+        controller = AdaptiveController(metrics=metrics)
+        controller.bind(pool=pool)
+        assert pool.placement_hook is not None
+        victim = pool._workers[victim_index]
+        victim.process.kill()
+        victim.process.join()
+        status = pool.health_check()
+        assert tag in status["restarted"]
+        assert pool.placements() == {}  # un-stuck by the hook
+        [entry] = controller.audit()
+        assert entry["action"] == "unstick_worker"
+        assert entry["target"] == f"worker:{victim_index}"
+        assert entry["before"] == 1  # one family dropped
+        assert metrics.snapshot()["control"]["decisions"] == {
+            "placement": 1
+        }
+        # And the pool still serves: re-placement + reseed are live.
+        result = pool.execute(engine, QuerySpec(graph="g", gamma=3, k=5))
+        assert result.communities
+    finally:
+        pool.shutdown()
+
+
+# ----------------------------------------------------------------------
+# controller: dwell, audit, document
+# ----------------------------------------------------------------------
+class FakeHistory:
+    def __init__(self):
+        self.tick_list = []
+
+    def ticks(self, window_s=None):
+        return list(self.tick_list)
+
+
+class FakeScheduler:
+    def __init__(self, window_s=0.0):
+        self.window_s = window_s
+        self.queue_depth = 0
+
+    def set_batch_window(self, window_s):
+        if window_s < 0:
+            raise ValueError("negative")
+        self.window_s = float(window_s)
+        return self.window_s
+
+
+def make_ticks(depth=8, coalesce=True):
+    base = {
+        "queries_served": 0,
+        "batches": 0,
+        "batched_queries": 0,
+        "queue_depth": depth,
+        "replica_idle_dispatches": 0,
+        "workers": {},
+        "families": {},
+        "latency_overall_ms": {},
+    }
+    newest = dict(
+        base,
+        queries_served=40,
+        batches=10 if coalesce else 40,
+        batched_queries=40,
+    )
+    return [dict(base, t=100.0), dict(newest, t=105.0)]
+
+
+class FakeClock:
+    def __init__(self, start=1000.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+
+def make_controller(**kwargs):
+    history = FakeHistory()
+    history.tick_list = make_ticks()
+    scheduler = FakeScheduler()
+    clock = FakeClock()
+    kwargs.setdefault("policies", [BatchWindowPolicy()])
+    controller = AdaptiveController(
+        history=history,
+        scheduler=scheduler,
+        dwell_s=5.0,
+        clock=clock,
+        **kwargs,
+    )
+    return controller, history, scheduler, clock
+
+
+def test_controller_applies_decisions_and_enforces_dwell():
+    controller, history, scheduler, clock = make_controller()
+    [decision] = controller.tick()
+    assert decision.action == "set_window"
+    assert scheduler.window_s == pytest.approx(0.005)
+    # Same evidence inside the dwell window: suppressed.
+    assert controller.tick() == []
+    assert scheduler.window_s == pytest.approx(0.005)
+    # After the dwell elapses the next step applies.
+    clock.now += 6.0
+    [second] = controller.tick()
+    assert scheduler.window_s == pytest.approx(0.010)
+    assert controller.decisions_applied == 2
+
+
+def test_controller_makes_no_decisions_without_evidence():
+    controller, history, scheduler, _ = make_controller()
+    history.tick_list = []  # no ticks: no evidence, no action
+    assert controller.tick() == []
+    history.tick_list = make_ticks()[:1]  # one tick: still no pair
+    assert controller.tick() == []
+    assert scheduler.window_s == 0.0
+
+
+def test_failed_actuation_is_audited_not_raised():
+    controller, _, scheduler, _ = make_controller()
+
+    def explode(window_s):
+        raise RuntimeError("actuator detached")
+
+    scheduler.set_batch_window = explode
+    assert controller.tick() == []
+    assert controller.decisions_failed == 1
+    [entry] = controller.audit()
+    assert entry["error"] == "RuntimeError"
+
+
+def test_audit_ring_is_bounded():
+    controller, history, scheduler, clock = make_controller(
+        audit_capacity=3
+    )
+    for _ in range(10):
+        clock.now += 10.0
+        controller.tick()
+    audit = controller.audit()
+    assert len(audit) == 3
+    assert controller.decisions_applied > 3  # the ring dropped the rest
+
+
+def test_document_reports_loop_state_and_actuators():
+    controller, _, scheduler, clock = make_controller(
+        admission=AdmissionController(max_queue_depth=8)
+    )
+    controller.tick()
+    doc = controller.document()
+    assert doc["running"] is False  # tick() driven by hand here
+    assert doc["policies"] == ["batch_window"]
+    assert doc["decisions_applied"] == 1
+    assert doc["batch_window_ms"] == pytest.approx(5.0)
+    assert doc["admission"]["max_queue_depth"] == 8
+    assert json.dumps(doc)  # JSON-serialisable end to end
+
+
+def test_controller_validates_geometry():
+    with pytest.raises(ValueError):
+        AdaptiveController(interval_s=0.0)
+    with pytest.raises(ValueError):
+        AdaptiveController(interval_s=2.0, window_s=1.0)
+    with pytest.raises(ValueError):
+        AdaptiveController(audit_capacity=0)
+    with pytest.raises(RuntimeError):
+        AdaptiveController().start()  # no history bound
+
+
+def test_bind_fills_only_missing_slots():
+    scheduler = FakeScheduler()
+    controller = AdaptiveController(scheduler=scheduler)
+    other = FakeScheduler(window_s=9.0)
+    history = FakeHistory()
+    controller.bind(history=history, scheduler=other)
+    assert controller.scheduler is scheduler  # explicit wins
+    assert controller.history is history  # gap filled
+
+
+# ----------------------------------------------------------------------
+# wire: the optional tenant field
+# ----------------------------------------------------------------------
+def test_tenant_is_absent_from_wire_unless_set():
+    spec = QuerySpec(graph="g", gamma=3, k=5)
+    assert "tenant" not in spec.to_wire_dict()
+    tagged = QuerySpec(graph="g", gamma=3, k=5, tenant="acme")
+    wire = tagged.to_wire_dict()
+    assert wire["tenant"] == "acme"
+    assert QuerySpec.from_wire(wire).tenant == "acme"
+    assert QuerySpec.from_wire(spec.to_wire_dict()).tenant is None
+    # Identity is unchanged: tenant never reaches the cache key.
+    assert tagged.cache_key() == spec.cache_key()
+
+
+def test_tenant_parses_from_query_tokens_and_validates():
+    spec, _ = parse_spec_tokens(
+        ["g", "k=3", "gamma=3", "tenant=acme"]
+    )
+    assert spec.tenant == "acme"
+    with pytest.raises(QueryParameterError):
+        QuerySpec(graph="g", gamma=3, k=5, tenant="")
+
+
+# ----------------------------------------------------------------------
+# export: Prometheus series + escaping
+# ----------------------------------------------------------------------
+def test_control_series_export_with_hostile_tenant_labels():
+    metrics = ServiceMetrics()
+    metrics.observe_control_decision("batch_window")
+    metrics.observe_control_decision("batch_window")
+    metrics.observe_control_decision("placement")
+    hostile = 'ac"me\\corp\nltd'
+    metrics.observe_admission_rejected(hostile)
+    metrics.observe_admission_rejected(None)
+    text = render_prometheus(metrics.snapshot())
+    assert (
+        'repro_control_decisions_total{policy="batch_window"} 2' in text
+    )
+    assert 'repro_control_decisions_total{policy="placement"} 1' in text
+    assert 'repro_admission_rejected_total{tenant="-"} 1' in text
+    # Label escaping: backslash, quote, and newline all neutralised.
+    assert (
+        'repro_admission_rejected_total'
+        '{tenant="ac\\"me\\\\corp\\nltd"} 1' in text
+    )
+    for line in text.splitlines():
+        assert "\n" not in line  # no raw newlines smuggled into labels
+
+
+def test_metrics_without_control_traffic_export_no_control_series():
+    text = render_prometheus(ServiceMetrics().snapshot())
+    assert "repro_control_decisions_total" not in text
+    assert "repro_admission_rejected_total" not in text
+
+
+# ----------------------------------------------------------------------
+# CLI: --adaptive demotes the static flags to initial values
+# ----------------------------------------------------------------------
+def test_cli_adaptive_is_network_only():
+    out = io.StringIO()
+    code = cli_main(
+        ["serve", "--adaptive"], out=out, in_stream=io.StringIO("")
+    )
+    assert code == 2
+    assert "--adaptive" in out.getvalue()
+
+
+def test_cli_help_demotes_static_flags_under_adaptive():
+    from repro.cli import build_parser
+
+    text = build_parser().parse_args(["serve"])  # flags exist
+    assert text.adaptive is False
+    help_text = None
+    for action in build_parser()._subparsers._group_actions[0].choices[
+        "serve"
+    ]._actions:
+        if "--batch-window-ms" in action.option_strings:
+            assert "INITIAL" in action.help
+        if "--replicate" in action.option_strings:
+            assert "INITIAL" in action.help
+        if "--adaptive" in action.option_strings:
+            help_text = action.help
+    assert help_text is not None
+
+
+def test_adaptive_server_treats_flags_as_initial_values():
+    async def run():
+        server = ReproServer(
+            preload_datasets=False,
+            adaptive=True,
+            batch_window_ms=25.0,
+            shards=2,
+        )
+        await server.start(tcp=("127.0.0.1", 0))
+        try:
+            # The static flag seeded the scheduler...
+            assert server.scheduler.window_s == pytest.approx(0.025)
+            controller = server.controller
+            assert controller is not None and controller.running
+            # ...and the controller owns it from here: same surface.
+            controller.scheduler.set_batch_window(0.010)
+            assert server.scheduler.window_s == pytest.approx(0.010)
+            assert controller.admission is not None
+        finally:
+            await server.stop()
+
+    asyncio.run(run())
+
+
+# ----------------------------------------------------------------------
+# end to end: adaptive server over TCP
+# ----------------------------------------------------------------------
+def test_adaptive_server_serves_control_json_dashboard_and_quotas():
+    async def run():
+        registry_graph = _graph(3)
+        server = ReproServer(
+            preload_datasets=False,
+            adaptive=True,
+            metrics_port=0,
+            shards=2,
+        )
+        server.registry.register("g", lambda: registry_graph)
+        await server.start(tcp=("127.0.0.1", 0))
+        try:
+            host, port = server.tcp_address
+            client = await ReproClient.connect(host=host, port=port)
+            lines = await client.request("query g k=3 gamma=3 tenant=acme")
+            assert any("communities" in line for line in lines)
+
+            mhost, mport = server.metrics_address
+            base = f"http://{mhost}:{mport}"
+            doc = json.loads(
+                urllib.request.urlopen(f"{base}/control.json").read()
+            )
+            assert doc["running"] is True
+            assert doc["policies"] == [
+                "batch_window", "replicas", "placement",
+            ]
+            assert doc["admission"]["max_queue_depth"] >= 64
+
+            # Choke acme's quota: the next request 429s, anonymous and
+            # other tenants keep flowing, and every surface records it.
+            server.controller.admission.set_quota("acme", 0.001, burst=1)
+            await client.request("query g k=3 gamma=3 tenant=acme")
+            [rejection, *_] = await client.request(
+                "query g k=3 gamma=3 tenant=acme"
+            )
+            assert rejection.startswith("error: admission rejected (429")
+            assert "acme" in rejection
+            ok = await client.request("query g k=3 gamma=3")
+            assert not ok[0].startswith("error:")
+
+            snap = server.metrics.snapshot()
+            assert snap["control"]["admission_rejected"] == {"acme": 1}
+            prom = (
+                urllib.request.urlopen(f"{base}/metrics").read().decode()
+            )
+            assert (
+                'repro_admission_rejected_total{tenant="acme"} 1' in prom
+            )
+            page = (
+                urllib.request.urlopen(f"{base}/dashboard").read().decode()
+            )
+            assert 'id="controller"' in page
+            assert 'id="admission"' in page
+            assert 'id="tenant-rejects"' in page
+            assert "acme" in page
+            await client.close()
+        finally:
+            await server.stop()
+        # stop() tears the loop down with the server.
+        assert server.controller.running is False
+
+    asyncio.run(run())
+
+
+def test_control_json_is_404_without_adaptive():
+    async def run():
+        server = ReproServer(
+            preload_datasets=False, metrics_port=0, shards=2
+        )
+        await server.start(tcp=("127.0.0.1", 0))
+        try:
+            assert server.controller is None
+            mhost, mport = server.metrics_address
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(
+                    f"http://{mhost}:{mport}/control.json"
+                )
+            assert err.value.code == 404
+        finally:
+            await server.stop()
+
+    import urllib.error
+
+    asyncio.run(run())
+
+
+def test_caller_supplied_controller_is_bound_not_replaced():
+    async def run():
+        admission = AdmissionController(max_queue_depth=7)
+        controller = AdaptiveController(
+            admission=admission, interval_s=0.05, window_s=0.5, dwell_s=0.1
+        )
+        server = ReproServer(
+            preload_datasets=False, controller=controller, shards=2
+        )
+        await server.start(tcp=("127.0.0.1", 0))
+        try:
+            assert server.controller is controller
+            assert controller.scheduler is server.scheduler
+            assert controller.history is server.history
+            assert controller.running
+            assert admission.metrics is server.metrics
+        finally:
+            await server.stop()
+
+    asyncio.run(run())

@@ -1,0 +1,358 @@
+"""Policy units: hysteresis bands, demand-driven replication, admission.
+
+Pure-function tests — signals and state are constructed directly, no
+server, no clocks except the injected fakes.  The flap-resistance story
+is pinned here: each policy's grow and shrink conditions are separated
+by a dead band inside which it proposes nothing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.control.admission import AdmissionController, TokenBucket
+from repro.control.policies import (
+    BatchWindowPolicy,
+    ControlState,
+    Decision,
+    PlacementPolicy,
+    ReplicaPolicy,
+)
+from repro.control.signals import ControlSignals, FamilySignal
+from repro.errors import AdmissionRejected
+
+
+def make_signals(**overrides) -> ControlSignals:
+    params = dict(
+        t=1000.0,
+        window_s=10.0,
+        qps=5.0,
+        coalesce_rate=0.0,
+        queue_depth=0,
+        queue_depth_peak=0,
+        replica_idle_per_s=0.0,
+        worker_depths={},
+        families={},
+        p95_ms=None,
+    )
+    params.update(overrides)
+    return ControlSignals(**params)
+
+
+def fam(label, queries, p95=None, p95_start=None) -> FamilySignal:
+    return FamilySignal(
+        label=label,
+        graph=label.split("|", 1)[0],
+        queries=queries,
+        p95_ms=p95,
+        p95_start_ms=p95_start,
+    )
+
+
+# ----------------------------------------------------------------------
+# batch window
+# ----------------------------------------------------------------------
+class TestBatchWindowPolicy:
+    def test_widens_under_pressure_with_coalescing_evidence(self):
+        policy = BatchWindowPolicy()
+        signals = make_signals(queue_depth_peak=5, coalesce_rate=0.5)
+        [decision] = policy.propose(signals, ControlState(window_s=0.0))
+        assert decision.action == "set_window"
+        assert decision.after == pytest.approx(0.005)
+
+    def test_never_widens_without_coalescing(self):
+        # Deep queue of *distinct* families: a wider window is pure
+        # added latency, the policy must leave it alone.
+        policy = BatchWindowPolicy()
+        signals = make_signals(queue_depth_peak=10, coalesce_rate=0.0)
+        assert policy.propose(signals, ControlState(window_s=0.0)) == []
+
+    def test_widen_clamps_at_max_window(self):
+        policy = BatchWindowPolicy()
+        signals = make_signals(queue_depth_peak=10, coalesce_rate=0.9)
+        assert policy.propose(
+            signals, ControlState(window_s=policy.max_window_s)
+        ) == []
+        [decision] = policy.propose(
+            signals, ControlState(window_s=policy.max_window_s - 0.001)
+        )
+        assert decision.after == pytest.approx(policy.max_window_s)
+
+    def test_narrows_when_queue_is_calm(self):
+        policy = BatchWindowPolicy()
+        signals = make_signals(queue_depth_peak=0, coalesce_rate=0.5)
+        [decision] = policy.propose(signals, ControlState(window_s=0.010))
+        assert decision.after == pytest.approx(0.005)
+
+    def test_narrows_when_coalescing_stopped_paying(self):
+        policy = BatchWindowPolicy()
+        signals = make_signals(queue_depth_peak=6, coalesce_rate=0.05)
+        [decision] = policy.propose(signals, ControlState(window_s=0.005))
+        assert decision.after == 0.0
+
+    def test_dead_band_between_thresholds_proposes_nothing(self):
+        # Peak between narrow(1) and widen(4), coalesce between 0.1 and
+        # 0.3: inside the hysteresis band nothing moves, either way.
+        policy = BatchWindowPolicy()
+        signals = make_signals(queue_depth_peak=2, coalesce_rate=0.2)
+        assert policy.propose(signals, ControlState(window_s=0.010)) == []
+        assert policy.propose(signals, ControlState(window_s=0.0)) == []
+
+    def test_validates_geometry(self):
+        with pytest.raises(ValueError):
+            BatchWindowPolicy(step_s=0.0)
+        with pytest.raises(ValueError):
+            BatchWindowPolicy(widen_depth=2, narrow_depth=2)
+
+
+# ----------------------------------------------------------------------
+# replicas
+# ----------------------------------------------------------------------
+class TestReplicaPolicy:
+    def hot_signals(self, hot_queries=90, cold_queries=10, **overrides):
+        families = {
+            "hot|g3|localsearch-p|d2|auto": fam(
+                "hot|g3|localsearch-p|d2|auto", hot_queries
+            ),
+            "cold|g3|localsearch-p|d2|auto": fam(
+                "cold|g3|localsearch-p|d2|auto", cold_queries
+            ),
+        }
+        overrides.setdefault("families", families)
+        return make_signals(**overrides)
+
+    def test_grows_hot_graph_one_step_under_pressure(self):
+        policy = ReplicaPolicy()
+        signals = self.hot_signals(queue_depth_peak=3)
+        decisions = policy.propose(signals, ControlState(num_shards=4))
+        grow = [d for d in decisions if d.action == "add_replica"]
+        assert [d.target for d in grow] == ["hot"]
+        assert grow[0].before == 1 and grow[0].after == 2
+
+    def test_no_growth_without_queue_pressure(self):
+        # Skewed but under capacity: leave it alone.
+        policy = ReplicaPolicy()
+        signals = self.hot_signals(queue_depth_peak=0)
+        assert policy.propose(signals, ControlState(num_shards=4)) == []
+
+    def test_pool_slot_depth_also_counts_as_pressure(self):
+        policy = ReplicaPolicy()
+        signals = self.hot_signals(queue_depth_peak=0)
+        state = ControlState(num_shards=4, depths=[0, 3, 0, 0])
+        assert any(
+            d.action == "add_replica"
+            for d in policy.propose(signals, state)
+        )
+
+    def test_quiet_window_below_min_queries_is_ignored(self):
+        policy = ReplicaPolicy(min_window_queries=8)
+        signals = self.hot_signals(
+            hot_queries=4, cold_queries=2, queue_depth_peak=9
+        )
+        assert policy.propose(signals, ControlState(num_shards=4)) == []
+
+    def test_shrinks_cooled_graph_with_hysteresis(self):
+        policy = ReplicaPolicy()
+        state = ControlState(
+            num_shards=4, replication={"hot": 4, "cold": 2}
+        )
+        # hot's share collapsed to 10%: well under the 25% of the 100%
+        # its 4 copies imply -> shrink.  cold at 90% stays.
+        signals = self.hot_signals(hot_queries=10, cold_queries=90)
+        decisions = policy.propose(signals, state)
+        shrink = [d for d in decisions if d.action == "remove_replica"]
+        assert [d.target for d in shrink] == ["hot"]
+        assert shrink[0].after == 3
+        # Borderline share (inside the band) shrinks nothing: 4 copies
+        # imply 100%, the band floor is 25%, and 40% sits above it.
+        borderline = self.hot_signals(hot_queries=40, cold_queries=60)
+        assert [
+            d
+            for d in policy.propose(borderline, state)
+            if d.action == "remove_replica" and d.target == "hot"
+        ] == []
+
+    def test_never_shrinks_below_one_copy(self):
+        policy = ReplicaPolicy()
+        state = ControlState(num_shards=4, replication={"hot": 1})
+        signals = self.hot_signals(hot_queries=0, cold_queries=100)
+        assert all(
+            d.action != "remove_replica"
+            for d in policy.propose(signals, state)
+        )
+
+
+# ----------------------------------------------------------------------
+# placement
+# ----------------------------------------------------------------------
+class TestPlacementPolicy:
+    LABEL = "g|g3|localsearch-p|d2|auto"
+
+    def test_reassigns_regressed_family(self):
+        policy = PlacementPolicy()
+        signals = make_signals(
+            families={self.LABEL: fam(self.LABEL, 10, p95=9.0, p95_start=2.0)}
+        )
+        state = ControlState(placements={self.LABEL: "worker:1"})
+        [decision] = policy.propose(signals, state)
+        assert decision.action == "reassign"
+        assert decision.target == self.LABEL
+        assert decision.before == "worker:1"
+
+    def test_mild_slowdown_below_factor_stays_put(self):
+        policy = PlacementPolicy(regression_factor=2.0)
+        signals = make_signals(
+            families={self.LABEL: fam(self.LABEL, 10, p95=3.5, p95_start=2.0)}
+        )
+        state = ControlState(placements={self.LABEL: "worker:1"})
+        assert policy.propose(signals, state) == []
+
+    def test_reassigns_family_stuck_on_crowded_worker(self):
+        policy = PlacementPolicy(imbalance_depth=3)
+        signals = make_signals(
+            families={self.LABEL: fam(self.LABEL, 10, p95=2.0, p95_start=2.0)}
+        )
+        state = ControlState(
+            placements={self.LABEL: "worker:0"}, depths=[5, 0]
+        )
+        [decision] = policy.propose(signals, state)
+        assert decision.action == "reassign"
+        # Same depths, but placed on the idle worker: no move.
+        calm = ControlState(
+            placements={self.LABEL: "worker:1"}, depths=[5, 0]
+        )
+        assert policy.propose(signals, calm) == []
+
+    def test_low_traffic_families_are_never_moved(self):
+        policy = PlacementPolicy(min_window_queries=4)
+        signals = make_signals(
+            families={self.LABEL: fam(self.LABEL, 2, p95=50.0, p95_start=1.0)}
+        )
+        state = ControlState(placements={self.LABEL: "worker:1"})
+        assert policy.propose(signals, state) == []
+
+    def test_moves_per_tick_are_capped(self):
+        policy = PlacementPolicy(max_moves=2)
+        families = {
+            f"g{i}|g3|localsearch-p|d2|auto": fam(
+                f"g{i}|g3|localsearch-p|d2|auto", 10, p95=9.0, p95_start=1.0
+            )
+            for i in range(5)
+        }
+        placements = {label: "worker:0" for label in families}
+        decisions = policy.propose(
+            make_signals(families=families),
+            ControlState(placements=placements),
+        )
+        assert len(decisions) == 2
+
+    def test_no_placements_means_no_decisions(self):
+        policy = PlacementPolicy()
+        signals = make_signals(
+            families={self.LABEL: fam(self.LABEL, 10, p95=9.0, p95_start=1.0)}
+        )
+        assert policy.propose(signals, ControlState()) == []
+
+
+# ----------------------------------------------------------------------
+# admission
+# ----------------------------------------------------------------------
+class TestTokenBucket:
+    def test_burst_then_refill_at_rate(self):
+        bucket = TokenBucket(rate=2.0, burst=3)
+        now = 100.0
+        assert all(bucket.try_take(now) for _ in range(3))
+        assert not bucket.try_take(now)  # burst spent
+        assert bucket.try_take(now + 0.5)  # 0.5s * 2/s = 1 token back
+        assert not bucket.try_take(now + 0.5)
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate=10.0, burst=2)
+        bucket.try_take(0.0)
+        for _ in range(2):
+            assert bucket.try_take(1000.0)
+        assert not bucket.try_take(1000.0)
+
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.5)
+
+
+class RecordingMetrics:
+    def __init__(self):
+        self.rejections = []
+
+    def observe_admission_rejected(self, tenant):
+        self.rejections.append(tenant)
+
+
+class TestAdmissionController:
+    def test_saturation_rejects_everyone_until_drained(self):
+        admission = AdmissionController(max_queue_depth=4)
+        admission.admit(None, queue_depth=3)
+        with pytest.raises(AdmissionRejected) as err:
+            admission.admit("acme", queue_depth=4)
+        assert err.value.reason == "saturated"
+        assert "429" in str(err.value)
+        admission.admit("acme", queue_depth=0)  # drained: accepted again
+
+    def test_quota_limits_named_tenant_only(self):
+        clock = lambda: 100.0  # noqa: E731 — frozen clock, no refill
+        admission = AdmissionController(clock=clock)
+        admission.set_quota("acme", rate=1.0, burst=2)
+        admission.admit("acme")
+        admission.admit("acme")
+        with pytest.raises(AdmissionRejected) as err:
+            admission.admit("acme")
+        assert err.value.reason == "quota"
+        # Anonymous and other tenants are untouched by acme's bucket.
+        admission.admit(None)
+        admission.admit("other")
+
+    def test_default_rate_applies_to_unconfigured_named_tenants(self):
+        admission = AdmissionController(
+            default_rate=1.0, default_burst=1, clock=lambda: 5.0
+        )
+        admission.admit("walk-in")
+        with pytest.raises(AdmissionRejected):
+            admission.admit("walk-in")
+        admission.admit(None)  # anonymous traffic is never quota-limited
+
+    def test_rejections_are_counted_locally_and_in_metrics(self):
+        metrics = RecordingMetrics()
+        admission = AdmissionController(max_queue_depth=1, metrics=metrics)
+        for tenant in ("acme", "acme", None):
+            with pytest.raises(AdmissionRejected):
+                admission.admit(tenant, queue_depth=9)
+        assert admission.rejected == {"acme": 2, "-": 1}
+        assert metrics.rejections == ["acme", "acme", None]
+        description = admission.describe()
+        assert description["rejected"] == {"acme": 2, "-": 1}
+        assert description["admitted"] == 0
+
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_queue_depth=0)
+        with pytest.raises(ValueError):
+            AdmissionController().set_quota("", rate=1.0)
+
+
+def test_decision_round_trips_to_dict():
+    decision = Decision(
+        policy="replicas",
+        action="add_replica",
+        target="wiki",
+        before=1,
+        after=2,
+        reason="demand",
+    )
+    assert decision.to_dict() == {
+        "policy": "replicas",
+        "action": "add_replica",
+        "target": "wiki",
+        "before": 1,
+        "after": 2,
+        "reason": "demand",
+    }

@@ -1,0 +1,277 @@
+"""Signal extraction: windowed deltas that survive the history ring.
+
+:func:`extract_signals` reads the raw cumulative-counter ticks that
+:class:`MetricsHistory` retains, so these FakeClock tests pin the three
+robustness properties the control plane inherits from that design: exact
+deltas across ring wrap, real-dt rates across a collector restart gap,
+and clamped (never negative) deltas across a counter reset.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.control.signals import ControlSignals, extract_signals
+from repro.obs.history import MetricsHistory
+
+
+class FakeClock:
+    """A manually-advanced timestamp source."""
+
+    def __init__(self, start: float = 1000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class StubMetrics:
+    """A snapshot()-shaped stub with directly settable counters."""
+
+    def __init__(self) -> None:
+        self.queries = 0
+        self.batches = 0
+        self.batched = 0
+        self.queue_depth = 0
+        self.idle_dispatches = 0
+        self.workers = {}
+        self.families = {}
+        self.graphs = {}
+        self.latency = {}
+
+    def snapshot(self):
+        return {
+            "queries_served": self.queries,
+            "errors": 0,
+            "by_source": {},
+            "server": {
+                "batches": self.batches,
+                "batched_queries": self.batched,
+                "queue_depth": self.queue_depth,
+                "replica_idle_dispatches": self.idle_dispatches,
+            },
+            "cluster": {"queue_depth": dict(self.workers)},
+            "by_family": {
+                label: dict(row) for label, row in self.families.items()
+            },
+            "by_graph": dict(self.graphs),
+            "latency_overall_ms": dict(self.latency),
+        }
+
+
+def make_history(clock, metrics, **kwargs):
+    return MetricsHistory(metrics, clock=clock, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# evidence threshold
+# ----------------------------------------------------------------------
+def test_fewer_than_two_ticks_yields_no_signals():
+    clock, metrics = FakeClock(), StubMetrics()
+    history = make_history(clock, metrics)
+    assert extract_signals(history.ticks()) is None
+    history.sample()
+    assert extract_signals(history.ticks()) is None  # one tick: no pair
+
+
+def test_zero_elapsed_time_yields_no_signals():
+    clock, metrics = FakeClock(), StubMetrics()
+    history = make_history(clock, metrics)
+    history.sample()
+    metrics.queries += 5
+    history.sample()  # clock never advanced
+    assert extract_signals(history.ticks()) is None
+
+
+# ----------------------------------------------------------------------
+# windowed deltas
+# ----------------------------------------------------------------------
+def test_rates_are_window_deltas_over_real_dt():
+    clock, metrics = FakeClock(), StubMetrics()
+    history = make_history(clock, metrics)
+    history.sample()
+    metrics.queries += 20
+    metrics.batches += 4
+    metrics.batched += 16
+    metrics.idle_dispatches += 6
+    metrics.queue_depth = 3
+    clock.advance(4.0)
+    history.sample()
+    signals = extract_signals(history.ticks())
+    assert signals.qps == pytest.approx(5.0)
+    assert signals.window_s == pytest.approx(4.0)
+    # 16 batched queries over 4 batches: 12 rode along.
+    assert signals.coalesce_rate == pytest.approx(0.75)
+    assert signals.replica_idle_per_s == pytest.approx(1.5)
+    assert signals.queue_depth == 3
+    assert signals.queue_depth_peak == 3
+
+
+def test_queue_depth_peak_is_max_over_all_ticks_not_endpoints():
+    clock, metrics = FakeClock(), StubMetrics()
+    history = make_history(clock, metrics)
+    for depth in (0, 7, 1):
+        metrics.queue_depth = depth
+        history.sample()
+        clock.advance(1.0)
+    signals = extract_signals(history.ticks())
+    assert signals.queue_depth == 1  # the newest tick's gauge
+    assert signals.queue_depth_peak == 7  # the mid-window spike
+
+
+def test_coalesce_rate_is_zero_without_batched_queries():
+    clock, metrics = FakeClock(), StubMetrics()
+    history = make_history(clock, metrics)
+    history.sample()
+    metrics.queries += 3
+    clock.advance(1.0)
+    history.sample()
+    assert extract_signals(history.ticks()).coalesce_rate == 0.0
+
+
+def test_family_signals_carry_demand_and_p95_trajectory():
+    clock, metrics = FakeClock(), StubMetrics()
+    history = make_history(clock, metrics)
+    metrics.families = {
+        "wiki|g10|localsearch-p|d2|auto": {"queries": 10, "p95_ms": 4.0}
+    }
+    history.sample()
+    metrics.families = {
+        "wiki|g10|localsearch-p|d2|auto": {"queries": 25, "p95_ms": 9.0},
+        # Entered mid-window: contributes its full count.
+        "web|g5|localsearch-p|d2|auto": {"queries": 7, "p95_ms": 2.0},
+    }
+    clock.advance(2.0)
+    history.sample()
+    signals = extract_signals(history.ticks())
+    wiki = signals.families["wiki|g10|localsearch-p|d2|auto"]
+    assert wiki.graph == "wiki"
+    assert wiki.queries == 15
+    assert wiki.p95_ms == pytest.approx(9.0)
+    assert wiki.p95_start_ms == pytest.approx(4.0)
+    web = signals.families["web|g5|localsearch-p|d2|auto"]
+    assert web.queries == 7
+    assert web.p95_start_ms is None  # no baseline yet
+    assert signals.graph_demand() == {"wiki": 15, "web": 7}
+
+
+def test_graph_demand_survives_family_table_truncation():
+    # The pathology: demand spread across many short-lived families.
+    # Each tick keeps only the all-time-busiest family rows, so a new
+    # hot graph whose queries never repeat a family is invisible to the
+    # family view — the untruncated per-graph counters must carry it.
+    clock, metrics = FakeClock(), StubMetrics()
+    history = make_history(clock, metrics, max_families=2)
+    metrics.graphs = {"a": 10}
+    metrics.families = {
+        "a|g1|localsearch-p|d2|auto": {"queries": 5, "p95_ms": 1.0},
+        "a|g2|localsearch-p|d2|auto": {"queries": 5, "p95_ms": 1.0},
+    }
+    history.sample()
+    # This window: all new demand is graph b, one query per family.
+    metrics.queries += 8
+    metrics.graphs = {"a": 10, "b": 8}
+    for i in range(8):
+        metrics.families[f"b|g{i}|localsearch-p|d2|auto"] = {
+            "queries": 1,
+            "p95_ms": 1.0,
+        }
+    clock.advance(2.0)
+    history.sample()
+    signals = extract_signals(history.ticks())
+    # The truncated family view still shows only graph a's stale rows...
+    assert {s.graph for s in signals.families.values()} == {"a"}
+    # ...but per-graph demand sees the flip exactly.
+    assert signals.graph_demand() == {"b": 8}
+
+
+# ----------------------------------------------------------------------
+# ring wrap
+# ----------------------------------------------------------------------
+def test_deltas_stay_exact_across_ring_wrap():
+    clock, metrics = FakeClock(), StubMetrics()
+    history = make_history(clock, metrics, capacity=4)
+    for _ in range(20):
+        metrics.queries += 3
+        metrics.idle_dispatches += 1
+        clock.advance(1.0)
+        history.sample()
+    ticks = history.ticks()
+    assert len(ticks) == 4  # the ring dropped the first 16
+    signals = extract_signals(ticks)
+    # Cumulative counters make the surviving window exact: 3 qps over
+    # the 3 seconds the remaining 4 ticks span.
+    assert signals.window_s == pytest.approx(3.0)
+    assert signals.qps == pytest.approx(3.0)
+    assert signals.replica_idle_per_s == pytest.approx(1.0)
+
+
+# ----------------------------------------------------------------------
+# collector restart
+# ----------------------------------------------------------------------
+def test_collector_restart_gap_widens_dt_instead_of_spiking_rates():
+    clock, metrics = FakeClock(), StubMetrics()
+    history = make_history(clock, metrics)
+    history.sample()
+    # Collector down for 30s while traffic continued: the counters kept
+    # accumulating, the rate divides by the observed gap.
+    metrics.queries += 30
+    clock.advance(30.0)
+    history.sample()
+    signals = extract_signals(history.ticks())
+    assert signals.qps == pytest.approx(1.0)
+    assert signals.window_s == pytest.approx(30.0)
+
+
+# ----------------------------------------------------------------------
+# counter reset
+# ----------------------------------------------------------------------
+def test_counter_reset_reads_as_a_quiet_window_not_negative_rates():
+    clock, metrics = FakeClock(), StubMetrics()
+    history = make_history(clock, metrics)
+    metrics.queries = 500
+    metrics.batches = 50
+    metrics.batched = 200
+    metrics.idle_dispatches = 40
+    metrics.families = {
+        "g|g3|localsearch-p|d2|auto": {"queries": 90, "p95_ms": 1.0}
+    }
+    metrics.graphs = {"g": 90}
+    history.sample()
+    # The sink was swapped: everything restarts from (nearly) zero.
+    metrics.queries = 4
+    metrics.batches = 1
+    metrics.batched = 2
+    metrics.idle_dispatches = 0
+    metrics.families = {
+        "g|g3|localsearch-p|d2|auto": {"queries": 2, "p95_ms": 1.0}
+    }
+    metrics.graphs = {"g": 2}
+    clock.advance(2.0)
+    history.sample()
+    signals = extract_signals(history.ticks())
+    assert signals.qps == 0.0
+    assert signals.coalesce_rate == 0.0
+    assert signals.replica_idle_per_s == 0.0
+    assert signals.families["g|g3|localsearch-p|d2|auto"].queries == 0
+    assert signals.graph_demand() == {}  # clamped, not negative
+
+
+def test_signals_read_real_server_tick_shape():
+    # The frozen dataclass is constructible straight from the fields the
+    # policies read (a guard against field drift).
+    signals = ControlSignals(
+        t=1.0,
+        window_s=1.0,
+        qps=2.0,
+        coalesce_rate=0.5,
+        queue_depth=1,
+        queue_depth_peak=2,
+        replica_idle_per_s=0.0,
+    )
+    assert signals.graph_demand() == {}
+    with pytest.raises(AttributeError):
+        signals.qps = 3.0
